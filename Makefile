@@ -1,0 +1,41 @@
+# Standard developer entry points; everything is stdlib-only Go.
+
+GO ?= go
+
+.PHONY: all build test vet race cover bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerate every paper table/figure as benchmarks (quick settings).
+bench:
+	$(GO) test -bench . -benchmem
+
+# Regenerate every paper table/figure with the CLI runner.
+experiments:
+	$(GO) run ./cmd/experiment -id all -quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/capacityplanner
+	$(GO) run ./examples/adaptive
+	$(GO) run ./examples/thrashing
+	$(GO) run ./examples/slo
+	$(GO) run ./examples/multiresource
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,281 @@
+package robustscale
+
+import (
+	"robustscale/internal/cluster"
+	"robustscale/internal/core"
+	"robustscale/internal/forecast"
+	"robustscale/internal/metrics"
+	"robustscale/internal/optimize"
+	"robustscale/internal/qos"
+	"robustscale/internal/scaler"
+	"robustscale/internal/timeseries"
+	"robustscale/internal/trace"
+)
+
+// Time series primitives.
+type (
+	// Series is a regularly sampled univariate workload time series.
+	Series = timeseries.Series
+	// Window is a (context, target) pair extracted from a series.
+	Window = timeseries.Window
+)
+
+// New constructs a Series; see timeseries.New.
+var NewSeries = timeseries.New
+
+// DefaultStep is the paper's 10-minute aggregation interval.
+const DefaultStep = timeseries.DefaultStep
+
+// Trace generation: synthetic stand-ins for the Alibaba and Google cluster
+// traces.
+type (
+	// Trace is a generated cluster trace with per-resource series.
+	Trace = trace.Trace
+	// TraceConfig controls synthetic trace generation.
+	TraceConfig = trace.Config
+	// Resource identifies a usage dimension (CPU, Memory, Disk).
+	Resource = trace.Resource
+)
+
+// Resources available in generated traces.
+const (
+	CPU    = trace.CPU
+	Memory = trace.Memory
+	Disk   = trace.Disk
+)
+
+// GenerateTrace produces a trace from an explicit configuration.
+var GenerateTrace = trace.Generate
+
+// GenerateAlibabaTrace generates the Alibaba-style trace with the given
+// seed: strong diurnal cycle, mild noise — the paper's easier dataset.
+func GenerateAlibabaTrace(seed int64) (*Trace, error) {
+	return trace.Generate(trace.AlibabaStyle(seed))
+}
+
+// GenerateGoogleTrace generates the Google-style trace with the given
+// seed: bursty, weakly seasonal — the paper's harder dataset.
+func GenerateGoogleTrace(seed int64) (*Trace, error) {
+	return trace.Generate(trace.GoogleStyle(seed))
+}
+
+// Forecasting.
+type (
+	// Forecaster produces point forecasts (Definition 1).
+	Forecaster = forecast.Forecaster
+	// QuantileForecaster additionally produces quantile forecasts
+	// (Definition 2).
+	QuantileForecaster = forecast.QuantileForecaster
+	// QuantileForecast is a multi-step quantile forecast fan.
+	QuantileForecast = forecast.QuantileForecast
+
+	// ARIMAModel is the classic statistical baseline.
+	ARIMAModel = forecast.ARIMA
+	// MLPConfig configures the Gaussian-head feed-forward forecaster.
+	MLPConfig = forecast.MLPConfig
+	// DeepARConfig configures the Student-t autoregressive forecaster.
+	DeepARConfig = forecast.DeepARConfig
+	// TFTConfig configures the quantile-grid transformer forecaster.
+	TFTConfig = forecast.TFTConfig
+	// QB5000Config configures the hybrid point forecaster.
+	QB5000Config = forecast.QB5000Config
+	// PaddedForecaster adds CloudScale-style under-estimation padding to
+	// a point forecaster.
+	PaddedForecaster = forecast.Padded
+)
+
+// Forecaster constructors and defaults.
+var (
+	NewARIMA = forecast.NewARIMA
+	// NewSeasonalARIMA adds seasonal differencing at a fixed period.
+	NewSeasonalARIMA = forecast.NewSeasonalARIMA
+	NewMLP           = forecast.NewMLP
+	// NewQuantileMLP trains the same MLP on pinball loss, directly
+	// emitting a pre-specified quantile grid.
+	NewQuantileMLP = forecast.NewQuantileMLP
+	NewDeepAR      = forecast.NewDeepAR
+	NewTFT         = forecast.NewTFT
+	// NewTFTPoint trains TFT on only the 0.5 quantile, the paper's
+	// point-forecast baseline.
+	NewTFTPoint = forecast.NewTFTPoint
+	NewQB5000   = forecast.NewQB5000
+	NewPadded   = forecast.NewPadded
+	// NewNaive and NewSeasonalNaive are the trivial reference baselines
+	// every learned forecaster must beat.
+	NewNaive         = forecast.NewNaive
+	NewSeasonalNaive = forecast.NewSeasonalNaive
+	// NewEnsemble combines quantile forecasters by Vincentized quantile
+	// averaging.
+	NewEnsemble = forecast.NewEnsemble
+	// NewConformal wraps a quantile forecaster with split-conformal
+	// calibration, repairing coverage with distribution-free guarantees.
+	NewConformal = forecast.NewConformal
+
+	DefaultMLPConfig    = forecast.DefaultMLPConfig
+	DefaultDeepARConfig = forecast.DefaultDeepARConfig
+	DefaultTFTConfig    = forecast.DefaultTFTConfig
+	DefaultQB5000Config = forecast.DefaultQB5000Config
+)
+
+// Backtesting.
+type (
+	// BacktestConfig controls a rolling-origin forecaster evaluation.
+	BacktestConfig = forecast.BacktestConfig
+	// BacktestResult aggregates a rolling-origin evaluation.
+	BacktestResult = forecast.BacktestResult
+)
+
+// Backtest rolls a trained quantile forecaster over a series and reports
+// pooled and per-origin accuracy.
+var Backtest = forecast.Backtest
+
+// Quantile grids from the paper's evaluation.
+var (
+	// DefaultLevels is the Table I evaluation grid {0.1, ..., 0.9}.
+	DefaultLevels = forecast.DefaultLevels
+	// ScalingLevels is the auto-scaling grid {0.5, ..., 0.99}.
+	ScalingLevels = forecast.ScalingLevels
+)
+
+// Auto-scaling strategies.
+type (
+	// Strategy plans node allocations from workload history.
+	Strategy = scaler.Strategy
+	// ReactiveMax scales on the trailing-window maximum.
+	ReactiveMax = scaler.ReactiveMax
+	// ReactiveAvg scales on an exponentially decayed trailing average.
+	ReactiveAvg = scaler.ReactiveAvg
+	// Predictive scales on a point forecast.
+	Predictive = scaler.Predictive
+	// Robust scales on a fixed quantile forecast (Equation 6).
+	Robust = scaler.Robust
+	// Adaptive switches quantile levels on forecast uncertainty
+	// (Algorithm 1).
+	Adaptive = scaler.Adaptive
+	// Staircase generalizes Adaptive to a ladder of quantile levels.
+	Staircase = scaler.Staircase
+	// StaircaseLevel is one rung of a Staircase.
+	StaircaseLevel = scaler.StaircaseLevel
+	// RateLimited bounds per-step node-count changes (Section V-A).
+	RateLimited = scaler.RateLimited
+	// EvalConfig controls a rolling strategy evaluation.
+	EvalConfig = scaler.EvalConfig
+	// EvalResult is the outcome of a rolling strategy evaluation.
+	EvalResult = scaler.EvalResult
+)
+
+// EvaluateStrategy replays a workload series against a strategy.
+var EvaluateStrategy = scaler.Evaluate
+
+// ForecastUncertainties computes the per-step uncertainty metric U
+// (Equation 8) of a quantile forecast.
+var ForecastUncertainties = scaler.Uncertainties
+
+// Optimization.
+type (
+	// ThrashingConfig bounds node-count change rates.
+	ThrashingConfig = optimize.ThrashingConfig
+)
+
+// Optimization entry points (Definitions 3-5).
+var (
+	// Allocate is the per-step closed form: min nodes with w/c <= theta.
+	Allocate = optimize.Allocate
+	// PlanAllocations solves the multi-step problem for a workload path.
+	PlanAllocations = optimize.Plan
+	// PlanConstrained adds the anti-thrashing rate limit.
+	PlanConstrained = optimize.PlanConstrained
+)
+
+// Cluster simulation.
+type (
+	// Cluster simulates a storage-disaggregated cloud database.
+	Cluster = cluster.Cluster
+	// ClusterConfig describes the simulated deployment.
+	ClusterConfig = cluster.Config
+	// ReplayReport summarizes a warm-up-aware cluster replay.
+	ReplayReport = cluster.ReplayReport
+)
+
+// NewCluster creates a simulated cluster; see cluster.New.
+var NewCluster = cluster.New
+
+// DefaultClusterConfig models a deployment with seconds-scale warm-up
+// (Figure 5).
+var DefaultClusterConfig = cluster.DefaultConfig
+
+// Metrics.
+type (
+	// ProvisioningReport summarizes under-/over-provisioning of a plan.
+	ProvisioningReport = metrics.ProvisioningReport
+)
+
+// Metric entry points from Section IV.
+var (
+	WQL          = metrics.WQL
+	MeanWQL      = metrics.MeanWQL
+	Coverage     = metrics.Coverage
+	MSE          = metrics.MSE
+	Uncertainty  = metrics.Uncertainty
+	Provisioning = metrics.Provisioning
+)
+
+// End-to-end pipelines.
+type (
+	// Pipeline couples a trained forecaster with a scaling strategy.
+	Pipeline = core.Pipeline
+	// RunReport is the outcome of a closed-loop pipeline run.
+	RunReport = core.RunReport
+)
+
+// Quality of service: the performance-modeling extension of Section V-B.
+type (
+	// QoSNode describes one compute node as an M/M/c queueing station.
+	QoSNode = qos.Node
+	// SLO is a latency service level objective.
+	SLO = qos.SLO
+	// NodeLatencyStats summarizes a node's response-time distribution.
+	NodeLatencyStats = qos.Latency
+	// QoSReplayReport summarizes a latency-aware cluster replay.
+	QoSReplayReport = cluster.QoSReplayReport
+)
+
+// QoS entry points.
+var (
+	// NodeLatency computes the latency distribution of one node under
+	// load.
+	NodeLatency = qos.NodeLatency
+	// CalibrateTheta finds the largest per-node threshold meeting an SLO.
+	CalibrateTheta = qos.CalibrateTheta
+	// ThetaForUtilization converts a utilization target to a threshold.
+	ThetaForUtilization = qos.ThetaForUtilization
+)
+
+// Multi-resource scaling.
+type (
+	// ResourceSpec is one resource dimension of a joint scaling decision.
+	ResourceSpec = scaler.ResourceSpec
+	// MultiResourcePlan is a joint allocation across resources.
+	MultiResourcePlan = scaler.MultiResourcePlan
+)
+
+// Multi-resource entry points.
+var (
+	// PlanMultiResource sizes the cluster so every resource's threshold
+	// holds simultaneously.
+	PlanMultiResource = scaler.PlanMultiResource
+	// EvaluateMultiResource grades a joint plan against realized
+	// workloads.
+	EvaluateMultiResource = scaler.EvaluateMultiResource
+)
+
+// Pipeline constructors.
+var (
+	// NewRobustPipeline scales on a fixed quantile level (Equation 6).
+	NewRobustPipeline = core.NewRobust
+	// NewAdaptivePipeline switches quantile levels on uncertainty
+	// (Algorithm 1).
+	NewAdaptivePipeline = core.NewAdaptive
+	// NewPipelineWithStrategy wraps an arbitrary strategy.
+	NewPipelineWithStrategy = core.NewWithStrategy
+)

@@ -1,0 +1,187 @@
+// Command autoscaled is a long-running auto-scaler daemon driving the
+// simulated disaggregated database: it replays a synthetic workload in
+// accelerated virtual time, re-plans every horizon with the chosen
+// strategy, applies allocations to the cluster, and logs every scaling
+// action plus periodic utilization summaries.
+//
+// Usage:
+//
+//	autoscaled -strategy robust -tau 0.9 -days 7
+//	autoscaled -strategy adaptive -tau 0.7 -tau2 0.95
+//	autoscaled -strategy reactive-max -listen :8080   # JSON status endpoint
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"robustscale"
+	"robustscale/internal/ops"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		dataset  = flag.String("dataset", "alibaba", "workload: alibaba or google")
+		seed     = flag.Int64("seed", 42, "trace seed")
+		days     = flag.Int("days", 7, "how many days of workload to replay")
+		strategy = flag.String("strategy", "robust", "robust | adaptive | reactive-max | reactive-avg")
+		tau      = flag.Float64("tau", 0.9, "quantile level (robust) or optimistic level (adaptive)")
+		tau2     = flag.Float64("tau2", 0.95, "conservative level for adaptive")
+		rho      = flag.Float64("rho", 0, "uncertainty threshold for adaptive (0 = auto-calibrate)")
+		theta    = flag.Float64("theta", 100, "per-node workload threshold")
+		horizon  = flag.Int("horizon", 72, "planning horizon in steps")
+		epochs   = flag.Int("epochs", 6, "forecaster training epochs")
+		listen   = flag.String("listen", "", "address for the JSON status endpoint (e.g. :8080; empty disables)")
+	)
+	flag.Parse()
+
+	var tr *robustscale.Trace
+	var err error
+	switch *dataset {
+	case "alibaba":
+		tr, err = robustscale.GenerateAlibabaTrace(*seed)
+	case "google":
+		tr, err = robustscale.GenerateGoogleTrace(*seed)
+	default:
+		log.Fatalf("autoscaled: unknown dataset %q", *dataset)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	cpu, err := tr.Series(robustscale.CPU)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stepsPerDay := int((24 * 60) / 10)
+	replaySteps := *days * stepsPerDay
+	if replaySteps >= cpu.Len()/2 {
+		replaySteps = cpu.Len() / 2
+	}
+	trainEnd := cpu.Len() - replaySteps
+
+	strat, err := buildStrategy(*strategy, cpu.Slice(0, trainEnd), *tau, *tau2, *rho, *theta, *horizon, *epochs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	planHorizon := *horizon
+	if *strategy == "reactive-max" || *strategy == "reactive-avg" {
+		planHorizon = 1
+	}
+
+	c, err := robustscale.NewCluster(robustscale.DefaultClusterConfig(), cpu.TimeAt(trainEnd), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	log.Printf("autoscaled: strategy=%s theta=%.0f horizon=%d replaying %d steps of %s",
+		strat.Name(), *theta, planHorizon, replaySteps, cpu.Name)
+
+	registry := ops.NewRegistry(strat.Name(), *theta)
+	if *listen != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/status", registry.Handler())
+		mux.Handle("/metrics", registry.MetricsHandler())
+		go func() {
+			log.Printf("autoscaled: status endpoint on http://%s/status (Prometheus metrics on /metrics)", *listen)
+			if err := http.ListenAndServe(*listen, mux); err != nil {
+				log.Printf("autoscaled: status endpoint: %v", err)
+			}
+		}()
+	}
+
+	violations, steps := 0, 0
+	prevAlloc := 1
+	for origin := trainEnd; origin+planHorizon <= cpu.Len(); origin += planHorizon {
+		plan, err := strat.Plan(cpu.Slice(0, origin), planHorizon)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, alloc := range plan {
+			t := origin + i
+			if err := c.ScaleTo(alloc); err != nil {
+				log.Fatal(err)
+			}
+			if alloc != prevAlloc {
+				log.Printf("%s scale %d -> %d nodes (workload %.0f)",
+					cpu.TimeAt(t).Format("Jan 02 15:04"), prevAlloc, alloc, cpu.At(t))
+				prevAlloc = alloc
+			}
+			capacity := c.EffectiveCapacity(cpu.Step)
+			util := cpu.At(t) / capacity
+			if util > *theta {
+				violations++
+				log.Printf("%s VIOLATION: utilization %.1f > %.0f with %d nodes",
+					cpu.TimeAt(t).Format("Jan 02 15:04"), util, *theta, alloc)
+			}
+			steps++
+			c.Advance(cpu.Step)
+			registry.Update(func(s *ops.Status) {
+				s.VirtualTime = c.Now()
+				s.Nodes = alloc
+				s.Workload = cpu.At(t)
+				s.Utilization = util / *theta
+				s.Steps = steps
+				s.Violations = violations
+				s.ScaleOuts = c.ScaleOuts
+				s.ScaleIns = c.ScaleIns
+				s.Plan = plan[i+1:]
+			})
+		}
+		// Daily-ish progress summary.
+		if (origin-trainEnd)%stepsPerDay < planHorizon {
+			log.Printf("%s summary: %d/%d steps, %d violations (%.2f%%), %d scale-outs, %d scale-ins",
+				cpu.TimeAt(origin).Format("Jan 02"), steps, replaySteps,
+				violations, 100*float64(violations)/float64(steps), c.ScaleOuts, c.ScaleIns)
+		}
+	}
+	fmt.Printf("\nfinal: %d steps, %d violations (%.2f%%), %d scale-outs, %d scale-ins\n",
+		steps, violations, 100*float64(violations)/float64(steps), c.ScaleOuts, c.ScaleIns)
+}
+
+// buildStrategy trains (when needed) and assembles the requested strategy.
+func buildStrategy(name string, train *robustscale.Series, tau, tau2, rho, theta float64, horizon, epochs int) (robustscale.Strategy, error) {
+	switch name {
+	case "reactive-max":
+		return &robustscale.ReactiveMax{Window: 6, Theta: theta}, nil
+	case "reactive-avg":
+		return &robustscale.ReactiveAvg{Window: 6, HalfLife: 6, Theta: theta}, nil
+	case "robust", "adaptive":
+		cfg := robustscale.DefaultTFTConfig()
+		cfg.Epochs = epochs
+		cfg.Hidden = 24
+		cfg.MaxWindows = 128
+		cfg.TrainHorizon = horizon
+		cfg.Levels = robustscale.ScalingLevels
+		tft := robustscale.NewTFT(cfg)
+		log.Printf("autoscaled: training %s on %d steps...", tft.Name(), train.Len())
+		if err := tft.Fit(train); err != nil {
+			return nil, err
+		}
+		if name == "robust" {
+			return &robustscale.Robust{Forecaster: tft, Tau: tau, Theta: theta}, nil
+		}
+		if rho <= 0 {
+			// Calibrate rho as the median uncertainty of a forecast made
+			// at the end of training.
+			fan, err := tft.PredictQuantiles(train, horizon, robustscale.ScalingLevels)
+			if err != nil {
+				return nil, err
+			}
+			us, err := robustscale.ForecastUncertainties(fan)
+			if err != nil {
+				return nil, err
+			}
+			s := robustscale.NewSeries("u", train.Start, train.Step, us)
+			rho = s.Quantile(0.5)
+			log.Printf("autoscaled: calibrated rho = %.2f", rho)
+		}
+		return &robustscale.Adaptive{Forecaster: tft, Tau1: tau, Tau2: tau2, Rho: rho, Theta: theta}, nil
+	default:
+		return nil, fmt.Errorf("autoscaled: unknown strategy %q", name)
+	}
+}

@@ -1,0 +1,197 @@
+// Command experiment regenerates the tables and figures of the paper's
+// evaluation. Each artifact has an id; "all" runs everything.
+//
+// Usage:
+//
+//	experiment -id table1            # forecaster comparison (Table I)
+//	experiment -id fig9 -quick       # scaler comparison, fast settings
+//	experiment -id all               # the full evaluation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"robustscale/internal/experiment"
+)
+
+var runners = map[string]func(*experiment.Zoo) error{
+	"table1": runTable1,
+	"table2": runTable2,
+	"table3": runTable3,
+	"fig5":   runFigure5,
+	"fig6":   runFigure6,
+	"fig7":   runFigure7,
+	"fig8":   runFigure8,
+	"fig9":   runFigure9,
+	"fig10":  runFigure10,
+	"fig11":  runFigure11,
+	"fig12":  runFigure12,
+}
+
+// order fixes the "all" execution sequence.
+var order = []string{
+	"table1", "fig6", "fig7", "fig8",
+	"fig9", "fig10", "fig11", "fig12",
+	"table2", "table3", "fig5",
+}
+
+func main() {
+	log.SetFlags(0)
+	var (
+		id    = flag.String("id", "all", "artifact to regenerate: table1|table2|table3|fig5..fig12|all")
+		quick = flag.Bool("quick", false, "use reduced training budgets")
+		seed  = flag.Int64("seed", 42, "experiment seed")
+	)
+	flag.Parse()
+
+	cfg := experiment.DefaultConfig()
+	if *quick {
+		cfg = experiment.QuickConfig()
+	}
+	cfg.Seed = *seed
+
+	z, err := experiment.NewZoo(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ids := []string{*id}
+	if *id == "all" {
+		ids = order
+	}
+	for _, one := range ids {
+		run, ok := runners[one]
+		if !ok {
+			log.Fatalf("experiment: unknown id %q (want %s or all)", one, strings.Join(order, "|"))
+		}
+		start := time.Now()
+		if err := run(z); err != nil {
+			log.Fatalf("experiment: %s: %v", one, err)
+		}
+		fmt.Printf("[%s done in %v]\n", one, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func runTable1(z *experiment.Zoo) error {
+	experiment.Header(os.Stdout, "Table I: forecaster comparison")
+	rows, err := experiment.Table1(z)
+	if err != nil {
+		return err
+	}
+	return experiment.RenderTable1(os.Stdout, rows)
+}
+
+func runTable2(z *experiment.Zoo) error {
+	experiment.Header(os.Stdout, "Table II: computation overhead")
+	rows, err := experiment.Table2(z)
+	if err != nil {
+		return err
+	}
+	return experiment.RenderTable2(os.Stdout, rows)
+}
+
+func runTable3(z *experiment.Zoo) error {
+	experiment.Header(os.Stdout, "Table III: overhead breakdown")
+	rows, err := experiment.Table3(z)
+	if err != nil {
+		return err
+	}
+	return experiment.RenderTable3(os.Stdout, rows)
+}
+
+func runFigure5(z *experiment.Zoo) error {
+	experiment.Header(os.Stdout, "Figure 5: scale-out warm-up vs checkpoint size")
+	rows, err := experiment.Figure5(time.Now())
+	if err != nil {
+		return err
+	}
+	return experiment.RenderFigure5(os.Stdout, rows)
+}
+
+func runFigure6(z *experiment.Zoo) error {
+	experiment.Header(os.Stdout, "Figure 6: uncertainty vs accuracy (DeepAR, Google)")
+	points, corrMSE, corrQL, err := experiment.Figure6(z, experiment.Google, experiment.ModelDeepAR)
+	if err != nil {
+		return err
+	}
+	return experiment.RenderFigure6(os.Stdout, points, corrMSE, corrQL)
+}
+
+func runFigure7(z *experiment.Zoo) error {
+	experiment.Header(os.Stdout, "Figure 7: prediction intervals (Alibaba)")
+	bands, err := experiment.Figure7(z, experiment.Alibaba)
+	if err != nil {
+		return err
+	}
+	return experiment.RenderFigure7(os.Stdout, bands)
+}
+
+func runFigure8(z *experiment.Zoo) error {
+	for _, ds := range []experiment.DatasetName{experiment.Alibaba, experiment.Google} {
+		experiment.Header(os.Stdout, fmt.Sprintf("Figure 8: horizon sweep (%s)", ds))
+		rows, err := experiment.Figure8(z, ds)
+		if err != nil {
+			return err
+		}
+		if err := experiment.RenderFigure8(os.Stdout, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runFigure9(z *experiment.Zoo) error {
+	for _, ds := range []experiment.DatasetName{experiment.Alibaba, experiment.Google} {
+		experiment.Header(os.Stdout, fmt.Sprintf("Figure 9: under-provisioning comparison (%s)", ds))
+		rows, err := experiment.Figure9(z, ds)
+		if err != nil {
+			return err
+		}
+		if err := experiment.RenderFigure9(os.Stdout, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runFigure10(z *experiment.Zoo) error {
+	for _, ds := range []experiment.DatasetName{experiment.Alibaba, experiment.Google} {
+		experiment.Header(os.Stdout, fmt.Sprintf("Figure 10: quantile-level trade-off (%s, TFT)", ds))
+		rows, err := experiment.Figure10(z, ds, experiment.ModelTFT)
+		if err != nil {
+			return err
+		}
+		if err := experiment.RenderFigure10(os.Stdout, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runFigure11(z *experiment.Zoo) error {
+	for _, model := range []experiment.ModelName{experiment.ModelDeepAR, experiment.ModelTFT} {
+		experiment.Header(os.Stdout, fmt.Sprintf("Figure 11: adaptive heatmap (Google, %s)", model))
+		cells, err := experiment.Figure11(z, experiment.Google, model)
+		if err != nil {
+			return err
+		}
+		if err := experiment.RenderFigure11(os.Stdout, cells); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runFigure12(z *experiment.Zoo) error {
+	experiment.Header(os.Stdout, "Figure 12: uncertainty-threshold sensitivity (Google, TFT)")
+	rows, err := experiment.Figure12(z, experiment.Google, experiment.ModelTFT, 0.7, 0.95)
+	if err != nil {
+		return err
+	}
+	return experiment.RenderFigure12(os.Stdout, rows)
+}

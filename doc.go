@@ -1,0 +1,35 @@
+// Package robustscale is a Go implementation of robust predictive
+// auto-scaling with probabilistic workload forecasting for cloud
+// databases, reproducing Hang et al. (ICDE 2024).
+//
+// The library has two phases, mirroring the paper's Figure 2:
+//
+//   - A Probabilistic Workload Forecaster predicts quantiles of future
+//     workload instead of single values. Two methodologies are provided:
+//     learning parametric distributions (DeepAR with a Student-t head, an
+//     MLP with a Gaussian head) and learning a pre-specified grid of
+//     quantiles (a Temporal Fusion Transformer trained on pinball loss).
+//     ARIMA and the QueryBot 5000 hybrid round out the baselines.
+//
+//   - A Robust Auto-Scaling Manager formulates horizontal scaling as a
+//     robust optimization problem: minimize total compute nodes subject to
+//     per-step workload thresholds evaluated at a chosen quantile level
+//     (Equation 6), or adaptively switch between quantile levels based on
+//     the forecast's own uncertainty (Algorithm 1).
+//
+// A quick end-to-end tour:
+//
+//	tr, _ := robustscale.GenerateAlibabaTrace(42)
+//	cpu, _ := tr.Series(robustscale.CPU)
+//	train, _, test, _ := cpu.Split(0.7, 0.1)
+//
+//	tft := robustscale.NewTFT(robustscale.DefaultTFTConfig())
+//	pipe := robustscale.NewRobustPipeline(tft, 0.9, /* theta */ 70, /* horizon */ 72)
+//	_ = pipe.Train(train)
+//	report, _ := pipe.Run(cpu, cpu.Len()-test.Len(), robustscale.DefaultClusterConfig())
+//	fmt.Printf("under-provisioning: %.2f%%\n", 100*report.Provisioning.UnderProvisionRate)
+//
+// Everything is implemented with the Go standard library only; workload
+// traces are generated synthetically in the statistical image of the
+// Alibaba and Google cluster traces the paper evaluates on.
+package robustscale

@@ -1,0 +1,77 @@
+package robustscale_test
+
+import (
+	"fmt"
+	"time"
+
+	"robustscale"
+)
+
+// ExampleAllocate shows the per-step allocation rule of Definition 3: the
+// minimum node count keeping per-node workload at or below the threshold.
+func ExampleAllocate() {
+	theta := 10.0
+	for _, w := range []float64{5, 10, 25, 95} {
+		fmt.Printf("workload %.0f -> %d nodes\n", w, robustscale.Allocate(w, theta))
+	}
+	// Output:
+	// workload 5 -> 1 nodes
+	// workload 10 -> 1 nodes
+	// workload 25 -> 3 nodes
+	// workload 95 -> 10 nodes
+}
+
+// ExamplePlanConstrained shows the anti-thrashing planner of Section V-A:
+// a sudden spike is reached by pre-scaling within the rate limit.
+func ExamplePlanConstrained() {
+	workload := []float64{10, 10, 10, 100}
+	plan, err := robustscale.PlanConstrained(workload, 10, robustscale.ThrashingConfig{
+		Initial:  1,
+		MaxDelta: 3,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(plan)
+	// Output:
+	// [1 4 7 10]
+}
+
+// ExampleNewSeasonalNaive demonstrates quantile forecasting with the
+// simplest seasonal model: the forecast repeats the previous cycle and the
+// band comes from historical seasonal differences.
+func ExampleNewSeasonalNaive() {
+	// A perfectly periodic workload: 4 steps per "day".
+	values := []float64{10, 20, 30, 20, 10, 20, 30, 20, 10, 20, 30, 20}
+	s := robustscale.NewSeries("cycle", timeZero(), robustscale.DefaultStep, values)
+
+	m := robustscale.NewSeasonalNaive(4)
+	if err := m.Fit(s); err != nil {
+		fmt.Println(err)
+		return
+	}
+	pred, err := m.Predict(s, 4)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(pred)
+	// Output:
+	// [10 20 30 20]
+}
+
+// ExampleUncertainty shows the uncertainty metric U of Equation 8: a wide
+// quantile fan scores higher than a narrow one.
+func ExampleUncertainty() {
+	levels := []float64{0.1, 0.5, 0.9}
+	narrow, _ := robustscale.Uncertainty(levels, []float64{99, 100, 101}, 100)
+	wide, _ := robustscale.Uncertainty(levels, []float64{80, 100, 120}, 100)
+	fmt.Printf("narrow fan: %.1f\nwide fan:   %.1f\n", narrow, wide)
+	// Output:
+	// narrow fan: 0.2
+	// wide fan:   4.0
+}
+
+// timeZero gives examples a fixed start timestamp.
+func timeZero() time.Time { return time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC) }

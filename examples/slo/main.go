@@ -1,0 +1,83 @@
+// Command slo closes the loop the paper leaves to future work
+// (Section V-B): instead of hand-picking the scaling threshold theta, it
+// is calibrated from a latency Service Level Objective via an M/M/c
+// performance model, the robust auto-scaler plans against that threshold,
+// and the plan is replayed with latency modeled — reporting the SLO
+// outcome operators actually care about.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"robustscale"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The database's compute nodes: 8 workers at 100 queries/sec each.
+	node := robustscale.QoSNode{ServiceRate: 100, Workers: 8}
+	slo := robustscale.SLO{Percentile: 0.99, Target: 60 * time.Millisecond}
+
+	theta, err := robustscale.CalibrateTheta(node, slo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	capacity := float64(node.Workers) * node.ServiceRate
+	fmt.Printf("SLO: p99 <= %v\n", slo.Target)
+	fmt.Printf("calibrated threshold: %.0f qps per node (%.0f%% of raw capacity %.0f)\n\n",
+		theta, 100*theta/capacity, capacity)
+
+	// Interpret the synthetic trace as a cluster-wide query arrival rate.
+	tr, err := robustscale.GenerateAlibabaTrace(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qps, err := tr.Series(robustscale.CPU)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := robustscale.DefaultTFTConfig()
+	cfg.Epochs = 4
+	cfg.Hidden = 24
+	cfg.MaxWindows = 96
+	tft := robustscale.NewTFT(cfg)
+
+	const horizon = 72
+	trainEnd := qps.Len() * 7 / 10
+	evalStart := qps.Len() * 8 / 10
+	fmt.Printf("training %s on %d steps...\n", tft.Name(), trainEnd)
+	if err := tft.Fit(qps.Slice(0, trainEnd)); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, tau := range []float64{0.5, 0.9} {
+		strat := &robustscale.Robust{Forecaster: tft, Tau: tau, Theta: theta}
+		res, err := robustscale.EvaluateStrategy(strat, qps, robustscale.EvalConfig{
+			Theta: theta, Horizon: horizon, Start: evalStart,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		evaluated := qps.Slice(evalStart, evalStart+len(res.Allocations))
+		c, err := robustscale.NewCluster(robustscale.DefaultClusterConfig(), evaluated.Start, res.Allocations[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		report, err := c.ReplayQoS(evaluated, res.Allocations, node, slo)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("\n%s against the latency SLO over %d steps:\n", res.Strategy, len(report.Steps))
+		fmt.Printf("  SLO violations: %5.2f%% of steps\n", 100*report.ViolationRate)
+		fmt.Printf("  worst p99:      %v\n", report.WorstP99.Round(time.Millisecond))
+		fmt.Printf("  mean node utilization: %.0f%%\n", 100*report.MeanUtilzation)
+		fmt.Printf("  node-steps allocated:  %d\n", res.Report.TotalNodes)
+	}
+	fmt.Println("\nthe 0.9-quantile plan buys SLO compliance that the median plan cannot deliver")
+}

@@ -1,0 +1,99 @@
+// Command thrashing demonstrates the anti-flapping control of Section V-A:
+// on a spiky workload the raw robust plan jumps the node count by many
+// nodes at once, while the rate-limited plan (solved exactly by dynamic
+// programming) bounds every action to MaxDelta nodes — pre-scaling ahead
+// of forecasted spikes where an abrupt jump would otherwise be needed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"robustscale"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	tr, err := robustscale.GenerateGoogleTrace(99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cpu, err := tr.Series(robustscale.CPU)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := robustscale.DefaultDeepARConfig()
+	cfg.Epochs = 3
+	cfg.Hidden = 24
+	cfg.MaxWindows = 96
+	cfg.Samples = 80
+	model := robustscale.NewDeepAR(cfg)
+
+	const (
+		theta   = 100.0
+		horizon = 72
+	)
+	trainEnd := cpu.Len() * 7 / 10
+	evalStart := cpu.Len() * 8 / 10
+	fmt.Printf("training %s on %d steps of %s...\n", model.Name(), trainEnd, cpu.Name)
+	if err := model.Fit(cpu.Slice(0, trainEnd)); err != nil {
+		log.Fatal(err)
+	}
+
+	raw := &robustscale.Robust{Forecaster: model, Tau: 0.9, Theta: theta}
+	limited := &robustscale.RateLimited{
+		Inner:    &robustscale.Robust{Forecaster: model, Tau: 0.9, Theta: theta},
+		MaxDelta: 2,
+	}
+
+	for _, strat := range []robustscale.Strategy{raw, limited} {
+		res, err := robustscale.EvaluateStrategy(strat, cpu, robustscale.EvalConfig{
+			Theta:   theta,
+			Horizon: horizon,
+			Start:   evalStart,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Replay the allocations on the simulated disaggregated database
+		// to count actual scaling operations.
+		evaluated := cpu.Slice(evalStart, evalStart+len(res.Allocations))
+		c, err := robustscale.NewCluster(robustscale.DefaultClusterConfig(), evaluated.Start, res.Allocations[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		replay, err := c.Replay(evaluated, res.Allocations, theta)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		changes, maxDelta := planChurn(res.Allocations)
+		fmt.Printf("\n%s:\n", res.Strategy)
+		fmt.Printf("  under-provisioned: %5.2f%%   over-provisioned: %5.2f%%\n",
+			100*res.Report.UnderProvisionRate, 100*res.Report.OverProvisionRate)
+		fmt.Printf("  plan churn: %d node-count changes, max step delta %d\n", changes, maxDelta)
+		fmt.Printf("  cluster ops: %d scale-outs, %d scale-ins\n", replay.ScaleOuts, replay.ScaleIns)
+	}
+	fmt.Println("\nthe rate-limited plan bounds every scaling action to MaxDelta nodes, replacing")
+	fmt.Println("mass scale events with gradual ramps (pre-scaling ahead of forecasted spikes)")
+}
+
+// planChurn counts node-count changes and the maximum per-step delta.
+func planChurn(plan []int) (changes, maxDelta int) {
+	for i := 1; i < len(plan); i++ {
+		d := plan[i] - plan[i-1]
+		if d < 0 {
+			d = -d
+		}
+		if d > 0 {
+			changes++
+		}
+		if d > maxDelta {
+			maxDelta = d
+		}
+	}
+	return changes, maxDelta
+}

@@ -1,0 +1,3 @@
+module robustscale
+
+go 1.22

@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"robustscale/internal/qos"
+	"robustscale/internal/timeseries"
+)
+
+// QoSStepStat is one step of a latency-aware replay.
+type QoSStepStat struct {
+	Time time.Time
+	// ArrivalRate is the cluster-wide query rate.
+	ArrivalRate float64
+	// Capacity is the warm-up-adjusted node capacity over the step.
+	Capacity float64
+	// PerNodeRate is the load each serving node absorbs.
+	PerNodeRate float64
+	// Latency is the modeled response-time distribution of one node.
+	Latency qos.Latency
+	// SLOViolated reports whether the step missed the objective.
+	SLOViolated bool
+}
+
+// QoSReplayReport summarizes a latency-aware replay.
+type QoSReplayReport struct {
+	Steps          []QoSStepStat
+	SLOViolations  int
+	ViolationRate  float64
+	WorstP99       time.Duration
+	MeanUtilzation float64
+}
+
+// ReplayQoS drives the cluster with per-step allocations against a
+// workload expressed as a query arrival rate, modeling each node as an
+// M/M/c station and grading every step against a latency SLO. It turns
+// the abstract "threshold" of the scaling formulation into the
+// quality-of-service outcome operators actually care about (the analysis
+// the paper defers in Section V-B).
+func (c *Cluster) ReplayQoS(workload *timeseries.Series, allocations []int, node qos.Node, slo qos.SLO) (*QoSReplayReport, error) {
+	if workload.Len() != len(allocations) {
+		return nil, fmt.Errorf("cluster: %d workload steps vs %d allocations", workload.Len(), len(allocations))
+	}
+	if err := node.Validate(); err != nil {
+		return nil, err
+	}
+	if err := slo.Validate(); err != nil {
+		return nil, err
+	}
+	report := &QoSReplayReport{Steps: make([]QoSStepStat, workload.Len())}
+	utilSum := 0.0
+	for i := 0; i < workload.Len(); i++ {
+		if err := c.ScaleTo(allocations[i]); err != nil {
+			return nil, fmt.Errorf("cluster: step %d: %w", i, err)
+		}
+		capacity := c.EffectiveCapacity(workload.Step)
+		if capacity < 1e-9 {
+			capacity = 1e-9
+		}
+		rate := workload.At(i)
+		perNode := rate / capacity
+		lat, err := qos.NodeLatency(node, perNode)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: step %d latency: %w", i, err)
+		}
+		var observed time.Duration
+		switch {
+		case slo.Percentile >= 0.99:
+			observed = lat.P99
+		case slo.Percentile >= 0.95:
+			observed = lat.P95
+		default:
+			observed = lat.Mean
+		}
+		stat := QoSStepStat{
+			Time:        c.now,
+			ArrivalRate: rate,
+			Capacity:    capacity,
+			PerNodeRate: perNode,
+			Latency:     *lat,
+			SLOViolated: observed > slo.Target,
+		}
+		if stat.SLOViolated {
+			report.SLOViolations++
+		}
+		if lat.P99 > report.WorstP99 {
+			report.WorstP99 = lat.P99
+		}
+		utilSum += lat.Utilization
+		report.Steps[i] = stat
+		c.Advance(workload.Step)
+	}
+	report.ViolationRate = float64(report.SLOViolations) / float64(len(report.Steps))
+	report.MeanUtilzation = utilSum / float64(len(report.Steps))
+	return report, nil
+}

@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"robustscale/internal/optimize"
+	"robustscale/internal/qos"
+	"robustscale/internal/timeseries"
+)
+
+var qosNode = qos.Node{ServiceRate: 100, Workers: 8} // 800 qps per node
+
+func TestReplayQoSMeetsSLOWithCalibratedTheta(t *testing.T) {
+	slo := qos.SLO{Percentile: 0.99, Target: 60 * time.Millisecond}
+	theta, err := qos.CalibrateTheta(qosNode, slo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plan allocations against the calibrated theta: every step should
+	// then meet the SLO when replayed.
+	workload := timeseries.New("qps", t0, timeseries.DefaultStep,
+		[]float64{500, 1500, 3000, 2400, 900})
+	plan, err := optimize.Plan(workload.Values, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mustNew(t, DefaultConfig(), plan[0])
+	report, err := c.ReplayQoS(workload, plan, qosNode, slo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.SLOViolations != 0 {
+		t.Errorf("violations = %d: %+v", report.SLOViolations, report.Steps)
+	}
+	if report.WorstP99 > slo.Target {
+		t.Errorf("worst p99 = %v above target", report.WorstP99)
+	}
+	if report.MeanUtilzation <= 0 || report.MeanUtilzation >= 1 {
+		t.Errorf("mean utilization = %v", report.MeanUtilzation)
+	}
+}
+
+func TestReplayQoSDetectsOverload(t *testing.T) {
+	slo := qos.SLO{Percentile: 0.99, Target: 60 * time.Millisecond}
+	// One node for 790 qps is ~99% utilization: latency explodes.
+	workload := timeseries.New("qps", t0, timeseries.DefaultStep, []float64{790, 790})
+	c := mustNew(t, DefaultConfig(), 1)
+	report, err := c.ReplayQoS(workload, []int{1, 1}, qosNode, slo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.SLOViolations != 2 {
+		t.Errorf("violations = %d", report.SLOViolations)
+	}
+	if report.ViolationRate != 1 {
+		t.Errorf("rate = %v", report.ViolationRate)
+	}
+}
+
+func TestReplayQoSValidation(t *testing.T) {
+	workload := timeseries.New("qps", t0, timeseries.DefaultStep, []float64{1, 2})
+	c := mustNew(t, DefaultConfig(), 1)
+	slo := qos.SLO{Percentile: 0.99, Target: time.Second}
+	if _, err := c.ReplayQoS(workload, []int{1}, qosNode, slo); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := c.ReplayQoS(workload, []int{1, 1}, qos.Node{}, slo); err == nil {
+		t.Error("invalid node should fail")
+	}
+	if _, err := c.ReplayQoS(workload, []int{1, 1}, qosNode, qos.SLO{}); err == nil {
+		t.Error("invalid SLO should fail")
+	}
+}
+
+func TestReplayQoSMeanPercentileBranch(t *testing.T) {
+	slo := qos.SLO{Percentile: 0.5, Target: 15 * time.Millisecond}
+	workload := timeseries.New("qps", t0, timeseries.DefaultStep, []float64{400})
+	c := mustNew(t, DefaultConfig(), 1)
+	report, err := c.ReplayQoS(workload, []int{1}, qosNode, slo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Steps) != 1 {
+		t.Fatalf("steps = %d", len(report.Steps))
+	}
+}

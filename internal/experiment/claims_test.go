@@ -1,0 +1,112 @@
+package experiment
+
+import (
+	"testing"
+)
+
+// These tests pin the paper's headline qualitative claims as regression
+// tests on the tiny shared zoo: if a refactor breaks one of the shapes the
+// evaluation is built to show, these fail before the benches would.
+
+func TestClaimQuantileSweepMonotone(t *testing.T) {
+	z := zoo(t)
+	for _, ds := range []DatasetName{Alibaba, Google} {
+		rows, err := Figure10(z, ds, ModelTFT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Under-provisioning must not increase with tau (small slack for
+		// integer-allocation noise), and the extremes must differ
+		// materially.
+		for i := 1; i < len(rows); i++ {
+			if rows[i].UnderRate > rows[i-1].UnderRate+0.05 {
+				t.Errorf("%s: under rose %v -> %v at tau %v",
+					ds, rows[i-1].UnderRate, rows[i].UnderRate, rows[i].Tau)
+			}
+		}
+		first, last := rows[0], rows[len(rows)-1]
+		if last.UnderRate >= first.UnderRate {
+			t.Errorf("%s: tau %v under %v not below tau %v under %v",
+				ds, last.Tau, last.UnderRate, first.Tau, first.UnderRate)
+		}
+		if last.OverRate <= first.OverRate {
+			t.Errorf("%s: tau %v over %v not above tau %v over %v",
+				ds, last.Tau, last.OverRate, first.Tau, first.OverRate)
+		}
+	}
+}
+
+func TestClaimAdaptiveBetweenFixedEndpoints(t *testing.T) {
+	z := zoo(t)
+	cells, err := Figure11(z, Google, ModelTFT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index the diagonal.
+	fixed := map[float64]Figure11Cell{}
+	for _, c := range cells {
+		if c.Tau1 == c.Tau2 {
+			fixed[c.Tau1] = c
+		}
+	}
+	const slack = 0.03
+	for _, c := range cells {
+		if c.Tau1 == c.Tau2 {
+			continue
+		}
+		lo, hi := fixed[c.Tau1], fixed[c.Tau2]
+		// Adaptive under-provisioning sits between the conservative and
+		// aggressive endpoints.
+		if c.UnderRate > lo.UnderRate+slack {
+			t.Errorf("(%v,%v): adaptive under %v above aggressive fixed %v",
+				c.Tau1, c.Tau2, c.UnderRate, lo.UnderRate)
+		}
+		if c.UnderRate < hi.UnderRate-slack {
+			t.Errorf("(%v,%v): adaptive under %v below conservative fixed %v",
+				c.Tau1, c.Tau2, c.UnderRate, hi.UnderRate)
+		}
+		// And it saves over-provisioning relative to the conservative
+		// endpoint.
+		if c.OverRate > hi.OverRate+slack {
+			t.Errorf("(%v,%v): adaptive over %v above conservative fixed %v",
+				c.Tau1, c.Tau2, c.OverRate, hi.OverRate)
+		}
+	}
+}
+
+func TestClaimGoogleHarderThanAlibaba(t *testing.T) {
+	z := zoo(t)
+	rows, err := Table1(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]Table1Row{}
+	for _, r := range rows {
+		byKey[string(r.Dataset)+"/"+string(r.Model)] = r
+	}
+	for _, model := range QuantileModels {
+		ali := byKey["alibaba/"+string(model)]
+		goo := byKey["google/"+string(model)]
+		if goo.MeanWQL <= ali.MeanWQL {
+			t.Errorf("%s: google mean_wQL %v not above alibaba %v", model, goo.MeanWQL, ali.MeanWQL)
+		}
+	}
+}
+
+func TestClaimRhoSweepSpansEndpoints(t *testing.T) {
+	z := zoo(t)
+	rows, err := Figure12(z, Google, ModelTFT, 0.7, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	// Low rho behaves conservatively (low under, high over); high rho
+	// aggressively. Ties are possible on the tiny config, strict
+	// inversions are not.
+	if first.UnderRate > last.UnderRate {
+		t.Errorf("under at low rho %v above high rho %v", first.UnderRate, last.UnderRate)
+	}
+	if first.OverRate < last.OverRate {
+		t.Errorf("over at low rho %v below high rho %v", first.OverRate, last.OverRate)
+	}
+}

@@ -1,0 +1,154 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// RenderTable1 prints Table I in the paper's layout.
+func RenderTable1(w io.Writer, rows []Table1Row) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Dataset\tModel\tmean_wQL\twQL[0.7]\twQL[0.8]\twQL[0.9]\tCov[0.7]\tCov[0.8]\tCov[0.9]\tMSE")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.4f\t%.4f\t%.4f\t%.4f\t%.3f\t%.3f\t%.3f\t%.1f\n",
+			r.Dataset, r.Model, r.MeanWQL,
+			r.WQL[0.7], r.WQL[0.8], r.WQL[0.9],
+			r.Coverage[0.7], r.Coverage[0.8], r.Coverage[0.9], r.MSE)
+	}
+	return tw.Flush()
+}
+
+// RenderTable2 prints Table II.
+func RenderTable2(w io.Writer, rows []Table2Row) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Method\tExecution Time")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.3f ms\n", r.Method, ms(r.Duration))
+	}
+	return tw.Flush()
+}
+
+// RenderTable3 prints Table III.
+func RenderTable3(w io.Writer, rows []Table3Row) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Phase\tMethod\tTime")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.3f ms\n", r.Phase, r.Method, ms(r.Duration))
+	}
+	return tw.Flush()
+}
+
+// RenderFigure5 prints the warm-up sweep.
+func RenderFigure5(w io.Writer, rows []Figure5Row) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Checkpoint (MB)\tWarm-up")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.0f\t%.2f s\n", r.CheckpointMB, r.Warmup.Seconds())
+	}
+	return tw.Flush()
+}
+
+// RenderFigure6 prints the sampled uncertainty/accuracy series and the
+// overall correlations.
+func RenderFigure6(w io.Writer, points []Figure6Point, corrMSE, corrQL float64) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Step\tU\tAbsErr\tmeanQL")
+	for _, p := range points {
+		fmt.Fprintf(tw, "%d\t%.3f\t%.3f\t%.3f\n", p.Step, p.Uncertainty, p.AbsErr, p.MeanQL)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "corr(U, abs error) = %.3f; corr(U, quantile loss) = %.3f\n", corrMSE, corrQL)
+	return err
+}
+
+// RenderFigure7 prints per-model interval coverage summaries (the textual
+// stand-in for the interval plot).
+func RenderFigure7(w io.Writer, bands []Figure7Band) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Model\tInterval\tEmpirical coverage\tMean width")
+	for _, b := range bands {
+		for _, mass := range Figure7Intervals {
+			lo, hi := b.Lo[mass], b.Hi[mass]
+			inside, width := 0, 0.0
+			for t := range b.Actual {
+				if b.Actual[t] >= lo[t] && b.Actual[t] <= hi[t] {
+					inside++
+				}
+				width += hi[t] - lo[t]
+			}
+			fmt.Fprintf(tw, "%s\t%.0f%%\t%.0f%%\t%.1f\n",
+				b.Model, mass*100,
+				100*float64(inside)/float64(len(b.Actual)),
+				width/float64(len(b.Actual)))
+		}
+	}
+	return tw.Flush()
+}
+
+// RenderFigure8 prints the horizon sweep.
+func RenderFigure8(w io.Writer, rows []Figure8Row) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Dataset\tModel\tHorizon\tmean_wQL")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%.4f\n", r.Dataset, r.Model, r.Horizon, r.MeanWQL)
+	}
+	return tw.Flush()
+}
+
+// RenderFigure9 prints the strategy comparison.
+func RenderFigure9(w io.Writer, rows []Figure9Row) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Dataset\tStrategy\tUnder-prov.\tOver-prov.")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.2f%%\t%.2f%%\n", r.Dataset, r.Strategy, 100*r.UnderRate, 100*r.OverRate)
+	}
+	return tw.Flush()
+}
+
+// RenderFigure10 prints the quantile-level trade-off.
+func RenderFigure10(w io.Writer, rows []Figure10Row) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Dataset\tModel\ttau\tUnder-prov.\tOver-prov.")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%.2f%%\t%.2f%%\n", r.Dataset, r.Model, r.Tau, 100*r.UnderRate, 100*r.OverRate)
+	}
+	return tw.Flush()
+}
+
+// RenderFigure11 prints the adaptive heatmap cells.
+func RenderFigure11(w io.Writer, cells []Figure11Cell) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Dataset\tModel\ttau1\ttau2\tUnder-prov.\tOver-prov.")
+	for _, c := range cells {
+		kind := ""
+		if c.Tau1 == c.Tau2 {
+			kind = " (fixed)"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%.2f%s\t%.2f%%\t%.2f%%\n",
+			c.Dataset, c.Model, c.Tau1, c.Tau2, kind, 100*c.UnderRate, 100*c.OverRate)
+	}
+	return tw.Flush()
+}
+
+// RenderFigure12 prints the threshold sensitivity sweep.
+func RenderFigure12(w io.Writer, rows []Figure12Row) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Dataset\tModel\ttau1/tau2\trho-quantile\trho\tUnder-prov.\tOver-prov.")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.2f/%.2f\t%.2f\t%.2f\t%.2f%%\t%.2f%%\n",
+			r.Dataset, r.Model, r.Tau1, r.Tau2, r.RhoQuant, r.Rho, 100*r.UnderRate, 100*r.OverRate)
+	}
+	return tw.Flush()
+}
+
+// Header prints a section banner.
+func Header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n== %s ==\n%s\n", title, strings.Repeat("-", len(title)+6))
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

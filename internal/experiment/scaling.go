@@ -1,0 +1,318 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"robustscale/internal/forecast"
+	"robustscale/internal/scaler"
+	"robustscale/internal/timeseries"
+)
+
+// Figure9Row is one strategy's provisioning outcome on one dataset.
+type Figure9Row struct {
+	Dataset   DatasetName
+	Strategy  string
+	UnderRate float64
+	OverRate  float64
+}
+
+// Figure9Taus are the quantile levels compared for the robust scalers.
+var Figure9Taus = []float64{0.6, 0.7, 0.8, 0.9}
+
+// Figure9 reproduces the under-provisioning comparison: reactive scalers,
+// point-forecast scalers (plain and padded), and the robust quantile
+// scalers built on DeepAR and TFT.
+func Figure9(z *Zoo, ds DatasetName) ([]Figure9Row, error) {
+	d, err := z.Dataset(ds)
+	if err != nil {
+		return nil, err
+	}
+	cfg := z.Config()
+
+	strategies, err := figure9Strategies(z, ds)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Figure9Row
+	for _, spec := range strategies {
+		res, err := scaler.Evaluate(spec.strategy, d.Series, scaler.EvalConfig{
+			Theta:   cfg.Theta,
+			Horizon: spec.horizon,
+			Start:   d.EvalStart,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: figure 9 %s: %w", spec.strategy.Name(), err)
+		}
+		rows = append(rows, Figure9Row{
+			Dataset:   ds,
+			Strategy:  res.Strategy,
+			UnderRate: res.Report.UnderProvisionRate,
+			OverRate:  res.Report.OverProvisionRate,
+		})
+	}
+	return rows, nil
+}
+
+type strategySpec struct {
+	strategy scaler.Strategy
+	horizon  int
+}
+
+// figure9Strategies assembles the full comparison roster of Figure 9.
+// Reactive scalers re-plan every step; predictive ones plan a full
+// horizon, matching the paper's setup.
+func figure9Strategies(z *Zoo, ds DatasetName) ([]strategySpec, error) {
+	cfg := z.Config()
+	var specs []strategySpec
+
+	specs = append(specs,
+		strategySpec{&scaler.ReactiveMax{Window: 6, Theta: cfg.Theta}, 1},
+		strategySpec{&scaler.ReactiveAvg{Window: 6, HalfLife: 6, Theta: cfg.Theta}, 1},
+	)
+
+	d, err := z.Dataset(ds)
+	if err != nil {
+		return nil, err
+	}
+	for _, model := range []ModelName{ModelQB5000, ModelTFTPoint} {
+		point, err := z.Point(model, ds, 0)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, strategySpec{&scaler.Predictive{Forecaster: point, Theta: cfg.Theta}, cfg.Horizon})
+
+		paddedBase, err := z.Point(model, ds, 1) // independent instance for the padded variant
+		if err != nil {
+			return nil, err
+		}
+		padded := forecast.NewPadded(paddedBase)
+		if err := padded.Bootstrap(d.Series.Slice(0, d.EvalStart), cfg.Horizon, 2); err != nil {
+			return nil, err
+		}
+		specs = append(specs, strategySpec{&scaler.Predictive{Forecaster: padded, Theta: cfg.Theta}, cfg.Horizon})
+	}
+
+	for _, model := range []ModelName{ModelDeepAR, ModelTFT} {
+		qf, err := z.Quantile(model, ds, 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, tau := range Figure9Taus {
+			specs = append(specs, strategySpec{&scaler.Robust{Forecaster: qf, Tau: tau, Theta: cfg.Theta}, cfg.Horizon})
+		}
+	}
+	return specs, nil
+}
+
+// Figure10Row is one quantile level's provisioning trade-off.
+type Figure10Row struct {
+	Dataset   DatasetName
+	Model     ModelName
+	Tau       float64
+	UnderRate float64
+	OverRate  float64
+}
+
+// Figure10Taus is the quantile sweep of Figure 10.
+var Figure10Taus = []float64{0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99}
+
+// Figure10 reproduces the quantile-level trade-off analysis: under- and
+// over-provisioning of the robust scaler across quantile levels.
+func Figure10(z *Zoo, ds DatasetName, model ModelName) ([]Figure10Row, error) {
+	d, err := z.Dataset(ds)
+	if err != nil {
+		return nil, err
+	}
+	cfg := z.Config()
+	qf, err := z.Quantile(model, ds, 0)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Figure10Row
+	for _, tau := range Figure10Taus {
+		res, err := scaler.Evaluate(
+			&scaler.Robust{Forecaster: qf, Tau: tau, Theta: cfg.Theta},
+			d.Series,
+			scaler.EvalConfig{Theta: cfg.Theta, Horizon: cfg.Horizon, Start: d.EvalStart},
+		)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: figure 10 tau=%g: %w", tau, err)
+		}
+		rows = append(rows, Figure10Row{
+			Dataset:   ds,
+			Model:     model,
+			Tau:       tau,
+			UnderRate: res.Report.UnderProvisionRate,
+			OverRate:  res.Report.OverProvisionRate,
+		})
+	}
+	return rows, nil
+}
+
+// Figure11Cell is one (tau1, tau2) combination of the adaptive heatmap.
+// Diagonal cells (tau1 == tau2) degenerate to the fixed-quantile method.
+type Figure11Cell struct {
+	Dataset    DatasetName
+	Model      ModelName
+	Tau1, Tau2 float64
+	UnderRate  float64
+	OverRate   float64
+}
+
+// Figure11Taus are the optional quantile levels of the heatmap.
+var Figure11Taus = []float64{0.6, 0.7, 0.8, 0.9, 0.95}
+
+// Figure11 reproduces the adaptive heatmaps: every (tau1 <= tau2)
+// combination of optional quantile levels, using the uncertainty threshold
+// rho calibrated to the median forecast uncertainty of the training span.
+func Figure11(z *Zoo, ds DatasetName, model ModelName) ([]Figure11Cell, error) {
+	d, err := z.Dataset(ds)
+	if err != nil {
+		return nil, err
+	}
+	cfg := z.Config()
+	qf, err := z.Quantile(model, ds, 0)
+	if err != nil {
+		return nil, err
+	}
+	rho, err := CalibrateRho(z, ds, model, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	var cells []Figure11Cell
+	for _, tau1 := range Figure11Taus {
+		for _, tau2 := range Figure11Taus {
+			if tau1 > tau2 {
+				continue
+			}
+			var strat scaler.Strategy
+			if tau1 == tau2 {
+				strat = &scaler.Robust{Forecaster: qf, Tau: tau1, Theta: cfg.Theta}
+			} else {
+				strat = &scaler.Adaptive{
+					Forecaster: qf, Tau1: tau1, Tau2: tau2, Rho: rho, Theta: cfg.Theta,
+				}
+			}
+			res, err := scaler.Evaluate(strat, d.Series, scaler.EvalConfig{
+				Theta: cfg.Theta, Horizon: cfg.Horizon, Start: d.EvalStart,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiment: figure 11 (%g,%g): %w", tau1, tau2, err)
+			}
+			cells = append(cells, Figure11Cell{
+				Dataset: ds, Model: model, Tau1: tau1, Tau2: tau2,
+				UnderRate: res.Report.UnderProvisionRate,
+				OverRate:  res.Report.OverProvisionRate,
+			})
+		}
+	}
+	return cells, nil
+}
+
+// CalibrateRho estimates an uncertainty threshold as the given quantile of
+// the per-step uncertainty metric over the span between training end and
+// evaluation start (held-out from both training and evaluation), the
+// historical-data calibration the paper prescribes.
+func CalibrateRho(z *Zoo, ds DatasetName, model ModelName, q float64) (float64, error) {
+	us, err := z.calibrationUncertainties(ds, model)
+	if err != nil {
+		return 0, err
+	}
+	return timeseries.InterpolatedQuantile(us, q), nil
+}
+
+// calibrationUncertainties computes (and caches) the sorted per-step
+// uncertainty values over the calibration span.
+func (z *Zoo) calibrationUncertainties(ds DatasetName, model ModelName) ([]float64, error) {
+	key := fmt.Sprintf("rho/%s/%s", ds, model)
+	z.mu.Lock()
+	cached, ok := z.calib[key]
+	z.mu.Unlock()
+	if ok {
+		return cached, nil
+	}
+
+	d, err := z.Dataset(ds)
+	if err != nil {
+		return nil, err
+	}
+	cfg := z.Config()
+	qf, err := z.Quantile(model, ds, 0)
+	if err != nil {
+		return nil, err
+	}
+	var us []float64
+	for origin := d.TrainEnd; origin+cfg.Horizon <= d.EvalStart; origin += cfg.Horizon {
+		f, err := qf.PredictQuantiles(d.Series.Slice(0, origin), cfg.Horizon, forecast.ScalingLevels)
+		if err != nil {
+			return nil, err
+		}
+		stepUs, err := scaler.Uncertainties(f)
+		if err != nil {
+			return nil, err
+		}
+		us = append(us, stepUs...)
+	}
+	if len(us) == 0 {
+		return nil, fmt.Errorf("experiment: no calibration span for rho")
+	}
+	sort.Float64s(us)
+	z.mu.Lock()
+	z.calib[key] = us
+	z.mu.Unlock()
+	return us, nil
+}
+
+// Figure12Row is one uncertainty-threshold setting of the sensitivity
+// analysis.
+type Figure12Row struct {
+	Dataset    DatasetName
+	Model      ModelName
+	Tau1, Tau2 float64
+	RhoQuant   float64 // quantile of the calibration distribution
+	Rho        float64
+	UnderRate  float64
+	OverRate   float64
+}
+
+// Figure12RhoQuantiles parameterize the threshold sweep as quantiles of
+// the calibrated uncertainty distribution.
+var Figure12RhoQuantiles = []float64{0.05, 0.2, 0.35, 0.5, 0.65, 0.8, 0.95}
+
+// Figure12 reproduces the sensitivity analysis of the uncertainty
+// threshold on the Google trace: under/over-provisioning as rho sweeps the
+// calibrated uncertainty distribution.
+func Figure12(z *Zoo, ds DatasetName, model ModelName, tau1, tau2 float64) ([]Figure12Row, error) {
+	d, err := z.Dataset(ds)
+	if err != nil {
+		return nil, err
+	}
+	cfg := z.Config()
+	qf, err := z.Quantile(model, ds, 0)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Figure12Row
+	for _, q := range Figure12RhoQuantiles {
+		rho, err := CalibrateRho(z, ds, model, q)
+		if err != nil {
+			return nil, err
+		}
+		res, err := scaler.Evaluate(
+			&scaler.Adaptive{Forecaster: qf, Tau1: tau1, Tau2: tau2, Rho: rho, Theta: cfg.Theta},
+			d.Series,
+			scaler.EvalConfig{Theta: cfg.Theta, Horizon: cfg.Horizon, Start: d.EvalStart},
+		)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: figure 12 rho=%g: %w", rho, err)
+		}
+		rows = append(rows, Figure12Row{
+			Dataset: ds, Model: model, Tau1: tau1, Tau2: tau2,
+			RhoQuant: q, Rho: rho,
+			UnderRate: res.Report.UnderProvisionRate,
+			OverRate:  res.Report.OverProvisionRate,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,328 @@
+package forecast
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"robustscale/internal/dist"
+	"robustscale/internal/nn"
+	"robustscale/internal/timeseries"
+)
+
+// Emission selects the parametric output distribution of the DeepAR head.
+type Emission string
+
+// Supported emissions. The paper chooses Student-t for its longer tails;
+// Gaussian is kept for the ablation bench.
+const (
+	EmitStudentT Emission = "student-t"
+	EmitGaussian Emission = "gaussian"
+)
+
+// DeepARConfig configures the autoregressive recurrent forecaster.
+type DeepARConfig struct {
+	// Context is the conditioning window length T.
+	Context int
+	// Hidden is the LSTM hidden size.
+	Hidden int
+	// Epochs is the number of passes over the training windows.
+	Epochs int
+	// LR is the Adam learning rate; the paper fixes 1e-3.
+	LR float64
+	// Seed makes initialization, shuffling and sampling deterministic.
+	Seed int64
+	// MaxWindows bounds the number of training windows per epoch.
+	MaxWindows int
+	// Samples is the number of Monte-Carlo paths drawn to estimate
+	// quantiles at prediction time; larger is more precise and slower
+	// (this drives DeepAR's inference cost in Tables II/III).
+	Samples int
+	// TrainHorizon is the decoder length used during training sequences.
+	TrainHorizon int
+	// Emission selects the output distribution.
+	Emission Emission
+}
+
+// DefaultDeepARConfig mirrors the paper's setup: 72-step context, Student-t
+// emission, sampled quantiles.
+func DefaultDeepARConfig() DeepARConfig {
+	return DeepARConfig{
+		Context: 72, Hidden: 32, Epochs: 12, LR: 1e-3, Seed: 1,
+		MaxWindows: 192, Samples: 100, TrainHorizon: 72, Emission: EmitStudentT,
+	}
+}
+
+// DeepAR is an autoregressive recurrent probabilistic forecaster in the
+// style of Salinas et al.: an LSTM conditioned on the lagged series and
+// calendar covariates emits the parameters of a parametric distribution at
+// each step; multi-step forecasts are produced by ancestral sampling, which
+// is why its inference is an order of magnitude slower than TFT's.
+type DeepAR struct {
+	cfg DeepARConfig
+
+	scaler timeseries.StandardScaler
+	cell   *nn.LSTMCell
+	head   *nn.Dense
+	params nn.Params
+	fitted bool
+}
+
+// NewDeepAR returns an untrained DeepAR forecaster.
+func NewDeepAR(cfg DeepARConfig) *DeepAR {
+	def := DefaultDeepARConfig()
+	if cfg.Context <= 0 {
+		cfg.Context = def.Context
+	}
+	if cfg.Hidden <= 0 {
+		cfg.Hidden = def.Hidden
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = def.Epochs
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = def.LR
+	}
+	if cfg.MaxWindows <= 0 {
+		cfg.MaxWindows = def.MaxWindows
+	}
+	if cfg.Samples <= 0 {
+		cfg.Samples = def.Samples
+	}
+	if cfg.TrainHorizon <= 0 {
+		cfg.TrainHorizon = def.TrainHorizon
+	}
+	if cfg.Emission == "" {
+		cfg.Emission = def.Emission
+	}
+	return &DeepAR{cfg: cfg}
+}
+
+// Name implements Forecaster.
+func (d *DeepAR) Name() string { return "deepar" }
+
+// headSize is the number of emission parameters.
+func (d *DeepAR) headSize() int {
+	if d.cfg.Emission == EmitGaussian {
+		return 2
+	}
+	return 3
+}
+
+const deepARInputDim = 1 + timeFeatureDim
+
+// build constructs the network architecture.
+func (d *DeepAR) build() {
+	rng := rand.New(rand.NewSource(d.cfg.Seed))
+	d.cell = nn.NewLSTMCell("deepar.lstm", deepARInputDim, d.cfg.Hidden, rng)
+	d.head = nn.NewDense("deepar.head", d.cfg.Hidden, d.headSize(), rng)
+	d.params = append(d.cell.Params(), d.head.Params()...)
+}
+
+// Fit trains the model on the series with teacher forcing and BPTT.
+func (d *DeepAR) Fit(train *timeseries.Series) error {
+	d.build()
+	d.scaler.Fit(train.Values)
+
+	windows, err := trainingWindows(train, d.cfg.Context, d.cfg.TrainHorizon, d.cfg.MaxWindows)
+	if err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(d.cfg.Seed + 1)) // shuffle stream, distinct from init
+	opt := nn.NewAdam(d.cfg.LR)
+	order := rng.Perm(len(windows))
+	for epoch := 0; epoch < d.cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, wi := range order {
+			w := windows[wi]
+			d.trainWindow(train, w, opt)
+		}
+	}
+	d.fitted = true
+	return nil
+}
+
+// trainWindow runs one teacher-forced sequence through the network and
+// applies one optimizer step.
+func (d *DeepAR) trainWindow(train *timeseries.Series, w timeseries.Window, opt *nn.Adam) {
+	// The sequence covers context plus horizon; at step t the input is the
+	// normalized previous observation and the target is the current one.
+	seq := make([]float64, 0, len(w.Context)+len(w.Target))
+	seq = append(seq, w.Context...)
+	seq = append(seq, w.Target...)
+	norm := d.scaler.Transform(seq)
+	startIdx := w.Origin - len(w.Context) // absolute index of seq[0]
+
+	steps := len(norm) - 1
+	xs := make([][]float64, steps)
+	for t := 0; t < steps; t++ {
+		xs[t] = d.stepInput(norm[t], train.TimeAt(startIdx+t+1))
+	}
+
+	d.params.ZeroGrads()
+	hs, _, caches := d.cell.RunSequence(xs, d.cell.NewLSTMState())
+	dhs := make([][]float64, steps)
+	headCaches := make([]*nn.DenseCache, steps)
+	dOuts := make([][]float64, steps)
+	for t := 0; t < steps; t++ {
+		out, hc := d.head.Forward(hs[t])
+		headCaches[t] = hc
+		dOuts[t] = d.nllGrad(out, norm[t+1])
+	}
+	for t := 0; t < steps; t++ {
+		dhs[t] = d.head.Backward(headCaches[t], dOuts[t])
+	}
+	d.cell.BackwardSequence(caches, dhs, nn.LSTMState{})
+	d.params.ClipGradNorm(5)
+	opt.Step(d.params)
+}
+
+// stepInput builds the covariate vector for one step: previous normalized
+// value plus the calendar features of the step's own timestamp.
+func (d *DeepAR) stepInput(prevNorm float64, ts time.Time) []float64 {
+	x := make([]float64, 0, deepARInputDim)
+	x = append(x, prevNorm)
+	x = append(x, timeFeatures(ts)...)
+	return x
+}
+
+// emissionFrom maps raw head outputs to a distribution.
+func (d *DeepAR) emissionFrom(out []float64) dist.Distribution {
+	mu := out[0]
+	sigma := dist.Softplus(out[1]) + 1e-4
+	if d.cfg.Emission == EmitGaussian {
+		return dist.NewNormal(mu, sigma)
+	}
+	nu := 2.1 + dist.Softplus(out[2])
+	return dist.NewStudentT(nu, mu, sigma)
+}
+
+// nllGrad returns the gradient of the negative log-likelihood of target y
+// with respect to the raw head outputs.
+func (d *DeepAR) nllGrad(out []float64, y float64) []float64 {
+	mu := out[0]
+	sigma := dist.Softplus(out[1]) + 1e-4
+	g := make([]float64, len(out))
+	if d.cfg.Emission == EmitGaussian {
+		z := (y - mu) / sigma
+		g[0] = -z / sigma
+		dSigma := 1/sigma - z*z/sigma
+		g[1] = dSigma * dist.SoftplusDeriv(out[1])
+		return g
+	}
+	nu := 2.1 + dist.Softplus(out[2])
+	z := (y - mu) / sigma
+	a := 1 + z*z/nu
+	// d logpdf / d{mu, sigma, nu}; NLL flips the sign.
+	dMu := (nu + 1) * z / (nu * a * sigma)
+	dSigma := -1/sigma + (nu+1)*z*z/(nu*a*sigma)
+	dNu := 0.5*(dist.Digamma((nu+1)/2)-dist.Digamma(nu/2)) -
+		1/(2*nu) - 0.5*math.Log(a) + (nu+1)*z*z/(2*nu*nu*a)
+	g[0] = -dMu
+	g[1] = -dSigma * dist.SoftplusDeriv(out[1])
+	g[2] = -dNu * dist.SoftplusDeriv(out[2])
+	return g
+}
+
+// warmup runs the context window through the network with teacher forcing
+// and returns the final state plus the emission for the first forecast
+// step.
+func (d *DeepAR) warmup(history *timeseries.Series) (nn.LSTMState, dist.Distribution, error) {
+	context, err := contextTail(history, d.cfg.Context)
+	if err != nil {
+		return nn.LSTMState{}, nil, err
+	}
+	norm := d.scaler.Transform(context)
+	startIdx := history.Len() - d.cfg.Context
+	state := d.cell.NewLSTMState()
+	var lastH []float64
+	for t := 0; t < len(norm); t++ {
+		var prev float64
+		if t == 0 {
+			prev = norm[0] // no earlier observation; condition on itself
+		} else {
+			prev = norm[t-1]
+		}
+		x := d.stepInput(prev, history.TimeAt(startIdx+t))
+		state, _ = d.cell.Step(x, state)
+		lastH = state.H
+	}
+	// One more step conditioned on the final observation yields the
+	// distribution for the first forecast step.
+	x := d.stepInput(norm[len(norm)-1], history.TimeAt(history.Len()))
+	state, _ = d.cell.Step(x, state)
+	_ = lastH
+	out, _ := d.head.Forward(state.H)
+	return state, d.emissionFrom(out), nil
+}
+
+// Predict implements Forecaster via the sample mean of the Monte-Carlo
+// paths.
+func (d *DeepAR) Predict(history *timeseries.Series, h int) ([]float64, error) {
+	f, err := d.PredictQuantiles(history, h, []float64{0.5})
+	if err != nil {
+		return nil, err
+	}
+	return f.Mean, nil
+}
+
+// PredictQuantiles implements QuantileForecaster by ancestral sampling:
+// Samples paths are rolled forward feeding each draw back as the next
+// input, and per-step empirical quantiles are reported.
+func (d *DeepAR) PredictQuantiles(history *timeseries.Series, h int, levels []float64) (*QuantileForecast, error) {
+	if !d.fitted {
+		return nil, ErrNotFitted
+	}
+	levels, err := normalizeLevels(levels)
+	if err != nil {
+		return nil, err
+	}
+	if h <= 0 {
+		return nil, fmt.Errorf("forecast: non-positive horizon %d", h)
+	}
+	state0, emit0, err := d.warmup(history)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(d.cfg.Seed + int64(history.Len())))
+
+	samples := make([][]float64, h) // [step][sample] in normalized space
+	for t := range samples {
+		samples[t] = make([]float64, d.cfg.Samples)
+	}
+	for s := 0; s < d.cfg.Samples; s++ {
+		state := state0.Clone()
+		emit := emit0
+		for t := 0; t < h; t++ {
+			z := emit.Sample(rng)
+			samples[t][s] = z
+			if t == h-1 {
+				break
+			}
+			x := d.stepInput(z, history.TimeAt(history.Len()+t+1))
+			state, _ = d.cell.Step(x, state)
+			out, _ := d.head.Forward(state.H)
+			emit = d.emissionFrom(out)
+		}
+	}
+
+	f := &QuantileForecast{
+		Levels: levels,
+		Values: make([][]float64, h),
+		Mean:   make([]float64, h),
+	}
+	for t := 0; t < h; t++ {
+		emp := dist.NewEmpirical(samples[t])
+		f.Mean[t] = d.scaler.InverseOne(emp.Mean())
+		row := make([]float64, len(levels))
+		for i, tau := range levels {
+			row[i] = d.scaler.InverseOne(emp.Quantile(tau))
+		}
+		f.Values[t] = row
+	}
+	return f, nil
+}
+
+var _ QuantileForecaster = (*DeepAR)(nil)

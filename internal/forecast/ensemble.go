@@ -1,0 +1,128 @@
+package forecast
+
+import (
+	"fmt"
+
+	"robustscale/internal/timeseries"
+)
+
+// Ensemble combines several quantile forecasters by averaging their
+// quantile functions level-by-level (Vincentization), the standard way to
+// pool probabilistic forecasts that preserves calibration better than
+// averaging densities. Weights are optional; nil means equal weights.
+type Ensemble struct {
+	// Members are the combined forecasters.
+	Members []QuantileForecaster
+	// Weights are per-member combination weights; nil means uniform.
+	// They are normalized to sum to one at prediction time.
+	Weights []float64
+}
+
+// NewEnsemble returns an equally weighted ensemble.
+func NewEnsemble(members ...QuantileForecaster) *Ensemble {
+	return &Ensemble{Members: members}
+}
+
+// Name implements Forecaster.
+func (e *Ensemble) Name() string {
+	name := "ensemble("
+	for i, m := range e.Members {
+		if i > 0 {
+			name += "+"
+		}
+		name += m.Name()
+	}
+	return name + ")"
+}
+
+// Fit trains every member on the series.
+func (e *Ensemble) Fit(train *timeseries.Series) error {
+	if len(e.Members) == 0 {
+		return fmt.Errorf("forecast: ensemble has no members")
+	}
+	if e.Weights != nil && len(e.Weights) != len(e.Members) {
+		return fmt.Errorf("forecast: ensemble has %d weights for %d members", len(e.Weights), len(e.Members))
+	}
+	for _, m := range e.Members {
+		if err := m.Fit(train); err != nil {
+			return fmt.Errorf("forecast: ensemble member %s: %w", m.Name(), err)
+		}
+	}
+	return nil
+}
+
+// normalizedWeights returns combination weights summing to one.
+func (e *Ensemble) normalizedWeights() ([]float64, error) {
+	w := make([]float64, len(e.Members))
+	if e.Weights == nil {
+		for i := range w {
+			w[i] = 1 / float64(len(w))
+		}
+		return w, nil
+	}
+	sum := 0.0
+	for i, v := range e.Weights {
+		if v < 0 {
+			return nil, fmt.Errorf("forecast: negative ensemble weight %v", v)
+		}
+		w[i] = v
+		sum += v
+	}
+	if sum == 0 {
+		return nil, fmt.Errorf("forecast: ensemble weights sum to zero")
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w, nil
+}
+
+// Predict implements Forecaster: the weighted average of member means.
+func (e *Ensemble) Predict(history *timeseries.Series, h int) ([]float64, error) {
+	f, err := e.PredictQuantiles(history, h, []float64{0.5})
+	if err != nil {
+		return nil, err
+	}
+	return f.Mean, nil
+}
+
+// PredictQuantiles implements QuantileForecaster by Vincentized quantile
+// averaging across the members.
+func (e *Ensemble) PredictQuantiles(history *timeseries.Series, h int, levels []float64) (*QuantileForecast, error) {
+	if len(e.Members) == 0 {
+		return nil, fmt.Errorf("forecast: ensemble has no members")
+	}
+	weights, err := e.normalizedWeights()
+	if err != nil {
+		return nil, err
+	}
+	levels, err = normalizeLevels(levels)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &QuantileForecast{
+		Levels: levels,
+		Values: make([][]float64, h),
+		Mean:   make([]float64, h),
+	}
+	for t := 0; t < h; t++ {
+		out.Values[t] = make([]float64, len(levels))
+	}
+	for mi, m := range e.Members {
+		f, err := m.PredictQuantiles(history, h, levels)
+		if err != nil {
+			return nil, fmt.Errorf("forecast: ensemble member %s: %w", m.Name(), err)
+		}
+		for t := 0; t < h; t++ {
+			out.Mean[t] += weights[mi] * f.Mean[t]
+			for i := range levels {
+				out.Values[t][i] += weights[mi] * f.Values[t][i]
+			}
+		}
+	}
+	out.Enforce()
+	return out, nil
+}
+
+var _ QuantileForecaster = (*Ensemble)(nil)

@@ -1,0 +1,133 @@
+package forecast
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEnsembleAveragesMembers(t *testing.T) {
+	s := noisySine(600, 48, 100, 20, 2, 61)
+	hist, _ := splitHoldout(s, 24)
+	e := NewEnsemble(NewSeasonalNaive(48), NewSeasonalARIMA(4, 0, 1, 48))
+	if err := e.Fit(hist); err != nil {
+		t.Fatal(err)
+	}
+	f, err := e.PredictQuantiles(hist, 24, []float64{0.1, 0.5, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The ensemble forecast lies within the envelope of its members.
+	fa, err := e.Members[0].PredictQuantiles(hist, 24, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := e.Members[1].PredictQuantiles(hist, 24, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 24; step++ {
+		lo, hi := fa.Values[step][0], fb.Values[step][0]
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		v := f.At(step, 0.5)
+		if v < lo-1e-9 || v > hi+1e-9 {
+			t.Fatalf("step %d: ensemble %v outside member envelope [%v, %v]", step, v, lo, hi)
+		}
+	}
+	if !strings.HasPrefix(e.Name(), "ensemble(") {
+		t.Errorf("Name = %q", e.Name())
+	}
+}
+
+func TestEnsembleWeights(t *testing.T) {
+	s := noisySine(500, 48, 100, 20, 1, 62)
+	hist, _ := splitHoldout(s, 12)
+	a := NewSeasonalNaive(48)
+	b := NewNaive(12)
+	// All weight on member a: identical forecasts to a alone.
+	e := &Ensemble{Members: []QuantileForecaster{a, b}, Weights: []float64{1, 0}}
+	if err := e.Fit(hist); err != nil {
+		t.Fatal(err)
+	}
+	fe, err := e.PredictQuantiles(hist, 12, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, err := a.PredictQuantiles(hist, 12, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := range fe.Values {
+		if fe.Values[step][0] != fa.Values[step][0] {
+			t.Fatalf("weighted ensemble diverges from sole member at %d", step)
+		}
+	}
+}
+
+func TestEnsembleValidation(t *testing.T) {
+	s := sineSeries(300, 24, 100, 10)
+	empty := &Ensemble{}
+	if err := empty.Fit(s); err == nil {
+		t.Error("empty ensemble should fail")
+	}
+	if _, err := empty.PredictQuantiles(s, 4, []float64{0.5}); err == nil {
+		t.Error("empty ensemble predict should fail")
+	}
+	badWeights := &Ensemble{
+		Members: []QuantileForecaster{NewNaive(12)},
+		Weights: []float64{1, 2},
+	}
+	if err := badWeights.Fit(s); err == nil {
+		t.Error("weight count mismatch should fail")
+	}
+	neg := &Ensemble{Members: []QuantileForecaster{NewNaive(12)}, Weights: []float64{-1}}
+	if err := neg.Members[0].Fit(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := neg.PredictQuantiles(s, 4, []float64{0.5}); err == nil {
+		t.Error("negative weight should fail")
+	}
+	zero := &Ensemble{Members: []QuantileForecaster{neg.Members[0]}, Weights: []float64{0}}
+	if _, err := zero.PredictQuantiles(s, 4, []float64{0.5}); err == nil {
+		t.Error("zero-sum weights should fail")
+	}
+}
+
+func TestEnsembleCanBeatWorstMember(t *testing.T) {
+	// On noisy cyclic data, mixing seasonal-naive with plain naive should
+	// land between the two in accuracy (and typically closer to the
+	// better member than the worse one).
+	s := noisySine(800, 48, 100, 30, 3, 63)
+	train := s.Slice(0, 600)
+	sn := NewSeasonalNaive(48)
+	nv := NewNaive(48)
+	e := NewEnsemble(NewSeasonalNaive(48), NewNaive(48))
+	for _, m := range []Forecaster{sn, nv, e} {
+		if err := m.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := BacktestConfig{Start: 600, Horizon: 48, Levels: []float64{0.5}}
+	rs, err := Backtest(sn, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn, err := Backtest(nv, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := Backtest(e, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.MeanWQL >= rn.MeanWQL {
+		t.Errorf("ensemble %v should beat the worst member %v", re.MeanWQL, rn.MeanWQL)
+	}
+	if re.MeanWQL < rs.MeanWQL*0.5 {
+		t.Errorf("ensemble %v suspiciously better than best member %v", re.MeanWQL, rs.MeanWQL)
+	}
+}

@@ -1,0 +1,120 @@
+package forecast
+
+import (
+	"testing"
+)
+
+func smallQuantileMLP(levels []float64) *QuantileMLP {
+	return NewQuantileMLP(MLPConfig{
+		Context: 24, Hidden: 24, Epochs: 40, LR: 3e-3, Seed: 1, MaxWindows: 128,
+	}, levels)
+}
+
+func TestQuantileMLPLearnsSine(t *testing.T) {
+	s := noisySine(600, 24, 50, 10, 0.5, 101)
+	hist, from := splitHoldout(s, 12)
+	m := smallQuantileMLP([]float64{0.1, 0.5, 0.9})
+	if err := m.FitHorizon(hist, 12); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := m.Predict(hist, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse := mseAgainst(pred, s, from); mse > 30 {
+		t.Errorf("quantile MLP MSE = %v", mse)
+	}
+	if m.Name() != "mlp-quantile" {
+		t.Errorf("Name = %q", m.Name())
+	}
+}
+
+func TestQuantileMLPOrderedBands(t *testing.T) {
+	s := noisySine(600, 24, 50, 10, 2, 102)
+	hist, _ := splitHoldout(s, 12)
+	m := smallQuantileMLP([]float64{0.1, 0.5, 0.9})
+	if err := m.FitHorizon(hist, 12); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.PredictQuantiles(hist, 12, []float64{0.1, 0.5, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for step := range f.Values {
+		row := f.Values[step]
+		if !(row[0] <= row[1] && row[1] <= row[2]) {
+			t.Fatalf("step %d not ordered: %v", step, row)
+		}
+	}
+	// Interpolated level lies between grid neighbours.
+	fi, err := m.PredictQuantiles(hist, 12, []float64{0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := range fi.Values {
+		v := fi.Values[step][0]
+		if v < f.Values[step][0]-1e-9 || v > f.Values[step][1]+1e-9 {
+			t.Fatalf("interpolated 0.3 at %d = %v outside [%v, %v]", step, v, f.Values[step][0], f.Values[step][1])
+		}
+	}
+}
+
+func TestQuantileMLPUpperBandCovers(t *testing.T) {
+	s := noisySine(900, 24, 50, 10, 2, 103)
+	train := s.Slice(0, 700)
+	m := smallQuantileMLP([]float64{0.5, 0.9})
+	if err := m.FitHorizon(train, 12); err != nil {
+		t.Fatal(err)
+	}
+	above, total := 0, 0
+	for origin := 700; origin+12 <= 900; origin += 12 {
+		f, err := m.PredictQuantiles(s.Slice(0, origin), 12, []float64{0.9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 12; step++ {
+			if f.Values[step][0] >= s.At(origin+step) {
+				above++
+			}
+			total++
+		}
+	}
+	// Pinball training should put the 0.9 band above most realizations.
+	if frac := float64(above) / float64(total); frac < 0.7 {
+		t.Errorf("0.9 band covered only %.0f%%", frac*100)
+	}
+}
+
+func TestQuantileMLPErrors(t *testing.T) {
+	m := smallQuantileMLP(nil)
+	s := sineSeries(200, 24, 50, 10)
+	if _, err := m.Predict(s, 4); err != ErrNotFitted {
+		t.Errorf("err = %v", err)
+	}
+	if err := m.FitHorizon(s, 0); err == nil {
+		t.Error("zero horizon should fail")
+	}
+	bad := smallQuantileMLP([]float64{2})
+	if err := bad.FitHorizon(s, 4); err == nil {
+		t.Error("bad level should fail")
+	}
+	if err := m.FitHorizon(s, 6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Predict(s, 12); err == nil {
+		t.Error("beyond trained horizon should fail")
+	}
+	if _, err := m.Predict(s.Slice(0, 10), 6); err != ErrShortHistory {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestQuantileMLPDefaultLevels(t *testing.T) {
+	m := NewQuantileMLP(MLPConfig{Context: 24, Epochs: 1, MaxWindows: 16}, nil)
+	if len(m.Levels) != len(DefaultLevels) {
+		t.Errorf("default levels = %v", m.Levels)
+	}
+}

@@ -1,0 +1,198 @@
+package forecast
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"robustscale/internal/timeseries"
+)
+
+// Naive forecasts every future step as the last observed value, with
+// quantiles from the empirical distribution of historical h-step changes.
+// It is the reference point every learned forecaster must beat.
+type Naive struct {
+	// MaxResiduals bounds the retained residual history per horizon step.
+	MaxResiduals int
+
+	fitted bool
+	// residuals[k] holds historical (w_{t+k+1} - w_t) differences.
+	residuals [][]float64
+	horizon   int
+}
+
+// NewNaive returns a last-value forecaster that supports quantile bands up
+// to the given horizon.
+func NewNaive(horizon int) *Naive {
+	return &Naive{MaxResiduals: 2048, horizon: horizon}
+}
+
+// Name implements Forecaster.
+func (n *Naive) Name() string { return "naive" }
+
+// Fit records the empirical distribution of h-step changes for each h up
+// to the configured horizon.
+func (n *Naive) Fit(train *timeseries.Series) error {
+	if n.horizon <= 0 {
+		return fmt.Errorf("forecast: naive needs a positive horizon, got %d", n.horizon)
+	}
+	if train.Len() <= n.horizon {
+		return ErrShortHistory
+	}
+	n.residuals = make([][]float64, n.horizon)
+	stride := 1
+	if avail := train.Len() - n.horizon; n.MaxResiduals > 0 && avail > n.MaxResiduals {
+		stride = (avail + n.MaxResiduals - 1) / n.MaxResiduals
+	}
+	for t := 0; t+n.horizon < train.Len(); t += stride {
+		for k := 0; k < n.horizon; k++ {
+			n.residuals[k] = append(n.residuals[k], train.At(t+k+1)-train.At(t))
+		}
+	}
+	for k := range n.residuals {
+		sort.Float64s(n.residuals[k])
+	}
+	n.fitted = true
+	return nil
+}
+
+// Predict implements Forecaster: a flat continuation of the last value.
+func (n *Naive) Predict(history *timeseries.Series, h int) ([]float64, error) {
+	f, err := n.PredictQuantiles(history, h, []float64{0.5})
+	if err != nil {
+		return nil, err
+	}
+	return f.Mean, nil
+}
+
+// PredictQuantiles implements QuantileForecaster: last value plus the
+// empirical quantile of historical k-step changes.
+func (n *Naive) PredictQuantiles(history *timeseries.Series, h int, levels []float64) (*QuantileForecast, error) {
+	if !n.fitted {
+		return nil, ErrNotFitted
+	}
+	if h <= 0 || h > n.horizon {
+		return nil, fmt.Errorf("forecast: naive fitted for horizon %d, requested %d", n.horizon, h)
+	}
+	levels, err := normalizeLevels(levels)
+	if err != nil {
+		return nil, err
+	}
+	if history.Len() == 0 {
+		return nil, ErrShortHistory
+	}
+	last := history.At(history.Len() - 1)
+	out := &QuantileForecast{
+		Levels: levels,
+		Values: make([][]float64, h),
+		Mean:   make([]float64, h),
+	}
+	for k := 0; k < h; k++ {
+		out.Mean[k] = last
+		row := make([]float64, len(levels))
+		for i, tau := range levels {
+			row[i] = last + timeseries.InterpolatedQuantile(n.residuals[k], tau)
+		}
+		out.Values[k] = row
+	}
+	out.Enforce()
+	return out, nil
+}
+
+// SeasonalNaive forecasts each step as the value one season earlier, with
+// quantiles from the empirical distribution of seasonal differences — the
+// strongest trivial baseline on strongly cyclic workloads.
+type SeasonalNaive struct {
+	// Period is the season length in steps (144 for daily at 10-minute
+	// sampling).
+	Period int
+	// MaxResiduals bounds the retained residual history.
+	MaxResiduals int
+
+	fitted    bool
+	residuals []float64 // sorted seasonal differences w_t - w_{t-Period}
+}
+
+// NewSeasonalNaive returns a seasonal-naive forecaster.
+func NewSeasonalNaive(period int) *SeasonalNaive {
+	return &SeasonalNaive{Period: period, MaxResiduals: 4096}
+}
+
+// Name implements Forecaster.
+func (s *SeasonalNaive) Name() string { return fmt.Sprintf("seasonal-naive-%d", s.Period) }
+
+// Fit records the empirical seasonal differences.
+func (s *SeasonalNaive) Fit(train *timeseries.Series) error {
+	if s.Period <= 0 {
+		return fmt.Errorf("forecast: seasonal-naive needs a positive period, got %d", s.Period)
+	}
+	if train.Len() <= s.Period {
+		return ErrShortHistory
+	}
+	s.residuals = nil
+	stride := 1
+	if avail := train.Len() - s.Period; s.MaxResiduals > 0 && avail > s.MaxResiduals {
+		stride = (avail + s.MaxResiduals - 1) / s.MaxResiduals
+	}
+	for t := s.Period; t < train.Len(); t += stride {
+		s.residuals = append(s.residuals, train.At(t)-train.At(t-s.Period))
+	}
+	sort.Float64s(s.residuals)
+	s.fitted = true
+	return nil
+}
+
+// Predict implements Forecaster: the value one season earlier.
+func (s *SeasonalNaive) Predict(history *timeseries.Series, h int) ([]float64, error) {
+	f, err := s.PredictQuantiles(history, h, []float64{0.5})
+	if err != nil {
+		return nil, err
+	}
+	return f.Mean, nil
+}
+
+// PredictQuantiles implements QuantileForecaster.
+func (s *SeasonalNaive) PredictQuantiles(history *timeseries.Series, h int, levels []float64) (*QuantileForecast, error) {
+	if !s.fitted {
+		return nil, ErrNotFitted
+	}
+	if h <= 0 {
+		return nil, fmt.Errorf("forecast: non-positive horizon %d", h)
+	}
+	levels, err := normalizeLevels(levels)
+	if err != nil {
+		return nil, err
+	}
+	if history.Len() < s.Period {
+		return nil, ErrShortHistory
+	}
+	out := &QuantileForecast{
+		Levels: levels,
+		Values: make([][]float64, h),
+		Mean:   make([]float64, h),
+	}
+	for k := 0; k < h; k++ {
+		// Index of the same phase one (or more) seasons earlier.
+		idx := history.Len() + k
+		for idx >= history.Len() {
+			idx -= s.Period
+		}
+		base := history.At(idx)
+		// Widen the band with the number of seasons extrapolated.
+		seasonsAhead := float64((history.Len() + k - idx) / s.Period)
+		scale := math.Sqrt(seasonsAhead)
+		out.Mean[k] = base
+		row := make([]float64, len(levels))
+		for i, tau := range levels {
+			row[i] = base + scale*timeseries.InterpolatedQuantile(s.residuals, tau)
+		}
+		out.Values[k] = row
+	}
+	out.Enforce()
+	return out, nil
+}
+
+var (
+	_ QuantileForecaster = (*Naive)(nil)
+	_ QuantileForecaster = (*SeasonalNaive)(nil)
+)

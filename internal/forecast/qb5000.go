@@ -1,0 +1,298 @@
+package forecast
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"robustscale/internal/nn"
+	"robustscale/internal/timeseries"
+)
+
+// QB5000Config configures the QueryBot 5000 style hybrid point forecaster.
+type QB5000Config struct {
+	// Context is the lag window length.
+	Context int
+	// Hidden is the LSTM component's hidden size.
+	Hidden int
+	// Epochs trains the LSTM component.
+	Epochs int
+	// LR is the LSTM component's learning rate.
+	LR float64
+	// Seed makes training deterministic.
+	Seed int64
+	// MaxWindows bounds training windows per epoch and the kernel
+	// regression's memory.
+	MaxWindows int
+	// Bandwidth is the kernel regression bandwidth in normalized distance
+	// units.
+	Bandwidth float64
+	// TrainHorizon is the multi-step horizon the components are fit for.
+	TrainHorizon int
+}
+
+// DefaultQB5000Config mirrors the paper's 72-step setup.
+func DefaultQB5000Config() QB5000Config {
+	return QB5000Config{
+		Context: 72, Hidden: 24, Epochs: 8, LR: 1e-3, Seed: 1,
+		MaxWindows: 192, Bandwidth: 1.0, TrainHorizon: 72,
+	}
+}
+
+// QB5000 is a reimplementation of the QueryBot 5000 hybrid workload
+// forecaster (Ma et al., SIGMOD'18): an ensemble of linear regression, a
+// recurrent network and kernel regression, averaged into a single point
+// forecast. It is used as the paper's point-forecasting scaler baseline.
+type QB5000 struct {
+	cfg QB5000Config
+
+	scaler timeseries.StandardScaler
+
+	// Linear component: one ridge regression per horizon step.
+	linCoef [][]float64 // [step][1+Context]
+
+	// Kernel component: remembered training windows in normalized space.
+	kernelX [][]float64
+	kernelY [][]float64
+
+	// Recurrent component.
+	cell   *nn.LSTMCell
+	head   *nn.Dense
+	params nn.Params
+
+	fitted bool
+}
+
+// NewQB5000 returns an untrained hybrid forecaster.
+func NewQB5000(cfg QB5000Config) *QB5000 {
+	def := DefaultQB5000Config()
+	if cfg.Context <= 0 {
+		cfg.Context = def.Context
+	}
+	if cfg.Hidden <= 0 {
+		cfg.Hidden = def.Hidden
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = def.Epochs
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = def.LR
+	}
+	if cfg.MaxWindows <= 0 {
+		cfg.MaxWindows = def.MaxWindows
+	}
+	if cfg.Bandwidth <= 0 {
+		cfg.Bandwidth = def.Bandwidth
+	}
+	if cfg.TrainHorizon <= 0 {
+		cfg.TrainHorizon = def.TrainHorizon
+	}
+	return &QB5000{cfg: cfg}
+}
+
+// Name implements Forecaster.
+func (q *QB5000) Name() string { return "qb5000" }
+
+const qb5000InputDim = 1 + timeFeatureDim
+
+// Fit trains all three ensemble components.
+func (q *QB5000) Fit(train *timeseries.Series) error {
+	q.scaler.Fit(train.Values)
+	windows, err := trainingWindows(train, q.cfg.Context, q.cfg.TrainHorizon, q.cfg.MaxWindows)
+	if err != nil {
+		return err
+	}
+
+	if err := q.fitLinear(windows); err != nil {
+		return err
+	}
+	q.fitKernel(windows)
+	q.fitLSTM(train, windows)
+	q.fitted = true
+	return nil
+}
+
+// fitLinear fits one ridge regression per horizon step on the normalized
+// lag window.
+func (q *QB5000) fitLinear(windows []timeseries.Window) error {
+	rows := len(windows)
+	cols := q.cfg.Context + 1
+	x := make([][]float64, rows)
+	for i, w := range windows {
+		row := make([]float64, cols)
+		row[0] = 1
+		copy(row[1:], q.scaler.Transform(w.Context))
+		x[i] = row
+	}
+	q.linCoef = make([][]float64, q.cfg.TrainHorizon)
+	y := make([]float64, rows)
+	for h := 0; h < q.cfg.TrainHorizon; h++ {
+		for i, w := range windows {
+			y[i] = (w.Target[h] - q.scaler.Mean) / q.scaler.Std
+		}
+		coef, err := ridgeSolve(x, y, 1e-3)
+		if err != nil {
+			return fmt.Errorf("forecast: qb5000 linear component at step %d: %w", h, err)
+		}
+		q.linCoef[h] = coef
+	}
+	return nil
+}
+
+// fitKernel memorizes normalized windows for Nadaraya-Watson regression.
+func (q *QB5000) fitKernel(windows []timeseries.Window) {
+	q.kernelX = make([][]float64, len(windows))
+	q.kernelY = make([][]float64, len(windows))
+	for i, w := range windows {
+		q.kernelX[i] = q.scaler.Transform(w.Context)
+		q.kernelY[i] = q.scaler.Transform(w.Target)
+	}
+}
+
+// buildLSTM constructs the recurrent component's architecture.
+func (q *QB5000) buildLSTM() {
+	rng := rand.New(rand.NewSource(q.cfg.Seed))
+	q.cell = nn.NewLSTMCell("qb5000.lstm", qb5000InputDim, q.cfg.Hidden, rng)
+	q.head = nn.NewDense("qb5000.head", q.cfg.Hidden, 1, rng)
+	q.params = append(q.cell.Params(), q.head.Params()...)
+}
+
+// fitLSTM trains the recurrent component with teacher forcing and MSE.
+func (q *QB5000) fitLSTM(train *timeseries.Series, windows []timeseries.Window) {
+	q.buildLSTM()
+	rng := rand.New(rand.NewSource(q.cfg.Seed))
+	opt := nn.NewAdam(q.cfg.LR)
+
+	order := rng.Perm(len(windows))
+	for epoch := 0; epoch < q.cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, wi := range order {
+			w := windows[wi]
+			seq := append(append([]float64{}, w.Context...), w.Target...)
+			norm := q.scaler.Transform(seq)
+			startIdx := w.Origin - len(w.Context)
+
+			steps := len(norm) - 1
+			xs := make([][]float64, steps)
+			for t := 0; t < steps; t++ {
+				x := make([]float64, 0, qb5000InputDim)
+				x = append(x, norm[t])
+				x = append(x, timeFeatures(train.TimeAt(startIdx+t+1))...)
+				xs[t] = x
+			}
+
+			q.params.ZeroGrads()
+			hs, _, caches := q.cell.RunSequence(xs, q.cell.NewLSTMState())
+			dhs := make([][]float64, steps)
+			for t := 0; t < steps; t++ {
+				out, hc := q.head.Forward(hs[t])
+				diff := out[0] - norm[t+1]
+				dhs[t] = q.head.Backward(hc, []float64{2 * diff / float64(steps)})
+			}
+			q.cell.BackwardSequence(caches, dhs, nn.LSTMState{})
+			q.params.ClipGradNorm(5)
+			opt.Step(q.params)
+		}
+	}
+}
+
+// Predict implements Forecaster: the equally weighted ensemble mean.
+func (q *QB5000) Predict(history *timeseries.Series, h int) ([]float64, error) {
+	if !q.fitted {
+		return nil, ErrNotFitted
+	}
+	if h <= 0 {
+		return nil, fmt.Errorf("forecast: non-positive horizon %d", h)
+	}
+	if h > q.cfg.TrainHorizon {
+		return nil, fmt.Errorf("forecast: qb5000 trained for horizon %d, requested %d", q.cfg.TrainHorizon, h)
+	}
+	context, err := contextTail(history, q.cfg.Context)
+	if err != nil {
+		return nil, err
+	}
+	norm := q.scaler.Transform(context)
+
+	lin := q.predictLinear(norm, h)
+	ker := q.predictKernel(norm, h)
+	rec := q.predictLSTM(history, norm, h)
+
+	out := make([]float64, h)
+	for t := 0; t < h; t++ {
+		out[t] = q.scaler.InverseOne((lin[t] + ker[t] + rec[t]) / 3)
+	}
+	return out, nil
+}
+
+func (q *QB5000) predictLinear(norm []float64, h int) []float64 {
+	out := make([]float64, h)
+	for t := 0; t < h; t++ {
+		coef := q.linCoef[t]
+		v := coef[0]
+		for j, c := range coef[1:] {
+			v += c * norm[j]
+		}
+		out[t] = v
+	}
+	return out
+}
+
+func (q *QB5000) predictKernel(norm []float64, h int) []float64 {
+	out := make([]float64, h)
+	weights := make([]float64, len(q.kernelX))
+	maxLogW := math.Inf(-1)
+	for i, kx := range q.kernelX {
+		d2 := 0.0
+		for j := range kx {
+			d := kx[j] - norm[j]
+			d2 += d * d
+		}
+		// Log-space kernel weights avoid total underflow.
+		weights[i] = -d2 / (2 * q.cfg.Bandwidth * q.cfg.Bandwidth * float64(len(kx)))
+		if weights[i] > maxLogW {
+			maxLogW = weights[i]
+		}
+	}
+	sum := 0.0
+	for i := range weights {
+		weights[i] = math.Exp(weights[i] - maxLogW)
+		sum += weights[i]
+	}
+	for t := 0; t < h; t++ {
+		v := 0.0
+		for i, w := range weights {
+			v += w * q.kernelY[i][t]
+		}
+		out[t] = v / sum
+	}
+	return out
+}
+
+func (q *QB5000) predictLSTM(history *timeseries.Series, norm []float64, h int) []float64 {
+	startIdx := history.Len() - len(norm)
+	state := q.cell.NewLSTMState()
+	for t := 0; t < len(norm); t++ {
+		prev := norm[0]
+		if t > 0 {
+			prev = norm[t-1]
+		}
+		x := make([]float64, 0, qb5000InputDim)
+		x = append(x, prev)
+		x = append(x, timeFeatures(history.TimeAt(startIdx+t))...)
+		state, _ = q.cell.Step(x, state)
+	}
+	out := make([]float64, h)
+	prev := norm[len(norm)-1]
+	for t := 0; t < h; t++ {
+		x := make([]float64, 0, qb5000InputDim)
+		x = append(x, prev)
+		x = append(x, timeFeatures(history.TimeAt(history.Len()+t))...)
+		state, _ = q.cell.Step(x, state)
+		y, _ := q.head.Forward(state.H)
+		out[t] = y[0]
+		prev = y[0]
+	}
+	return out
+}
+
+var _ Forecaster = (*QB5000)(nil)

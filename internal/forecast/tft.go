@@ -1,0 +1,388 @@
+package forecast
+
+import (
+	"fmt"
+	"math/rand"
+
+	"robustscale/internal/nn"
+	"robustscale/internal/timeseries"
+)
+
+// TFTConfig configures the Temporal Fusion Transformer style forecaster.
+type TFTConfig struct {
+	// Context is the encoder window length T.
+	Context int
+	// Hidden is the shared embedding / LSTM / attention width.
+	Hidden int
+	// Epochs is the number of passes over the training windows.
+	Epochs int
+	// LR is the Adam learning rate; the paper fixes 1e-3.
+	LR float64
+	// Seed makes initialization and shuffling deterministic.
+	Seed int64
+	// MaxWindows bounds the number of training windows per epoch.
+	MaxWindows int
+	// Levels is the pre-specified quantile grid the network outputs; this
+	// is fixed at training time, so changing levels requires retraining
+	// (the trade-off Section III-B discusses).
+	Levels []float64
+	// TrainHorizon is the decoder length.
+	TrainHorizon int
+	// Heads selects the attention block: values above 1 use multi-head
+	// self-attention with an output projection (as in the original TFT);
+	// 0 or 1 keeps the lighter single-head block. Hidden must be
+	// divisible by Heads.
+	Heads int
+	// Gated inserts a gated residual network (GRN with layer
+	// normalization, as in the original TFT) between the attention
+	// residual and the quantile heads.
+	Gated bool
+}
+
+// DefaultTFTConfig mirrors the paper's setup: 72-step context and the
+// Table I quantile grid.
+func DefaultTFTConfig() TFTConfig {
+	return TFTConfig{
+		Context: 72, Hidden: 32, Epochs: 12, LR: 1e-3, Seed: 1,
+		MaxWindows: 192, Levels: append([]float64{}, DefaultLevels...),
+		TrainHorizon: 72,
+	}
+}
+
+// TFT is a simplified Temporal Fusion Transformer: an LSTM encoder over
+// the observed past, an LSTM decoder over known future covariates, causal
+// interpretable self-attention across the full sequence with a residual
+// connection, and linear heads that emit a pre-specified grid of quantiles
+// trained jointly on the pinball loss (Equation 2). Quantiles come out in
+// one forward pass, which is why TFT inference is fast in Tables II/III.
+type TFT struct {
+	cfg TFTConfig
+
+	scaler   timeseries.StandardScaler
+	embPast  *nn.Dense
+	embFut   *nn.Dense
+	enc, dec *nn.LSTMCell
+	attn     nn.SelfAttention
+	grn      *nn.GRN // nil unless cfg.Gated
+	head     *nn.Dense
+	params   nn.Params
+	fitted   bool
+}
+
+// NewTFT returns an untrained TFT forecaster.
+func NewTFT(cfg TFTConfig) *TFT {
+	def := DefaultTFTConfig()
+	if cfg.Context <= 0 {
+		cfg.Context = def.Context
+	}
+	if cfg.Hidden <= 0 {
+		cfg.Hidden = def.Hidden
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = def.Epochs
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = def.LR
+	}
+	if cfg.MaxWindows <= 0 {
+		cfg.MaxWindows = def.MaxWindows
+	}
+	if len(cfg.Levels) == 0 {
+		cfg.Levels = append([]float64{}, def.Levels...)
+	}
+	if cfg.TrainHorizon <= 0 {
+		cfg.TrainHorizon = def.TrainHorizon
+	}
+	return &TFT{cfg: cfg}
+}
+
+// NewTFTPoint returns a TFT trained to output only the 0.5 quantile,
+// serving as the paper's TFT-point forecasting baseline.
+func NewTFTPoint(cfg TFTConfig) *TFT {
+	cfg.Levels = []float64{0.5}
+	t := NewTFT(cfg)
+	return t
+}
+
+// Name implements Forecaster.
+func (m *TFT) Name() string {
+	if len(m.cfg.Levels) == 1 {
+		return "tft-point"
+	}
+	return "tft"
+}
+
+// Levels returns the trained quantile grid.
+func (m *TFT) Levels() []float64 { return m.cfg.Levels }
+
+const tftPastDim = 1 + timeFeatureDim
+
+// build constructs the network architecture from the configuration.
+func (m *TFT) build() error {
+	levels, err := normalizeLevels(m.cfg.Levels)
+	if err != nil {
+		return err
+	}
+	m.cfg.Levels = levels
+	rng := rand.New(rand.NewSource(m.cfg.Seed))
+	h := m.cfg.Hidden
+	m.embPast = nn.NewDense("tft.embPast", tftPastDim, h, rng)
+	m.embFut = nn.NewDense("tft.embFut", timeFeatureDim, h, rng)
+	m.enc = nn.NewLSTMCell("tft.enc", h, h, rng)
+	m.dec = nn.NewLSTMCell("tft.dec", h, h, rng)
+	if m.cfg.Heads > 1 {
+		mha, err := nn.NewMultiHeadAttention("tft.attn", h, m.cfg.Heads, true, rng)
+		if err != nil {
+			return err
+		}
+		m.attn = mha
+	} else {
+		m.attn = nn.NewAttention("tft.attn", h, true, rng)
+	}
+	if m.cfg.Gated {
+		m.grn = nn.NewGRN("tft.grn", h, rng)
+	} else {
+		m.grn = nil
+	}
+	m.head = nn.NewDense("tft.head", h, len(levels), rng)
+	m.params = nil
+	m.params = append(m.params, m.embPast.Params()...)
+	m.params = append(m.params, m.embFut.Params()...)
+	m.params = append(m.params, m.enc.Params()...)
+	m.params = append(m.params, m.dec.Params()...)
+	m.params = append(m.params, m.attn.Params()...)
+	if m.grn != nil {
+		m.params = append(m.params, m.grn.Params()...)
+	}
+	m.params = append(m.params, m.head.Params()...)
+	return nil
+}
+
+// Fit trains the network on the series.
+func (m *TFT) Fit(train *timeseries.Series) error {
+	if err := m.build(); err != nil {
+		return err
+	}
+	m.scaler.Fit(train.Values)
+	windows, err := trainingWindows(train, m.cfg.Context, m.cfg.TrainHorizon, m.cfg.MaxWindows)
+	if err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(m.cfg.Seed + 1)) // shuffle stream, distinct from init
+	opt := nn.NewAdam(m.cfg.LR)
+	order := rng.Perm(len(windows))
+	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, wi := range order {
+			m.trainWindow(train, windows[wi], opt)
+		}
+	}
+	m.fitted = true
+	return nil
+}
+
+// tftForward holds the full forward activation record for one sequence.
+type tftForward struct {
+	T, H         int
+	pastCaches   []*nn.DenseCache
+	futCaches    []*nn.DenseCache
+	encCaches    []*nn.LSTMCache
+	decCaches    []*nn.LSTMCache
+	attnBackward func(nn.Mat) nn.Mat
+	grnCaches    []*nn.GRNCache // nil unless gated
+	headCaches   []*nn.DenseCache
+	outs         [][]float64 // [step][level] normalized quantile outputs
+}
+
+// forward runs encoder, decoder, attention and heads. contextNorm has T
+// normalized observations; startIdx is the absolute index of contextNorm[0]
+// within the series that provides the calendar.
+func (m *TFT) forward(series *timeseries.Series, contextNorm []float64, startIdx, horizon int) *tftForward {
+	T := len(contextNorm)
+	H := horizon
+	f := &tftForward{
+		T: T, H: H,
+		pastCaches: make([]*nn.DenseCache, T),
+		futCaches:  make([]*nn.DenseCache, H),
+		headCaches: make([]*nn.DenseCache, H),
+		outs:       make([][]float64, H),
+	}
+
+	embPast := make([][]float64, T)
+	for t := 0; t < T; t++ {
+		x := make([]float64, 0, tftPastDim)
+		x = append(x, contextNorm[t])
+		x = append(x, timeFeatures(series.TimeAt(startIdx+t))...)
+		embPast[t], f.pastCaches[t] = m.embPast.Forward(x)
+	}
+	var hsE [][]float64
+	var finalE nn.LSTMState
+	hsE, finalE, f.encCaches = m.enc.RunSequence(embPast, m.enc.NewLSTMState())
+
+	embFut := make([][]float64, H)
+	for k := 0; k < H; k++ {
+		feats := timeFeatures(series.TimeAt(startIdx + T + k))
+		embFut[k], f.futCaches[k] = m.embFut.Forward(feats)
+	}
+	var hsD [][]float64
+	hsD, _, f.decCaches = m.dec.RunSequence(embFut, finalE)
+
+	x := nn.NewMat(T+H, m.cfg.Hidden)
+	for t := 0; t < T; t++ {
+		copy(x.Row(t), hsE[t])
+	}
+	for k := 0; k < H; k++ {
+		copy(x.Row(T+k), hsD[k])
+	}
+	attnOut, attnBackward := m.attn.Apply(x)
+	f.attnBackward = attnBackward
+
+	if m.grn != nil {
+		f.grnCaches = make([]*nn.GRNCache, H)
+	}
+	for k := 0; k < H; k++ {
+		z := make([]float64, m.cfg.Hidden)
+		arow := attnOut.Row(T + k)
+		for j := range z {
+			z[j] = arow[j] + hsD[k][j] // residual connection
+		}
+		if m.grn != nil {
+			z, f.grnCaches[k] = m.grn.Forward(z)
+		}
+		f.outs[k], f.headCaches[k] = m.head.Forward(z)
+	}
+	return f
+}
+
+// backward propagates per-step, per-level output gradients through the
+// whole network, accumulating parameter gradients.
+func (m *TFT) backward(f *tftForward, dOuts [][]float64) {
+	T, H := f.T, f.H
+	dA := nn.NewMat(T+H, m.cfg.Hidden)
+	dhsD := make([][]float64, H)
+	for k := 0; k < H; k++ {
+		dz := m.head.Backward(f.headCaches[k], dOuts[k])
+		if m.grn != nil {
+			dz = m.grn.Backward(f.grnCaches[k], dz)
+		}
+		copy(dA.Row(T+k), dz)
+		dhsD[k] = append([]float64{}, dz...) // residual path
+	}
+
+	dX := f.attnBackward(dA)
+	dhsE := make([][]float64, T)
+	for t := 0; t < T; t++ {
+		dhsE[t] = append([]float64{}, dX.Row(t)...)
+	}
+	for k := 0; k < H; k++ {
+		row := dX.Row(T + k)
+		for j := range dhsD[k] {
+			dhsD[k][j] += row[j]
+		}
+	}
+
+	dEmbFut, dS0dec := m.dec.BackwardSequence(f.decCaches, dhsD, nn.LSTMState{})
+	for k := 0; k < H; k++ {
+		m.embFut.Backward(f.futCaches[k], dEmbFut[k])
+	}
+	dEmbPast, _ := m.enc.BackwardSequence(f.encCaches, dhsE, dS0dec)
+	for t := 0; t < T; t++ {
+		m.embPast.Backward(f.pastCaches[t], dEmbPast[t])
+	}
+}
+
+func (m *TFT) trainWindow(train *timeseries.Series, w timeseries.Window, opt *nn.Adam) {
+	contextNorm := m.scaler.Transform(w.Context)
+	targetNorm := m.scaler.Transform(w.Target)
+	startIdx := w.Origin - len(w.Context)
+
+	m.params.ZeroGrads()
+	f := m.forward(train, contextNorm, startIdx, len(w.Target))
+	dOuts := make([][]float64, f.H)
+	for k := 0; k < f.H; k++ {
+		g := make([]float64, len(m.cfg.Levels))
+		for i, tau := range m.cfg.Levels {
+			g[i] = PinballGrad(tau, targetNorm[k], f.outs[k][i])
+		}
+		dOuts[k] = g
+	}
+	m.backward(f, dOuts)
+	m.params.ClipGradNorm(5)
+	opt.Step(m.params)
+}
+
+// Predict implements Forecaster via the median head (or the single trained
+// level for TFT-point).
+func (m *TFT) Predict(history *timeseries.Series, h int) ([]float64, error) {
+	f, err := m.predictGrid(history, h)
+	if err != nil {
+		return nil, err
+	}
+	return f.Mean, nil
+}
+
+// predictGrid runs one forward pass and returns the trained quantile grid
+// denormalized.
+func (m *TFT) predictGrid(history *timeseries.Series, h int) (*QuantileForecast, error) {
+	if !m.fitted {
+		return nil, ErrNotFitted
+	}
+	if h <= 0 {
+		return nil, fmt.Errorf("forecast: non-positive horizon %d", h)
+	}
+	context, err := contextTail(history, m.cfg.Context)
+	if err != nil {
+		return nil, err
+	}
+	contextNorm := m.scaler.Transform(context)
+	startIdx := history.Len() - m.cfg.Context
+	fw := m.forward(history, contextNorm, startIdx, h)
+
+	out := &QuantileForecast{
+		Levels: m.cfg.Levels,
+		Values: make([][]float64, h),
+		Mean:   make([]float64, h),
+	}
+	for k := 0; k < h; k++ {
+		row := make([]float64, len(m.cfg.Levels))
+		for i := range m.cfg.Levels {
+			row[i] = m.scaler.InverseOne(fw.outs[k][i])
+		}
+		out.Values[k] = row
+	}
+	out.Enforce()
+	for k := 0; k < h; k++ {
+		out.Mean[k] = out.At(k, 0.5)
+	}
+	return out, nil
+}
+
+// PredictQuantiles implements QuantileForecaster. Levels inside the trained
+// grid are interpolated; levels outside it are clamped to the grid edges
+// (the pre-specified grid limitation from Section III-B).
+func (m *TFT) PredictQuantiles(history *timeseries.Series, h int, levels []float64) (*QuantileForecast, error) {
+	levels, err := normalizeLevels(levels)
+	if err != nil {
+		return nil, err
+	}
+	grid, err := m.predictGrid(history, h)
+	if err != nil {
+		return nil, err
+	}
+	out := &QuantileForecast{
+		Levels: levels,
+		Values: make([][]float64, h),
+		Mean:   grid.Mean,
+	}
+	for k := 0; k < h; k++ {
+		row := make([]float64, len(levels))
+		for i, tau := range levels {
+			row[i] = grid.At(k, tau)
+		}
+		out.Values[k] = row
+	}
+	return out, nil
+}
+
+var _ QuantileForecaster = (*TFT)(nil)

@@ -1,0 +1,61 @@
+package forecast
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTFTMultiHeadTrainsAndPredicts(t *testing.T) {
+	s := noisySine(600, 24, 50, 10, 0.5, 71)
+	hist, from := splitHoldout(s, 12)
+	m := NewTFT(TFTConfig{
+		Context: 24, Hidden: 16, Epochs: 10, LR: 5e-3, Seed: 1,
+		MaxWindows: 96, Levels: []float64{0.1, 0.5, 0.9}, TrainHorizon: 12,
+		Heads: 4,
+	})
+	if err := m.Fit(hist); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := m.Predict(hist, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse := mseAgainst(pred, s, from); mse > 40 {
+		t.Errorf("multi-head TFT MSE = %v", mse)
+	}
+	f, err := m.PredictQuantiles(hist, 12, []float64{0.1, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTFTMultiHeadRejectsIndivisibleHidden(t *testing.T) {
+	m := NewTFT(TFTConfig{Context: 24, Hidden: 10, Heads: 3, TrainHorizon: 6,
+		Levels: []float64{0.5}, Epochs: 1})
+	if err := m.Fit(sineSeries(300, 24, 50, 10)); err == nil {
+		t.Error("hidden not divisible by heads should fail")
+	}
+}
+
+func TestTFTMultiHeadSaveLoad(t *testing.T) {
+	s := noisySine(500, 24, 50, 10, 1, 72)
+	hist, _ := splitHoldout(s, 6)
+	cfg := TFTConfig{Context: 24, Hidden: 8, Epochs: 2, Seed: 1, MaxWindows: 48,
+		Levels: []float64{0.5, 0.9}, TrainHorizon: 6, Heads: 2}
+	m := NewTFT(cfg)
+	if err := m.Fit(hist); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewTFT(cfg)
+	if err := m2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	assertSameForecasts(t, m, m2, hist, 6)
+}

@@ -1,0 +1,121 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Dense is a fully connected layer computing y = W x + b.
+type Dense struct {
+	In, Out int
+	W, B    *Param
+}
+
+// NewDense creates a Dense layer with Xavier-initialized weights and zero
+// biases.
+func NewDense(name string, in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{
+		In:  in,
+		Out: out,
+		W:   NewParam(name+".W", out, in),
+		B:   NewParam(name+".b", out, 1),
+	}
+	d.W.InitXavier(rng)
+	return d
+}
+
+// Params returns the layer's trainable parameters.
+func (d *Dense) Params() Params { return Params{d.W, d.B} }
+
+// DenseCache stores the forward input for the backward pass.
+type DenseCache struct {
+	x []float64
+}
+
+// Forward computes W x + b and returns the output plus a cache.
+func (d *Dense) Forward(x []float64) ([]float64, *DenseCache) {
+	y := d.W.Value.MulVec(x)
+	for i := range y {
+		y[i] += d.B.Value.Data[i]
+	}
+	return y, &DenseCache{x: x}
+}
+
+// Backward accumulates dW and db and returns dx.
+func (d *Dense) Backward(c *DenseCache, dy []float64) []float64 {
+	d.W.Grad.AddOuter(dy, c.x)
+	for i, g := range dy {
+		d.B.Grad.Data[i] += g
+	}
+	return d.W.Value.MulVecT(dy)
+}
+
+// Activation is an element-wise nonlinearity with its derivative expressed
+// in terms of the activation output (cheaper caches).
+type Activation struct {
+	Name  string
+	F     func(float64) float64
+	DFroY func(y float64) float64
+}
+
+// Standard activations.
+var (
+	Tanh = Activation{
+		Name:  "tanh",
+		F:     tanh,
+		DFroY: func(y float64) float64 { return 1 - y*y },
+	}
+	Sigmoid = Activation{
+		Name:  "sigmoid",
+		F:     sigmoid,
+		DFroY: func(y float64) float64 { return y * (1 - y) },
+	}
+	ReLU = Activation{
+		Name: "relu",
+		F: func(x float64) float64 {
+			if x > 0 {
+				return x
+			}
+			return 0
+		},
+		DFroY: func(y float64) float64 {
+			if y > 0 {
+				return 1
+			}
+			return 0
+		},
+	}
+)
+
+// ActCache stores activation outputs for the backward pass.
+type ActCache struct {
+	y []float64
+}
+
+// Forward applies the activation element-wise.
+func (a Activation) Forward(x []float64) ([]float64, *ActCache) {
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = a.F(v)
+	}
+	return y, &ActCache{y: y}
+}
+
+// Backward returns dx given dy.
+func (a Activation) Backward(c *ActCache, dy []float64) []float64 {
+	dx := make([]float64, len(dy))
+	for i, g := range dy {
+		dx[i] = g * a.DFroY(c.y[i])
+	}
+	return dx
+}
+
+func tanh(x float64) float64 { return math.Tanh(x) }
+
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}

@@ -1,0 +1,199 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// LayerNorm normalizes a vector to zero mean and unit variance and applies
+// a learned affine transform, the stabilizer used throughout the Temporal
+// Fusion Transformer's gated blocks.
+type LayerNorm struct {
+	Dim  int
+	G, B *Param // gain and bias, (Dim x 1)
+}
+
+// NewLayerNorm creates a layer norm with unit gain and zero bias.
+func NewLayerNorm(name string, dim int) *LayerNorm {
+	ln := &LayerNorm{
+		Dim: dim,
+		G:   NewParam(name+".g", dim, 1),
+		B:   NewParam(name+".b", dim, 1),
+	}
+	for i := range ln.G.Value.Data {
+		ln.G.Value.Data[i] = 1
+	}
+	return ln
+}
+
+// Params returns the trainable gain and bias.
+func (ln *LayerNorm) Params() Params { return Params{ln.G, ln.B} }
+
+const lnEps = 1e-5
+
+// LNCache stores the normalization intermediates.
+type LNCache struct {
+	xhat   []float64
+	invStd float64
+}
+
+// Forward normalizes x.
+func (ln *LayerNorm) Forward(x []float64) ([]float64, *LNCache) {
+	n := float64(len(x))
+	mean := 0.0
+	for _, v := range x {
+		mean += v
+	}
+	mean /= n
+	variance := 0.0
+	for _, v := range x {
+		d := v - mean
+		variance += d * d
+	}
+	variance /= n
+	invStd := 1 / math.Sqrt(variance+lnEps)
+
+	cache := &LNCache{xhat: make([]float64, len(x)), invStd: invStd}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		xhat := (v - mean) * invStd
+		cache.xhat[i] = xhat
+		y[i] = ln.G.Value.Data[i]*xhat + ln.B.Value.Data[i]
+	}
+	return y, cache
+}
+
+// Backward accumulates gain/bias gradients and returns dx.
+func (ln *LayerNorm) Backward(c *LNCache, dy []float64) []float64 {
+	n := float64(len(dy))
+	// dxhat = dy * g; accumulate parameter grads.
+	dxhat := make([]float64, len(dy))
+	sumDxhat := 0.0
+	sumDxhatXhat := 0.0
+	for i, g := range dy {
+		ln.G.Grad.Data[i] += g * c.xhat[i]
+		ln.B.Grad.Data[i] += g
+		dxhat[i] = g * ln.G.Value.Data[i]
+		sumDxhat += dxhat[i]
+		sumDxhatXhat += dxhat[i] * c.xhat[i]
+	}
+	dx := make([]float64, len(dy))
+	for i := range dx {
+		dx[i] = c.invStd / n * (n*dxhat[i] - sumDxhat - c.xhat[i]*sumDxhatXhat)
+	}
+	return dx
+}
+
+// ELU is the exponential linear unit used inside the TFT's gated residual
+// network.
+var ELU = Activation{
+	Name: "elu",
+	F: func(x float64) float64 {
+		if x >= 0 {
+			return x
+		}
+		return math.Exp(x) - 1
+	},
+	DFroY: func(y float64) float64 {
+		if y >= 0 {
+			return 1
+		}
+		return y + 1 // = exp(x) for x < 0
+	},
+}
+
+// GRN is the Gated Residual Network of Lim et al.:
+//
+//	GRN(x) = LayerNorm(x + GLU(W2 ELU(W1 x + b1) + b2))
+//	GLU(a) = sigmoid(W3 a + b3) ⊙ (W4 a + b4)
+//
+// The gate lets the block suppress its nonlinear contribution entirely,
+// which is what makes deep TFT stacks trainable on small data.
+type GRN struct {
+	Dim                  int
+	l1, l2, gateW, gateV *Dense
+	norm                 *LayerNorm
+}
+
+// NewGRN creates a gated residual network over vectors of the given
+// dimension (input, hidden and output dims are all equal here, matching
+// the TFT's use between same-width blocks).
+func NewGRN(name string, dim int, rng *rand.Rand) *GRN {
+	return &GRN{
+		Dim:   dim,
+		l1:    NewDense(name+".l1", dim, dim, rng),
+		l2:    NewDense(name+".l2", dim, dim, rng),
+		gateW: NewDense(name+".gateW", dim, dim, rng),
+		gateV: NewDense(name+".gateV", dim, dim, rng),
+		norm:  NewLayerNorm(name+".ln", dim),
+	}
+}
+
+// Params returns every trainable parameter of the block.
+func (g *GRN) Params() Params {
+	var ps Params
+	ps = append(ps, g.l1.Params()...)
+	ps = append(ps, g.l2.Params()...)
+	ps = append(ps, g.gateW.Params()...)
+	ps = append(ps, g.gateV.Params()...)
+	ps = append(ps, g.norm.Params()...)
+	return ps
+}
+
+// GRNCache stores one application's intermediates.
+type GRNCache struct {
+	c1, c2, cw, cv *DenseCache
+	a1             *ActCache
+	sig, val       []float64
+	ln             *LNCache
+}
+
+// Forward applies the block to one vector.
+func (g *GRN) Forward(x []float64) ([]float64, *GRNCache) {
+	cache := &GRNCache{}
+	var h []float64
+	h, cache.c1 = g.l1.Forward(x)
+	h, cache.a1 = ELU.Forward(h)
+	h, cache.c2 = g.l2.Forward(h)
+
+	var gateRaw, val []float64
+	gateRaw, cache.cw = g.gateW.Forward(h)
+	val, cache.cv = g.gateV.Forward(h)
+	cache.sig = make([]float64, len(gateRaw))
+	cache.val = val
+	z := make([]float64, len(x))
+	for i := range z {
+		s := sigmoid(gateRaw[i])
+		cache.sig[i] = s
+		z[i] = x[i] + s*val[i]
+	}
+	out, ln := g.norm.Forward(z)
+	cache.ln = ln
+	return out, cache
+}
+
+// Backward accumulates parameter gradients and returns dx.
+func (g *GRN) Backward(c *GRNCache, dy []float64) []float64 {
+	dz := g.norm.Backward(c.ln, dy)
+
+	dGateRaw := make([]float64, len(dz))
+	dVal := make([]float64, len(dz))
+	dx := make([]float64, len(dz))
+	for i, d := range dz {
+		dx[i] = d // residual path
+		dVal[i] = d * c.sig[i]
+		dGateRaw[i] = d * c.val[i] * c.sig[i] * (1 - c.sig[i])
+	}
+	dh := g.gateW.Backward(c.cw, dGateRaw)
+	dhv := g.gateV.Backward(c.cv, dVal)
+	for i := range dh {
+		dh[i] += dhv[i]
+	}
+	dh = g.l2.Backward(c.c2, dh)
+	dh = ELU.Backward(c.a1, dh)
+	dh = g.l1.Backward(c.c1, dh)
+	for i := range dx {
+		dx[i] += dh[i]
+	}
+	return dx
+}

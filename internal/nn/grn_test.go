@@ -1,0 +1,138 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLayerNormForward(t *testing.T) {
+	ln := NewLayerNorm("ln", 4)
+	y, _ := ln.Forward([]float64{1, 2, 3, 4})
+	// Unit gain, zero bias: output has ~zero mean and ~unit variance.
+	mean, variance := 0.0, 0.0
+	for _, v := range y {
+		mean += v
+	}
+	mean /= 4
+	for _, v := range y {
+		variance += (v - mean) * (v - mean)
+	}
+	variance /= 4
+	if math.Abs(mean) > 1e-9 {
+		t.Errorf("mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 1e-3 {
+		t.Errorf("variance = %v", variance)
+	}
+}
+
+func TestLayerNormGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	ln := NewLayerNorm("ln", 5)
+	// Non-trivial gain/bias.
+	for i := range ln.G.Value.Data {
+		ln.G.Value.Data[i] = 0.5 + rng.Float64()
+		ln.B.Value.Data[i] = rng.NormFloat64()
+	}
+	x := randVec(rng, 5)
+	w := randVec(rng, 5)
+	loss := func() float64 {
+		y, _ := ln.Forward(x)
+		return scalarLoss(y, w)
+	}
+	ln.Params().ZeroGrads()
+	_, cache := ln.Forward(x)
+	dx := ln.Backward(cache, w)
+	checkParamGrads(t, ln.Params(), loss, 1e-5)
+	const eps = 1e-6
+	for i := range x {
+		orig := x[i]
+		x[i] = orig + eps
+		lp := loss()
+		x[i] = orig - eps
+		lm := loss()
+		x[i] = orig
+		numeric := (lp - lm) / (2 * eps)
+		if math.Abs(numeric-dx[i]) > 1e-5 {
+			t.Errorf("dx[%d]: analytic %v vs numeric %v", i, dx[i], numeric)
+		}
+	}
+}
+
+func TestELUGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	x := randVec(rng, 8)
+	w := randVec(rng, 8)
+	y, cache := ELU.Forward(x)
+	_ = y
+	dx := ELU.Backward(cache, w)
+	const eps = 1e-6
+	for i := range x {
+		orig := x[i]
+		x[i] = orig + eps
+		yp, _ := ELU.Forward(x)
+		x[i] = orig - eps
+		ym, _ := ELU.Forward(x)
+		x[i] = orig
+		numeric := (scalarLoss(yp, w) - scalarLoss(ym, w)) / (2 * eps)
+		if math.Abs(numeric-dx[i]) > 1e-5 {
+			t.Errorf("ELU dx[%d]: analytic %v vs numeric %v", i, dx[i], numeric)
+		}
+	}
+}
+
+func TestGRNGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	grn := NewGRN("grn", 4, rng)
+	x := randVec(rng, 4)
+	w := randVec(rng, 4)
+	loss := func() float64 {
+		y, _ := grn.Forward(x)
+		return scalarLoss(y, w)
+	}
+	grn.Params().ZeroGrads()
+	_, cache := grn.Forward(x)
+	dx := grn.Backward(cache, w)
+	checkParamGrads(t, grn.Params(), loss, 1e-4)
+	const eps = 1e-6
+	for i := range x {
+		orig := x[i]
+		x[i] = orig + eps
+		lp := loss()
+		x[i] = orig - eps
+		lm := loss()
+		x[i] = orig
+		numeric := (lp - lm) / (2 * eps)
+		if math.Abs(numeric-dx[i]) > 1e-4 {
+			t.Errorf("GRN dx[%d]: analytic %v vs numeric %v", i, dx[i], numeric)
+		}
+	}
+}
+
+func TestGRNGateCanSuppress(t *testing.T) {
+	// With a strongly negative gate bias, the GRN output approaches the
+	// layer-normalized identity: the gating mechanism works.
+	rng := rand.New(rand.NewSource(34))
+	grn := NewGRN("grn", 4, rng)
+	for i := range grn.gateW.B.Value.Data {
+		grn.gateW.B.Value.Data[i] = -50 // gate ~ 0
+	}
+	x := randVec(rng, 4)
+	y, _ := grn.Forward(x)
+	want, _ := grn.norm.Forward(x)
+	for i := range y {
+		if math.Abs(y[i]-want[i]) > 1e-6 {
+			t.Fatalf("suppressed GRN differs from LN(x) at %d: %v vs %v", i, y[i], want[i])
+		}
+	}
+}
+
+func TestGRNParamsCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	grn := NewGRN("grn", 4, rng)
+	// 4 dense layers (W 4x4 + b 4) + layer norm (g 4 + b 4) = 4*20 + 8.
+	if got := grn.Params().Count(); got != 4*20+8 {
+		t.Errorf("param count = %d", got)
+	}
+}

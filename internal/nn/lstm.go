@@ -1,0 +1,169 @@
+package nn
+
+import "math/rand"
+
+// LSTMCell is a standard long short-term memory cell with input, forget,
+// output and candidate gates. It backs both the DeepAR-style autoregressive
+// forecaster and the TFT encoder/decoder.
+//
+// Gate layout inside the stacked weight matrices is [i; f; g; o], each of
+// Hidden rows.
+type LSTMCell struct {
+	InSize, Hidden int
+	Wx             *Param // (4H x In)
+	Wh             *Param // (4H x H)
+	B              *Param // (4H x 1)
+}
+
+// NewLSTMCell creates an LSTM cell with Xavier-initialized weights and the
+// forget-gate bias set to 1 (the usual trick to ease gradient flow early in
+// training).
+func NewLSTMCell(name string, inSize, hidden int, rng *rand.Rand) *LSTMCell {
+	c := &LSTMCell{
+		InSize: inSize,
+		Hidden: hidden,
+		Wx:     NewParam(name+".Wx", 4*hidden, inSize),
+		Wh:     NewParam(name+".Wh", 4*hidden, hidden),
+		B:      NewParam(name+".b", 4*hidden, 1),
+	}
+	c.Wx.InitXavier(rng)
+	c.Wh.InitXavier(rng)
+	for i := hidden; i < 2*hidden; i++ {
+		c.B.Value.Data[i] = 1 // forget gate bias
+	}
+	return c
+}
+
+// Params returns the cell's trainable parameters.
+func (c *LSTMCell) Params() Params { return Params{c.Wx, c.Wh, c.B} }
+
+// LSTMState is the recurrent state (h, c) carried between steps.
+type LSTMState struct {
+	H, C []float64
+}
+
+// NewLSTMState returns a zero state for the cell.
+func (c *LSTMCell) NewLSTMState() LSTMState {
+	return LSTMState{H: make([]float64, c.Hidden), C: make([]float64, c.Hidden)}
+}
+
+// Clone deep-copies the state.
+func (s LSTMState) Clone() LSTMState {
+	h := make([]float64, len(s.H))
+	cc := make([]float64, len(s.C))
+	copy(h, s.H)
+	copy(cc, s.C)
+	return LSTMState{H: h, C: cc}
+}
+
+// LSTMCache stores one step's intermediates for BPTT.
+type LSTMCache struct {
+	x            []float64
+	hPrev, cPrev []float64
+	i, f, g, o   []float64
+	c, tanhC     []float64
+}
+
+// Step advances the cell by one time step, returning the new state and the
+// cache needed for the backward pass.
+func (c *LSTMCell) Step(x []float64, prev LSTMState) (LSTMState, *LSTMCache) {
+	h := c.Hidden
+	pre := c.Wx.Value.MulVec(x)
+	preH := c.Wh.Value.MulVec(prev.H)
+	for i := range pre {
+		pre[i] += preH[i] + c.B.Value.Data[i]
+	}
+
+	cache := &LSTMCache{
+		x: x, hPrev: prev.H, cPrev: prev.C,
+		i: make([]float64, h), f: make([]float64, h),
+		g: make([]float64, h), o: make([]float64, h),
+		c: make([]float64, h), tanhC: make([]float64, h),
+	}
+	newH := make([]float64, h)
+	for j := 0; j < h; j++ {
+		cache.i[j] = sigmoid(pre[j])
+		cache.f[j] = sigmoid(pre[h+j])
+		cache.g[j] = tanh(pre[2*h+j])
+		cache.o[j] = sigmoid(pre[3*h+j])
+		cache.c[j] = cache.f[j]*prev.C[j] + cache.i[j]*cache.g[j]
+		cache.tanhC[j] = tanh(cache.c[j])
+		newH[j] = cache.o[j] * cache.tanhC[j]
+	}
+	return LSTMState{H: newH, C: cache.c}, cache
+}
+
+// StepBackward backpropagates one step: given gradients dh and dc flowing
+// into the step's output state, it accumulates parameter gradients and
+// returns the gradients for the input and the previous state.
+func (c *LSTMCell) StepBackward(cache *LSTMCache, dh, dc []float64) (dx []float64, dPrev LSTMState) {
+	h := c.Hidden
+	dPre := make([]float64, 4*h)
+	dcPrev := make([]float64, h)
+	for j := 0; j < h; j++ {
+		do := dh[j] * cache.tanhC[j]
+		dcj := dc[j] + dh[j]*cache.o[j]*(1-cache.tanhC[j]*cache.tanhC[j])
+		di := dcj * cache.g[j]
+		df := dcj * cache.cPrev[j]
+		dg := dcj * cache.i[j]
+		dcPrev[j] = dcj * cache.f[j]
+
+		dPre[j] = di * cache.i[j] * (1 - cache.i[j])
+		dPre[h+j] = df * cache.f[j] * (1 - cache.f[j])
+		dPre[2*h+j] = dg * (1 - cache.g[j]*cache.g[j])
+		dPre[3*h+j] = do * cache.o[j] * (1 - cache.o[j])
+	}
+
+	c.Wx.Grad.AddOuter(dPre, cache.x)
+	c.Wh.Grad.AddOuter(dPre, cache.hPrev)
+	for i, g := range dPre {
+		c.B.Grad.Data[i] += g
+	}
+
+	dx = c.Wx.Value.MulVecT(dPre)
+	dhPrev := c.Wh.Value.MulVecT(dPre)
+	return dx, LSTMState{H: dhPrev, C: dcPrev}
+}
+
+// RunSequence feeds a sequence of inputs through the cell starting from
+// state s0, returning the hidden states per step and the caches needed for
+// BackwardSequence.
+func (c *LSTMCell) RunSequence(xs [][]float64, s0 LSTMState) (hs [][]float64, final LSTMState, caches []*LSTMCache) {
+	hs = make([][]float64, len(xs))
+	caches = make([]*LSTMCache, len(xs))
+	state := s0
+	for t, x := range xs {
+		state, caches[t] = c.Step(x, state)
+		hs[t] = state.H
+	}
+	return hs, state, caches
+}
+
+// BackwardSequence backpropagates through a sequence processed with
+// RunSequence. dhs[t] is the gradient flowing into the hidden state at step
+// t from the loss; dFinal is any extra gradient on the final state (e.g.
+// from a decoder that consumed it). It returns input gradients per step and
+// the gradient on the initial state.
+func (c *LSTMCell) BackwardSequence(caches []*LSTMCache, dhs [][]float64, dFinal LSTMState) (dxs [][]float64, dS0 LSTMState) {
+	n := len(caches)
+	dxs = make([][]float64, n)
+	dh := make([]float64, c.Hidden)
+	dc := make([]float64, c.Hidden)
+	if dFinal.H != nil {
+		copy(dh, dFinal.H)
+	}
+	if dFinal.C != nil {
+		copy(dc, dFinal.C)
+	}
+	for t := n - 1; t >= 0; t-- {
+		if dhs != nil && dhs[t] != nil {
+			for j := range dh {
+				dh[j] += dhs[t][j]
+			}
+		}
+		var dPrev LSTMState
+		dxs[t], dPrev = c.StepBackward(caches[t], dh, dc)
+		dh, dc = dPrev.H, dPrev.C
+	}
+	return dxs, LSTMState{H: dh, C: dc}
+}

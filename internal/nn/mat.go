@@ -1,0 +1,207 @@
+// Package nn is a small from-scratch neural network library supporting the
+// probabilistic workload forecasters: dense layers, activations, an LSTM
+// cell with full backpropagation through time, scaled dot-product
+// attention, and SGD/Adam optimizers. It exists because the repository is
+// stdlib-only; the layers implement exactly what DeepAR- and TFT-style
+// models need and nothing more.
+//
+// All layers follow the same convention: Forward returns the output plus a
+// cache of the intermediates, and Backward consumes that cache with the
+// upstream gradient, accumulating parameter gradients and returning input
+// gradients. Caches make layers reusable across time steps, which BPTT
+// requires.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Mat is a dense row-major matrix.
+type Mat struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMat allocates a zeroed Rows x Cols matrix.
+func NewMat(rows, cols int) Mat {
+	return Mat{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m Mat) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m Mat) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice view.
+func (m Mat) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m Mat) Clone() Mat {
+	c := NewMat(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero clears all elements in place.
+func (m Mat) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// MulVec computes m * x for a column vector x (len Cols), returning a
+// vector of length Rows.
+func (m Mat) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("nn: MulVec dimension mismatch: %dx%d by %d", m.Rows, m.Cols, len(x)))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		sum := 0.0
+		for j, v := range row {
+			sum += v * x[j]
+		}
+		out[i] = sum
+	}
+	return out
+}
+
+// MulVecT computes m^T * y for a vector y (len Rows), returning a vector of
+// length Cols. Used for input gradients.
+func (m Mat) MulVecT(y []float64) []float64 {
+	if len(y) != m.Rows {
+		panic(fmt.Sprintf("nn: MulVecT dimension mismatch: %dx%d by %d", m.Rows, m.Cols, len(y)))
+	}
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		yi := y[i]
+		if yi == 0 {
+			continue
+		}
+		for j, v := range row {
+			out[j] += v * yi
+		}
+	}
+	return out
+}
+
+// AddOuter accumulates the outer product y x^T into m (Rows = len(y),
+// Cols = len(x)). Used for weight gradients.
+func (m Mat) AddOuter(y, x []float64) {
+	if len(y) != m.Rows || len(x) != m.Cols {
+		panic(fmt.Sprintf("nn: AddOuter dimension mismatch: %dx%d by %dx%d", m.Rows, m.Cols, len(y), len(x)))
+	}
+	for i, yi := range y {
+		if yi == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j, xj := range x {
+			row[j] += yi * xj
+		}
+	}
+}
+
+// MatMul returns a*b.
+func MatMul(a, b Mat) Mat {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("nn: MatMul dimension mismatch: %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMat(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns m^T.
+func (m Mat) Transpose() Mat {
+	out := NewMat(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// Param is a trainable tensor with its gradient accumulator.
+type Param struct {
+	Name  string
+	Value Mat
+	Grad  Mat
+}
+
+// NewParam allocates a named parameter of the given shape with zero values.
+func NewParam(name string, rows, cols int) *Param {
+	return &Param{Name: name, Value: NewMat(rows, cols), Grad: NewMat(rows, cols)}
+}
+
+// InitXavier fills the parameter with Glorot-uniform noise scaled by fan-in
+// and fan-out.
+func (p *Param) InitXavier(rng *rand.Rand) {
+	limit := math.Sqrt(6.0 / float64(p.Value.Rows+p.Value.Cols))
+	for i := range p.Value.Data {
+		p.Value.Data[i] = (2*rng.Float64() - 1) * limit
+	}
+}
+
+// Params is a collection of trainable parameters.
+type Params []*Param
+
+// ZeroGrads clears all gradient accumulators.
+func (ps Params) ZeroGrads() {
+	for _, p := range ps {
+		p.Grad.Zero()
+	}
+}
+
+// GradNorm returns the global L2 norm of all gradients.
+func (ps Params) GradNorm() float64 {
+	ss := 0.0
+	for _, p := range ps {
+		for _, g := range p.Grad.Data {
+			ss += g * g
+		}
+	}
+	return math.Sqrt(ss)
+}
+
+// ClipGradNorm rescales gradients so their global norm does not exceed max.
+// It returns the pre-clip norm.
+func (ps Params) ClipGradNorm(max float64) float64 {
+	norm := ps.GradNorm()
+	if norm > max && norm > 0 {
+		scale := max / norm
+		for _, p := range ps {
+			for i := range p.Grad.Data {
+				p.Grad.Data[i] *= scale
+			}
+		}
+	}
+	return norm
+}
+
+// Count returns the total number of scalar parameters.
+func (ps Params) Count() int {
+	n := 0
+	for _, p := range ps {
+		n += len(p.Value.Data)
+	}
+	return n
+}

@@ -1,0 +1,140 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMultiHeadAttentionGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, tc := range []struct {
+		heads  int
+		causal bool
+	}{
+		{1, false}, {2, false}, {2, true}, {4, true},
+	} {
+		attn, err := NewMultiHeadAttention("mha", 4, tc.heads, tc.causal, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const T = 3
+		x := NewMat(T, 4)
+		for i := range x.Data {
+			x.Data[i] = rng.NormFloat64()
+		}
+		w := NewMat(T, 4)
+		for i := range w.Data {
+			w.Data[i] = rng.NormFloat64()
+		}
+
+		loss := func() float64 {
+			out, _ := attn.Apply(x)
+			s := 0.0
+			for i, v := range out.Data {
+				s += v * w.Data[i]
+			}
+			return s
+		}
+		attn.Params().ZeroGrads()
+		out, backward := attn.Apply(x)
+		_ = out
+		dX := backward(w)
+
+		const eps = 1e-6
+		for _, p := range attn.Params() {
+			for i := range p.Value.Data {
+				orig := p.Value.Data[i]
+				p.Value.Data[i] = orig + eps
+				lp := loss()
+				p.Value.Data[i] = orig - eps
+				lm := loss()
+				p.Value.Data[i] = orig
+				numeric := (lp - lm) / (2 * eps)
+				if math.Abs(numeric-p.Grad.Data[i]) > 1e-5 {
+					t.Errorf("heads=%d causal=%v %s[%d]: analytic %v vs numeric %v",
+						tc.heads, tc.causal, p.Name, i, p.Grad.Data[i], numeric)
+				}
+			}
+		}
+		for i := range x.Data {
+			orig := x.Data[i]
+			x.Data[i] = orig + eps
+			lp := loss()
+			x.Data[i] = orig - eps
+			lm := loss()
+			x.Data[i] = orig
+			numeric := (lp - lm) / (2 * eps)
+			if math.Abs(numeric-dX.Data[i]) > 1e-5 {
+				t.Errorf("heads=%d causal=%v dX[%d]: analytic %v vs numeric %v",
+					tc.heads, tc.causal, i, dX.Data[i], numeric)
+			}
+		}
+	}
+}
+
+func TestMultiHeadAttentionValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewMultiHeadAttention("x", 5, 2, false, rng); err == nil {
+		t.Error("indivisible dim should fail")
+	}
+	if _, err := NewMultiHeadAttention("x", 4, 0, false, rng); err == nil {
+		t.Error("zero heads should fail")
+	}
+}
+
+func TestMultiHeadCausalMask(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	attn, err := NewMultiHeadAttention("mha", 4, 2, true, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A causal block's output at position i must not change when later
+	// positions change.
+	x := NewMat(3, 4)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	out1, _ := attn.Apply(x)
+	x2 := x.Clone()
+	for j := 0; j < 4; j++ {
+		x2.Set(2, j, rng.NormFloat64()) // mutate the last position
+	}
+	out2, _ := attn.Apply(x2)
+	for i := 0; i < 2; i++ { // earlier positions unchanged
+		for j := 0; j < 4; j++ {
+			if math.Abs(out1.At(i, j)-out2.At(i, j)) > 1e-12 {
+				t.Fatalf("causal leak at position %d", i)
+			}
+		}
+	}
+}
+
+func TestSingleHeadApplyMatchesForwardBackward(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	attn := NewAttention("a", 3, true, rng)
+	x := NewMat(4, 3)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	out1, cache := attn.Forward(x)
+	outApply, backward := attn.Apply(x)
+	for i := range out1.Data {
+		if out1.Data[i] != outApply.Data[i] {
+			t.Fatal("Apply output differs from Forward")
+		}
+	}
+	dOut := NewMat(4, 3)
+	for i := range dOut.Data {
+		dOut.Data[i] = rng.NormFloat64()
+	}
+	attn.Params().ZeroGrads()
+	d1 := attn.Backward(cache, dOut)
+	attn.Params().ZeroGrads()
+	d2 := backward(dOut)
+	for i := range d1.Data {
+		if d1.Data[i] != d2.Data[i] {
+			t.Fatal("Apply backward differs from Backward")
+		}
+	}
+}

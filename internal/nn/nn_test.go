@@ -1,0 +1,291 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatBasics(t *testing.T) {
+	m := NewMat(2, 3)
+	m.Set(0, 1, 5)
+	m.Set(1, 2, 7)
+	if m.At(0, 1) != 5 || m.At(1, 2) != 7 {
+		t.Error("Set/At mismatch")
+	}
+	if got := m.Row(1); got[2] != 7 {
+		t.Errorf("Row(1) = %v", got)
+	}
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Error("Clone shares storage")
+	}
+	m.Zero()
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("Zero left residue")
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := Mat{Rows: 2, Cols: 3, Data: []float64{1, 2, 3, 4, 5, 6}}
+	y := m.MulVec([]float64{1, 0, -1})
+	if y[0] != -2 || y[1] != -2 {
+		t.Errorf("MulVec = %v", y)
+	}
+	yt := m.MulVecT([]float64{1, 1})
+	want := []float64{5, 7, 9}
+	for i, w := range want {
+		if yt[i] != w {
+			t.Errorf("MulVecT[%d] = %v, want %v", i, yt[i], w)
+		}
+	}
+}
+
+func TestMulVecPanicsOnMismatch(t *testing.T) {
+	m := NewMat(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("MulVec should panic on dimension mismatch")
+		}
+	}()
+	m.MulVec([]float64{1, 2})
+}
+
+func TestAddOuter(t *testing.T) {
+	m := NewMat(2, 2)
+	m.AddOuter([]float64{1, 2}, []float64{3, 4})
+	want := []float64{3, 4, 6, 8}
+	for i, w := range want {
+		if m.Data[i] != w {
+			t.Errorf("AddOuter[%d] = %v, want %v", i, m.Data[i], w)
+		}
+	}
+}
+
+func TestMatMulAndTranspose(t *testing.T) {
+	a := Mat{Rows: 2, Cols: 2, Data: []float64{1, 2, 3, 4}}
+	b := Mat{Rows: 2, Cols: 2, Data: []float64{5, 6, 7, 8}}
+	c := MatMul(a, b)
+	want := []float64{19, 22, 43, 50}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Errorf("MatMul[%d] = %v, want %v", i, c.Data[i], w)
+		}
+	}
+	at := a.Transpose()
+	if at.At(0, 1) != 3 || at.At(1, 0) != 2 {
+		t.Errorf("Transpose = %v", at.Data)
+	}
+}
+
+func TestMatMulMatchesVecOps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMat(3, 4)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		x := randVec(rng, 4)
+		xm := Mat{Rows: 4, Cols: 1, Data: x}
+		viaMatMul := MatMul(m, xm)
+		viaMulVec := m.MulVec(x)
+		for i := range viaMulVec {
+			if math.Abs(viaMatMul.Data[i]-viaMulVec[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXavierInitRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := NewParam("p", 10, 10)
+	p.InitXavier(rng)
+	limit := math.Sqrt(6.0 / 20.0)
+	nonzero := 0
+	for _, v := range p.Value.Data {
+		if math.Abs(v) > limit {
+			t.Fatalf("init value %v exceeds Xavier limit %v", v, limit)
+		}
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero < 90 {
+		t.Error("Xavier init left most weights at zero")
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	p := NewParam("p", 1, 2)
+	p.Grad.Data[0] = 3
+	p.Grad.Data[1] = 4
+	ps := Params{p}
+	norm := ps.ClipGradNorm(1)
+	if math.Abs(norm-5) > 1e-12 {
+		t.Errorf("pre-clip norm = %v, want 5", norm)
+	}
+	if got := ps.GradNorm(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("post-clip norm = %v, want 1", got)
+	}
+	// No-op when below the max.
+	ps.ClipGradNorm(10)
+	if got := ps.GradNorm(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("clip below max changed norm to %v", got)
+	}
+}
+
+func TestParamsCountAndZero(t *testing.T) {
+	ps := Params{NewParam("a", 2, 3), NewParam("b", 1, 4)}
+	if ps.Count() != 10 {
+		t.Errorf("Count = %d", ps.Count())
+	}
+	ps[0].Grad.Data[0] = 5
+	ps.ZeroGrads()
+	if ps[0].Grad.Data[0] != 0 {
+		t.Error("ZeroGrads left residue")
+	}
+}
+
+// Train a tiny dense network on a linear task and check the loss drops.
+func trainLinearTask(t *testing.T, opt Optimizer, steps int) float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	d := NewDense("d", 2, 1, rng)
+	// Target function y = 2a - b + 0.5.
+	sample := func() ([]float64, float64) {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		return x, 2*x[0] - x[1] + 0.5
+	}
+	var tail float64
+	const tailWindow = 100
+	for step := 0; step < steps; step++ {
+		x, target := sample()
+		d.Params().ZeroGrads()
+		y, cache := d.Forward(x)
+		diff := y[0] - target
+		if step >= steps-tailWindow {
+			tail += diff * diff
+		}
+		d.Backward(cache, []float64{2 * diff})
+		opt.Step(d.Params())
+	}
+	return tail / tailWindow
+}
+
+func TestSGDConverges(t *testing.T) {
+	if loss := trainLinearTask(t, NewSGD(0.05, 0), 500); loss > 0.01 {
+		t.Errorf("SGD final loss = %v", loss)
+	}
+}
+
+func TestSGDMomentumConverges(t *testing.T) {
+	if loss := trainLinearTask(t, NewSGD(0.01, 0.9), 500); loss > 0.01 {
+		t.Errorf("SGD+momentum final loss = %v", loss)
+	}
+}
+
+func TestAdamConverges(t *testing.T) {
+	if loss := trainLinearTask(t, NewAdam(0.01), 3000); loss > 0.02 {
+		t.Errorf("Adam final loss = %v", loss)
+	}
+}
+
+func TestLSTMLearnsToRemember(t *testing.T) {
+	// Task: output at the end of a sequence should reflect the first
+	// input, which requires carrying state across steps.
+	rng := rand.New(rand.NewSource(13))
+	cell := NewLSTMCell("lstm", 1, 8, rng)
+	head := NewDense("head", 8, 1, rng)
+	params := append(cell.Params(), head.Params()...)
+	opt := NewAdam(0.01)
+
+	const T = 6
+	var lastLoss float64
+	for step := 0; step < 800; step++ {
+		first := float64(rng.Intn(2))
+		xs := make([][]float64, T)
+		xs[0] = []float64{first}
+		for i := 1; i < T; i++ {
+			xs[i] = []float64{rng.NormFloat64() * 0.1}
+		}
+		params.ZeroGrads()
+		hs, _, caches := cell.RunSequence(xs, cell.NewLSTMState())
+		y, hc := head.Forward(hs[T-1])
+		diff := y[0] - first
+		lastLoss = diff * diff
+		dh := head.Backward(hc, []float64{2 * diff})
+		dhs := make([][]float64, T)
+		dhs[T-1] = dh
+		cell.BackwardSequence(caches, dhs, LSTMState{})
+		params.ClipGradNorm(5)
+		opt.Step(params)
+	}
+	if lastLoss > 0.05 {
+		t.Errorf("LSTM memory task final loss = %v", lastLoss)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	d1 := NewDense("d", 3, 2, rng)
+	var buf bytes.Buffer
+	if err := d1.Params().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2 := NewDense("d", 3, 2, rand.New(rand.NewSource(99)))
+	if err := d2.Params().Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range d1.W.Value.Data {
+		if d1.W.Value.Data[i] != d2.W.Value.Data[i] {
+			t.Fatal("weights differ after load")
+		}
+	}
+}
+
+func TestLoadRejectsMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	d := NewDense("d", 3, 2, rng)
+	var buf bytes.Buffer
+	if err := d.Params().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong shape.
+	other := NewDense("d", 4, 2, rng)
+	if err := other.Params().Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("Load should reject shape mismatch")
+	}
+	// Wrong name.
+	renamed := NewDense("e", 3, 2, rng)
+	if err := renamed.Params().Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("Load should reject name mismatch")
+	}
+	// Wrong count.
+	big := Params{NewParam("x", 1, 1)}
+	big = append(big, d.Params()...)
+	if err := big.Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("Load should reject count mismatch")
+	}
+}
+
+func TestSigmoidStable(t *testing.T) {
+	if got := sigmoid(1000); got != 1 {
+		t.Errorf("sigmoid(1000) = %v", got)
+	}
+	if got := sigmoid(-1000); got != 0 {
+		t.Errorf("sigmoid(-1000) = %v", got)
+	}
+	if got := sigmoid(0); got != 0.5 {
+		t.Errorf("sigmoid(0) = %v", got)
+	}
+}

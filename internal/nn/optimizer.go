@@ -1,0 +1,89 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update and implies nothing about gradient clearing;
+	// callers zero gradients themselves.
+	Step(params Params)
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+
+	velocity map[*Param][]float64
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, velocity: map[*Param][]float64{}}
+}
+
+// Step applies one SGD update.
+func (o *SGD) Step(params Params) {
+	for _, p := range params {
+		if o.Momentum == 0 {
+			for i, g := range p.Grad.Data {
+				p.Value.Data[i] -= o.LR * g
+			}
+			continue
+		}
+		v, ok := o.velocity[p]
+		if !ok {
+			v = make([]float64, len(p.Value.Data))
+			o.velocity[p] = v
+		}
+		for i, g := range p.Grad.Data {
+			v[i] = o.Momentum*v[i] - o.LR*g
+			p.Value.Data[i] += v[i]
+		}
+	}
+}
+
+// Adam implements the Adam optimizer (Kingma & Ba). The paper trains all
+// neural forecasters with learning rate 1e-3, which is Adam's default here.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+
+	t int
+	m map[*Param][]float64
+	v map[*Param][]float64
+}
+
+// NewAdam returns an Adam optimizer with the standard betas and epsilon.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: map[*Param][]float64{},
+		v: map[*Param][]float64{},
+	}
+}
+
+// Step applies one Adam update.
+func (o *Adam) Step(params Params) {
+	o.t++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, p := range params {
+		m, ok := o.m[p]
+		if !ok {
+			m = make([]float64, len(p.Value.Data))
+			o.m[p] = m
+		}
+		v, ok := o.v[p]
+		if !ok {
+			v = make([]float64, len(p.Value.Data))
+			o.v[p] = v
+		}
+		for i, g := range p.Grad.Data {
+			m[i] = o.Beta1*m[i] + (1-o.Beta1)*g
+			v[i] = o.Beta2*v[i] + (1-o.Beta2)*g*g
+			mHat := m[i] / bc1
+			vHat := v[i] / bc2
+			p.Value.Data[i] -= o.LR * mHat / (math.Sqrt(vHat) + o.Eps)
+		}
+	}
+}

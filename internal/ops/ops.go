@@ -1,0 +1,117 @@
+// Package ops provides the observability surface of the auto-scaler
+// daemon: a thread-safe status registry updated by the control loop and
+// an HTTP handler exposing it as JSON, so operators can watch a live
+// deployment the way they would any production autoscaler.
+package ops
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Status is a snapshot of the auto-scaler's state.
+type Status struct {
+	// Strategy names the active scaling strategy.
+	Strategy string `json:"strategy"`
+	// Theta is the per-node workload threshold in effect.
+	Theta float64 `json:"theta"`
+	// VirtualTime is the simulation clock (wall clock for a live
+	// deployment).
+	VirtualTime time.Time `json:"virtual_time"`
+	// Nodes is the current allocation.
+	Nodes int `json:"nodes"`
+	// Workload is the most recent observed workload.
+	Workload float64 `json:"workload"`
+	// Utilization is workload divided by capacity relative to theta.
+	Utilization float64 `json:"utilization"`
+	// Steps counts control-loop iterations so far.
+	Steps int `json:"steps"`
+	// Violations counts threshold breaches so far.
+	Violations int `json:"violations"`
+	// ScaleOuts and ScaleIns count scaling operations.
+	ScaleOuts int `json:"scale_outs"`
+	ScaleIns  int `json:"scale_ins"`
+	// Plan is the remainder of the current scaling plan.
+	Plan []int `json:"plan,omitempty"`
+}
+
+// Registry holds the latest status for concurrent readers.
+type Registry struct {
+	mu     sync.RWMutex
+	status Status
+}
+
+// NewRegistry returns a registry pre-filled with the static fields.
+func NewRegistry(strategy string, theta float64) *Registry {
+	return &Registry{status: Status{Strategy: strategy, Theta: theta}}
+}
+
+// Update replaces the dynamic fields of the status. The provided function
+// mutates a copy under the registry lock, so partial updates are easy:
+//
+//	reg.Update(func(s *Status) { s.Nodes = 5 })
+func (r *Registry) Update(f func(*Status)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f(&r.status)
+}
+
+// Snapshot returns a copy of the current status.
+func (r *Registry) Snapshot() Status {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := r.status
+	s.Plan = append([]int(nil), r.status.Plan...)
+	return s
+}
+
+// Handler returns an http.Handler serving the status as JSON at any path.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		snap := r.Snapshot()
+		if err := json.NewEncoder(w).Encode(snap); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// MetricsHandler returns an http.Handler exposing the status as
+// Prometheus text-format gauges under the `robustscale_` prefix, so the
+// daemon plugs into standard monitoring stacks.
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		snap := r.Snapshot()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		var b strings.Builder
+		gauge := func(name, help string, v float64) {
+			fmt.Fprintf(&b, "# HELP robustscale_%s %s\n", name, help)
+			fmt.Fprintf(&b, "# TYPE robustscale_%s gauge\n", name)
+			fmt.Fprintf(&b, "robustscale_%s %g\n", name, v)
+		}
+		gauge("nodes", "Current node allocation.", float64(snap.Nodes))
+		gauge("workload", "Most recent observed workload.", snap.Workload)
+		gauge("utilization", "Workload relative to the threshold capacity.", snap.Utilization)
+		gauge("steps_total", "Control loop iterations.", float64(snap.Steps))
+		gauge("violations_total", "Threshold breaches observed.", float64(snap.Violations))
+		gauge("scale_outs_total", "Scale-out operations performed.", float64(snap.ScaleOuts))
+		gauge("scale_ins_total", "Scale-in operations performed.", float64(snap.ScaleIns))
+		gauge("theta", "Per-node workload threshold in effect.", snap.Theta)
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return
+		}
+	})
+}

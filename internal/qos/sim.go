@@ -1,0 +1,110 @@
+package qos
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// SimResult is the empirical outcome of a discrete-event simulation of one
+// node: the observed response-time distribution.
+type SimResult struct {
+	Served      int
+	MeanSec     float64
+	P50, P95    float64
+	P99         float64
+	Utilization float64
+}
+
+// Simulate runs a discrete-event simulation of one compute node as an
+// M/M/c station: Poisson arrivals at arrivalRate, exponential service at
+// the node's rate per worker, FIFO queueing across the node's workers.
+// It serves as the empirical cross-check of the analytic formulas in this
+// package (the tests assert they agree) and as the substrate for failure
+// and burst experiments the closed forms cannot express.
+func Simulate(n Node, arrivalRate float64, queries int, seed int64) (*SimResult, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if arrivalRate <= 0 {
+		return nil, fmt.Errorf("qos: non-positive arrival rate %v", arrivalRate)
+	}
+	if queries < 1 {
+		return nil, fmt.Errorf("qos: need at least one query, got %d", queries)
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Worker availability times as a min-heap: the earliest-free worker
+	// serves the head of the FIFO queue.
+	workers := make(minHeap, n.Workers)
+	heap.Init(&workers)
+
+	latencies := make([]float64, 0, queries)
+	arrival := 0.0
+	busy := 0.0
+	var lastDeparture float64
+	for i := 0; i < queries; i++ {
+		arrival += rng.ExpFloat64() / arrivalRate
+		// The query starts when both it has arrived and a worker is free.
+		start := arrival
+		if workers[0] > start {
+			start = workers[0]
+		}
+		service := rng.ExpFloat64() / n.ServiceRate
+		finish := start + service
+		workers[0] = finish
+		heap.Fix(&workers, 0)
+
+		latencies = append(latencies, finish-arrival)
+		busy += service
+		if finish > lastDeparture {
+			lastDeparture = finish
+		}
+	}
+
+	sort.Float64s(latencies)
+	res := &SimResult{
+		Served:      queries,
+		P50:         percentile(latencies, 0.50),
+		P95:         percentile(latencies, 0.95),
+		P99:         percentile(latencies, 0.99),
+		Utilization: busy / (lastDeparture * float64(n.Workers)),
+	}
+	sum := 0.0
+	for _, l := range latencies {
+		sum += l
+	}
+	res.MeanSec = sum / float64(len(latencies))
+	return res, nil
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// minHeap is a float64 min-heap of worker free times.
+type minHeap []float64
+
+func (h minHeap) Len() int            { return len(h) }
+func (h minHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
+func (h *minHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}

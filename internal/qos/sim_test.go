@@ -1,0 +1,100 @@
+package qos
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSimulateMatchesAnalyticMM1(t *testing.T) {
+	// M/M/1 at rho = 0.5: mean = 1/(mu - lambda), and the response-time
+	// distribution is exponential, so p99 = ln(100) * mean.
+	n := Node{ServiceRate: 100, Workers: 1}
+	res, err := Simulate(n, 50, 200000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMean := 1.0 / 50
+	if math.Abs(res.MeanSec-wantMean)/wantMean > 0.05 {
+		t.Errorf("sim mean %v vs analytic %v", res.MeanSec, wantMean)
+	}
+	wantP99 := math.Log(100) / 50
+	if math.Abs(res.P99-wantP99)/wantP99 > 0.1 {
+		t.Errorf("sim p99 %v vs analytic %v", res.P99, wantP99)
+	}
+	if math.Abs(res.Utilization-0.5) > 0.05 {
+		t.Errorf("sim utilization %v, want ~0.5", res.Utilization)
+	}
+}
+
+func TestSimulateMatchesAnalyticMMC(t *testing.T) {
+	// The discrete-event simulation and the Erlang-C formulas must agree
+	// across loads — the empirical cross-check of the analytic model.
+	n := Node{ServiceRate: 100, Workers: 8}
+	for _, rate := range []float64{200, 500, 700} {
+		analytic, err := NodeLatency(n, rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := Simulate(n, rate, 300000, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(sim.MeanSec-analytic.Mean.Seconds()) / analytic.Mean.Seconds(); rel > 0.08 {
+			t.Errorf("rate %v: sim mean %v vs analytic %v (rel %v)",
+				rate, sim.MeanSec, analytic.Mean.Seconds(), rel)
+		}
+		if rel := math.Abs(sim.P99-analytic.P99.Seconds()) / analytic.P99.Seconds(); rel > 0.12 {
+			t.Errorf("rate %v: sim p99 %v vs analytic %v (rel %v)",
+				rate, sim.P99, analytic.P99.Seconds(), rel)
+		}
+	}
+}
+
+func TestSimulateDeterministicPerSeed(t *testing.T) {
+	n := Node{ServiceRate: 50, Workers: 2}
+	a, err := Simulate(n, 60, 5000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(n, 60, 5000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.P99 != b.P99 || a.MeanSec != b.MeanSec {
+		t.Error("same seed should reproduce exactly")
+	}
+	c, err := Simulate(n, 60, 5000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.P99 == a.P99 {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	n := Node{ServiceRate: 50, Workers: 2}
+	if _, err := Simulate(Node{}, 10, 100, 1); err == nil {
+		t.Error("bad node should fail")
+	}
+	if _, err := Simulate(n, 0, 100, 1); err == nil {
+		t.Error("zero rate should fail")
+	}
+	if _, err := Simulate(n, 10, 0, 1); err == nil {
+		t.Error("zero queries should fail")
+	}
+}
+
+func TestSimulateOrderedPercentiles(t *testing.T) {
+	n := Node{ServiceRate: 100, Workers: 4}
+	res, err := Simulate(n, 250, 50000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.P50 <= res.P95 && res.P95 <= res.P99) {
+		t.Errorf("percentiles out of order: %v %v %v", res.P50, res.P95, res.P99)
+	}
+	if res.Served != 50000 {
+		t.Errorf("served = %d", res.Served)
+	}
+}

@@ -1,0 +1,124 @@
+package scaler
+
+import (
+	"fmt"
+
+	"robustscale/internal/metrics"
+	"robustscale/internal/optimize"
+	"robustscale/internal/timeseries"
+)
+
+// RateLimited wraps a Strategy with the anti-thrashing constraint of
+// Section V-A: the planned node count may change by at most MaxDelta per
+// step. The wrapped plan is treated as the demand path and re-planned by
+// the exact dynamic program.
+type RateLimited struct {
+	// Inner produces the unconstrained plan.
+	Inner Strategy
+	// MaxDelta bounds the per-step node-count change.
+	MaxDelta int
+
+	last int
+}
+
+// Name implements Strategy.
+func (r *RateLimited) Name() string {
+	return fmt.Sprintf("%s-ratelimit%d", r.Inner.Name(), r.MaxDelta)
+}
+
+// Plan implements Strategy.
+func (r *RateLimited) Plan(history *timeseries.Series, h int) ([]int, error) {
+	inner, err := r.Inner.Plan(history, h)
+	if err != nil {
+		return nil, err
+	}
+	initial := r.last
+	if initial < 1 {
+		initial = 1
+	}
+	plan, err := optimize.PlanConstrainedDemand(inner, optimize.ThrashingConfig{
+		Initial:  initial,
+		MaxDelta: r.MaxDelta,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(plan) > 0 {
+		r.last = plan[len(plan)-1]
+	}
+	return plan, nil
+}
+
+// Observe forwards realized workloads to the wrapped strategy.
+func (r *RateLimited) Observe(actual []float64) {
+	if obs, ok := r.Inner.(Observer); ok {
+		obs.Observe(actual)
+	}
+}
+
+// EvalConfig controls a rolling evaluation of a strategy over the tail of
+// a workload series.
+type EvalConfig struct {
+	// Theta is the per-node workload threshold used to judge
+	// provisioning.
+	Theta float64
+	// Horizon is the planning cadence: the strategy plans Horizon steps,
+	// those elapse, then it re-plans. The paper uses 72 (12 hours) for
+	// predictive strategies and 1 for reactive ones.
+	Horizon int
+	// Start is the index of the first evaluated step; everything before
+	// it is visible history (and typically training data).
+	Start int
+}
+
+// EvalResult is the outcome of a rolling evaluation.
+type EvalResult struct {
+	Strategy    string
+	Report      *metrics.ProvisioningReport
+	Allocations []int
+	Actuals     []float64
+}
+
+// Evaluate replays the series against the strategy: at each planning
+// origin the strategy sees only the history so far, commits allocations
+// for the next Horizon steps, and the realized workload grades them. The
+// strategy's Observe hook (if any) receives the realized workloads after
+// each round, which is how the padding baseline learns.
+func Evaluate(strategy Strategy, s *timeseries.Series, cfg EvalConfig) (*EvalResult, error) {
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("scaler: non-positive evaluation horizon %d", cfg.Horizon)
+	}
+	if cfg.Start <= 0 || cfg.Start >= s.Len() {
+		return nil, fmt.Errorf("scaler: evaluation start %d outside series of length %d", cfg.Start, s.Len())
+	}
+	var allocations []int
+	var actuals []float64
+	for origin := cfg.Start; origin+cfg.Horizon <= s.Len(); origin += cfg.Horizon {
+		plan, err := strategy.Plan(s.Slice(0, origin), cfg.Horizon)
+		if err != nil {
+			return nil, fmt.Errorf("scaler: %s planning at %d: %w", strategy.Name(), origin, err)
+		}
+		if len(plan) != cfg.Horizon {
+			return nil, fmt.Errorf("scaler: %s returned %d allocations for horizon %d", strategy.Name(), len(plan), cfg.Horizon)
+		}
+		realized := s.Values[origin : origin+cfg.Horizon]
+		allocations = append(allocations, plan...)
+		actuals = append(actuals, realized...)
+		if obs, ok := strategy.(Observer); ok {
+			obs.Observe(realized)
+		}
+	}
+	if len(allocations) == 0 {
+		return nil, fmt.Errorf("scaler: evaluation span too short for horizon %d", cfg.Horizon)
+	}
+	report, err := metrics.Provisioning(actuals, allocations, cfg.Theta)
+	if err != nil {
+		return nil, err
+	}
+	return &EvalResult{
+		Strategy:    strategy.Name(),
+		Report:      report,
+		Allocations: allocations,
+		Actuals:     actuals,
+	}, nil
+}

@@ -1,0 +1,130 @@
+package scaler
+
+import (
+	"testing"
+)
+
+func TestPlanMultiResourceTakesMax(t *testing.T) {
+	cpu := &fakeQF{name: "cpu", Base: []float64{100, 50}, Spread: []float64{0, 0}}
+	mem := &fakeQF{name: "mem", Base: []float64{40, 90}, Spread: []float64{0, 0}}
+	specs := []ResourceSpec{
+		{Name: "cpu", History: series(1), Forecaster: cpu, Tau: 0.9, Theta: 10},
+		{Name: "mem", History: series(1), Forecaster: mem, Tau: 0.9, Theta: 10},
+	}
+	plan, err := PlanMultiResource(specs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step 0: cpu needs 10, mem needs 4 -> 10 (cpu binds).
+	// Step 1: cpu needs 5, mem needs 9 -> 9 (mem binds).
+	if plan.Allocations[0] != 10 || plan.Allocations[1] != 9 {
+		t.Errorf("allocations = %v", plan.Allocations)
+	}
+	if got := plan.Binding(specs, 0); got != "cpu" {
+		t.Errorf("binding[0] = %q", got)
+	}
+	if got := plan.Binding(specs, 1); got != "mem" {
+		t.Errorf("binding[1] = %q", got)
+	}
+	if len(plan.PerResource) != 2 {
+		t.Errorf("per-resource = %v", plan.PerResource)
+	}
+}
+
+func TestPlanMultiResourceValidation(t *testing.T) {
+	qf := &fakeQF{name: "x", Base: []float64{1}, Spread: []float64{0}}
+	good := ResourceSpec{Name: "x", History: series(1), Forecaster: qf, Tau: 0.9, Theta: 10}
+	if _, err := PlanMultiResource(nil, 1); err == nil {
+		t.Error("no specs should fail")
+	}
+	if _, err := PlanMultiResource([]ResourceSpec{good}, 0); err == nil {
+		t.Error("zero horizon should fail")
+	}
+	noName := good
+	noName.Name = ""
+	if _, err := PlanMultiResource([]ResourceSpec{noName}, 1); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := PlanMultiResource([]ResourceSpec{good, good}, 1); err == nil {
+		t.Error("duplicate name should fail")
+	}
+	badTheta := good
+	badTheta.Name = "y"
+	badTheta.Theta = 0
+	if _, err := PlanMultiResource([]ResourceSpec{badTheta}, 1); err == nil {
+		t.Error("zero theta should fail")
+	}
+	badTau := good
+	badTau.Name = "z"
+	badTau.Tau = 2
+	if _, err := PlanMultiResource([]ResourceSpec{badTau}, 1); err == nil {
+		t.Error("bad tau should fail")
+	}
+}
+
+func TestEvaluateMultiResource(t *testing.T) {
+	specs := []ResourceSpec{
+		{Name: "cpu", Theta: 10},
+		{Name: "mem", Theta: 20},
+	}
+	actuals := map[string][]float64{
+		// Step 0: cpu 25/3 <= 10, mem 45/3 <= 20: ok, min = max(3, 3) = 3 -> exact.
+		// Step 1: cpu 35/3 > 10: under.
+		// Step 2: cpu 10/3, mem 20/3: min = 1, alloc 3 -> over.
+		"cpu": {25, 35, 10},
+		"mem": {45, 10, 20},
+	}
+	under, over, err := EvaluateMultiResource(specs, actuals, []int{3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if under != 1.0/3 {
+		t.Errorf("under = %v", under)
+	}
+	if over != 1.0/3 {
+		t.Errorf("over = %v", over)
+	}
+}
+
+func TestEvaluateMultiResourceValidation(t *testing.T) {
+	specs := []ResourceSpec{{Name: "cpu", Theta: 10}}
+	if _, _, err := EvaluateMultiResource(specs, nil, nil); err == nil {
+		t.Error("empty allocations should fail")
+	}
+	if _, _, err := EvaluateMultiResource(specs, map[string][]float64{}, []int{1}); err == nil {
+		t.Error("missing actuals should fail")
+	}
+	if _, _, err := EvaluateMultiResource(specs, map[string][]float64{"cpu": {1, 2}}, []int{1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestMultiResourceEndToEndDominatesSingle(t *testing.T) {
+	// When memory binds, a CPU-only plan under-provisions memory.
+	cpu := &fakeQF{name: "cpu", Base: []float64{50, 50}, Spread: []float64{0, 0}}
+	mem := &fakeQF{name: "mem", Base: []float64{200, 200}, Spread: []float64{0, 0}}
+	specs := []ResourceSpec{
+		{Name: "cpu", History: series(1), Forecaster: cpu, Tau: 0.9, Theta: 10},
+		{Name: "mem", History: series(1), Forecaster: mem, Tau: 0.9, Theta: 20},
+	}
+	joint, err := PlanMultiResource(specs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actuals := map[string][]float64{"cpu": {50, 50}, "mem": {200, 200}}
+	under, _, err := EvaluateMultiResource(specs, actuals, joint.Allocations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if under != 0 {
+		t.Errorf("joint plan under = %v", under)
+	}
+	cpuOnly := joint.PerResource["cpu"]
+	underCPU, _, err := EvaluateMultiResource(specs, actuals, cpuOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if underCPU == 0 {
+		t.Error("cpu-only plan should under-provision memory")
+	}
+}

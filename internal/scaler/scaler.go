@@ -1,0 +1,338 @@
+// Package scaler implements the auto-scaling strategies compared in the
+// paper's Section IV-C: reactive scalers in the style of Google Autopilot
+// and the Kubernetes HPA, predictive scalers driven by point forecasts
+// (with and without CloudScale-style padding), the robust quantile-driven
+// strategy of Equation 6, and the uncertainty-aware adaptive strategy of
+// Algorithm 1 together with its staircase extension.
+package scaler
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"robustscale/internal/forecast"
+	"robustscale/internal/metrics"
+	"robustscale/internal/optimize"
+	"robustscale/internal/timeseries"
+)
+
+// Strategy produces compute-node allocations for the next h steps given
+// the workload history observed so far.
+type Strategy interface {
+	// Name identifies the strategy for reporting (e.g. "tft-0.9").
+	Name() string
+	// Plan returns integer node allocations for the next h steps.
+	Plan(history *timeseries.Series, h int) ([]int, error)
+}
+
+// Observer is implemented by strategies that learn from realized outcomes
+// (the padding enhancement). The evaluation harness feeds actuals back
+// after each planning round.
+type Observer interface {
+	// Observe reports the realized workload for the steps of the most
+	// recent plan.
+	Observe(actual []float64)
+}
+
+// ErrNoHistory is returned when a reactive strategy has no observations to
+// work from.
+var ErrNoHistory = errors.New("scaler: empty workload history")
+
+// ReactiveMax scales on the maximum workload inside a trailing window, the
+// conservative variant of a moving-window reactive scaler.
+type ReactiveMax struct {
+	// Window is the number of trailing steps inspected.
+	Window int
+	// Theta is the per-node workload threshold.
+	Theta float64
+}
+
+// Name implements Strategy.
+func (r *ReactiveMax) Name() string { return "reactive-max" }
+
+// Plan implements Strategy: the window maximum drives a flat allocation
+// for the whole horizon (a reactive scaler has no forward model).
+func (r *ReactiveMax) Plan(history *timeseries.Series, h int) ([]int, error) {
+	if history.Len() == 0 {
+		return nil, ErrNoHistory
+	}
+	if r.Theta <= 0 {
+		return nil, fmt.Errorf("scaler: reactive-max threshold %v", r.Theta)
+	}
+	window := r.Window
+	if window <= 0 {
+		window = 6
+	}
+	tail := history.Last(window)
+	c := optimize.Allocate(tail.Max(), r.Theta)
+	return flat(c, h), nil
+}
+
+// ReactiveAvg scales on an exponentially weighted average of the trailing
+// window, the Autopilot-style moving-window recommender. The paper sets
+// the half-life to 6 intervals.
+type ReactiveAvg struct {
+	// Window is the number of trailing steps inspected.
+	Window int
+	// HalfLife is the decay half-life in steps.
+	HalfLife float64
+	// Theta is the per-node workload threshold.
+	Theta float64
+}
+
+// Name implements Strategy.
+func (r *ReactiveAvg) Name() string { return "reactive-avg" }
+
+// Plan implements Strategy.
+func (r *ReactiveAvg) Plan(history *timeseries.Series, h int) ([]int, error) {
+	if history.Len() == 0 {
+		return nil, ErrNoHistory
+	}
+	if r.Theta <= 0 {
+		return nil, fmt.Errorf("scaler: reactive-avg threshold %v", r.Theta)
+	}
+	window := r.Window
+	if window <= 0 {
+		window = 6
+	}
+	half := r.HalfLife
+	if half <= 0 {
+		half = 6
+	}
+	tail := history.Last(window)
+	decay := math.Pow(0.5, 1/half)
+	weight := 1.0
+	sum, wsum := 0.0, 0.0
+	// Most recent observation carries the largest weight.
+	for i := tail.Len() - 1; i >= 0; i-- {
+		sum += weight * tail.At(i)
+		wsum += weight
+		weight *= decay
+	}
+	c := optimize.Allocate(sum/wsum, r.Theta)
+	return flat(c, h), nil
+}
+
+func flat(c, h int) []int {
+	out := make([]int, h)
+	for i := range out {
+		out[i] = c
+	}
+	return out
+}
+
+// Predictive scales on a point forecast (Definition 3 with predicted
+// workloads). With a *forecast.Padded base it becomes the padding-enhanced
+// baseline; call Observe with realized workloads to feed the padding.
+type Predictive struct {
+	// Forecaster supplies point forecasts.
+	Forecaster forecast.Forecaster
+	// Theta is the per-node workload threshold.
+	Theta float64
+
+	lastPrediction []float64
+}
+
+// Name implements Strategy.
+func (p *Predictive) Name() string { return p.Forecaster.Name() }
+
+// Plan implements Strategy.
+func (p *Predictive) Plan(history *timeseries.Series, h int) ([]int, error) {
+	if p.Theta <= 0 {
+		return nil, fmt.Errorf("scaler: predictive threshold %v", p.Theta)
+	}
+	pred, err := p.Forecaster.Predict(history, h)
+	if err != nil {
+		return nil, err
+	}
+	p.lastPrediction = pred
+	return optimize.Plan(pred, p.Theta)
+}
+
+// Observe implements Observer: when the wrapped forecaster supports
+// padding, realized workloads update its under-estimation statistics.
+func (p *Predictive) Observe(actual []float64) {
+	if padded, ok := p.Forecaster.(*forecast.Padded); ok && p.lastPrediction != nil {
+		padded.Observe(actual, p.lastPrediction)
+	}
+}
+
+// Robust is the paper's core contribution (Equation 6): allocations are
+// driven by a single quantile forecast at level Tau, turning the robust
+// optimization into a deterministic per-step problem.
+type Robust struct {
+	// Forecaster supplies quantile forecasts.
+	Forecaster forecast.QuantileForecaster
+	// Tau is the quantile level guiding allocation (e.g. 0.9).
+	Tau float64
+	// Theta is the per-node workload threshold.
+	Theta float64
+}
+
+// Name implements Strategy.
+func (r *Robust) Name() string {
+	return fmt.Sprintf("%s-%g", r.Forecaster.Name(), r.Tau)
+}
+
+// Plan implements Strategy.
+func (r *Robust) Plan(history *timeseries.Series, h int) ([]int, error) {
+	if r.Theta <= 0 {
+		return nil, fmt.Errorf("scaler: robust threshold %v", r.Theta)
+	}
+	if r.Tau <= 0 || r.Tau >= 1 {
+		return nil, fmt.Errorf("scaler: robust quantile level %v outside (0, 1)", r.Tau)
+	}
+	f, err := r.Forecaster.PredictQuantiles(history, h, []float64{r.Tau})
+	if err != nil {
+		return nil, err
+	}
+	path := make([]float64, h)
+	for t := 0; t < h; t++ {
+		path[t] = f.Values[t][0]
+	}
+	return optimize.Plan(path, r.Theta)
+}
+
+// Adaptive is the uncertainty-aware adaptive strategy of Algorithm 1: at
+// each step the uncertainty U of the quantile fan decides between the
+// optimistic level Tau1 and the conservative level Tau2.
+type Adaptive struct {
+	// Forecaster supplies quantile forecasts.
+	Forecaster forecast.QuantileForecaster
+	// Tau1 < Tau2 are the optional quantile levels.
+	Tau1, Tau2 float64
+	// Rho is the uncertainty threshold: U >= Rho selects Tau2.
+	Rho float64
+	// Theta is the per-node workload threshold.
+	Theta float64
+	// Levels is the quantile grid used to compute U; it must include 0.5.
+	// Defaults to forecast.ScalingLevels.
+	Levels []float64
+}
+
+// Name implements Strategy.
+func (a *Adaptive) Name() string {
+	return fmt.Sprintf("%s-adaptive-%g/%g", a.Forecaster.Name(), a.Tau1, a.Tau2)
+}
+
+// Plan implements Strategy (Algorithm 1).
+func (a *Adaptive) Plan(history *timeseries.Series, h int) ([]int, error) {
+	if err := a.validate(); err != nil {
+		return nil, err
+	}
+	levels := a.Levels
+	if len(levels) == 0 {
+		levels = forecast.ScalingLevels
+	}
+	f, err := a.Forecaster.PredictQuantiles(history, h, levels)
+	if err != nil {
+		return nil, err
+	}
+	us, err := Uncertainties(f)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, h)
+	for t := 0; t < h; t++ {
+		tau := a.Tau1
+		if us[t] >= a.Rho {
+			tau = a.Tau2
+		}
+		out[t] = optimize.Allocate(f.At(t, tau), a.Theta)
+	}
+	return out, nil
+}
+
+func (a *Adaptive) validate() error {
+	if a.Theta <= 0 {
+		return fmt.Errorf("scaler: adaptive threshold %v", a.Theta)
+	}
+	if a.Tau1 <= 0 || a.Tau2 >= 1 || a.Tau1 > a.Tau2 {
+		return fmt.Errorf("scaler: adaptive quantile levels %v/%v invalid", a.Tau1, a.Tau2)
+	}
+	return nil
+}
+
+// Uncertainties computes the per-step uncertainty metric U (Equation 8)
+// of a quantile forecast, measuring each level against the median.
+func Uncertainties(f *forecast.QuantileForecast) ([]float64, error) {
+	out := make([]float64, f.Horizon())
+	for t := range out {
+		median := f.At(t, 0.5)
+		u, err := metrics.Uncertainty(f.Levels, f.Step(t), median)
+		if err != nil {
+			return nil, err
+		}
+		out[t] = u
+	}
+	return out, nil
+}
+
+// StaircaseLevel is one rung of the staircase extension: when the
+// uncertainty reaches Rho, scale at quantile level Tau.
+type StaircaseLevel struct {
+	Rho float64
+	Tau float64
+}
+
+// Staircase generalizes Adaptive beyond two levels: a sorted ladder of
+// uncertainty thresholds maps increasing uncertainty to increasingly
+// conservative quantile levels, the "staircase-like range of options" the
+// paper describes.
+type Staircase struct {
+	// Forecaster supplies quantile forecasts.
+	Forecaster forecast.QuantileForecaster
+	// Base is the quantile level used below the first rung.
+	Base float64
+	// Rungs must be sorted by ascending Rho.
+	Rungs []StaircaseLevel
+	// Theta is the per-node workload threshold.
+	Theta float64
+	// Levels is the quantile grid used to compute U (must include 0.5);
+	// defaults to forecast.ScalingLevels.
+	Levels []float64
+}
+
+// Name implements Strategy.
+func (s *Staircase) Name() string {
+	return fmt.Sprintf("%s-staircase-%d", s.Forecaster.Name(), len(s.Rungs))
+}
+
+// Plan implements Strategy.
+func (s *Staircase) Plan(history *timeseries.Series, h int) ([]int, error) {
+	if s.Theta <= 0 {
+		return nil, fmt.Errorf("scaler: staircase threshold %v", s.Theta)
+	}
+	if s.Base <= 0 || s.Base >= 1 {
+		return nil, fmt.Errorf("scaler: staircase base level %v", s.Base)
+	}
+	for i := 1; i < len(s.Rungs); i++ {
+		if s.Rungs[i].Rho < s.Rungs[i-1].Rho {
+			return nil, fmt.Errorf("scaler: staircase rungs not sorted by threshold")
+		}
+	}
+	levels := s.Levels
+	if len(levels) == 0 {
+		levels = forecast.ScalingLevels
+	}
+	f, err := s.Forecaster.PredictQuantiles(history, h, levels)
+	if err != nil {
+		return nil, err
+	}
+	us, err := Uncertainties(f)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, h)
+	for t := 0; t < h; t++ {
+		tau := s.Base
+		for _, rung := range s.Rungs {
+			if us[t] >= rung.Rho {
+				tau = rung.Tau
+			}
+		}
+		out[t] = optimize.Allocate(f.At(t, tau), s.Theta)
+	}
+	return out, nil
+}

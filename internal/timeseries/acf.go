@@ -1,0 +1,133 @@
+package timeseries
+
+import (
+	"fmt"
+	"math"
+)
+
+// ACF computes the sample autocorrelation function of the series up to
+// maxLag (inclusive). Index 0 is always 1.
+func ACF(s *Series, maxLag int) ([]float64, error) {
+	n := s.Len()
+	if maxLag < 1 {
+		return nil, fmt.Errorf("timeseries: ACF needs a positive max lag, got %d", maxLag)
+	}
+	if n <= maxLag {
+		return nil, fmt.Errorf("timeseries: series of length %d too short for lag %d", n, maxLag)
+	}
+	mean := s.Mean()
+	den := 0.0
+	for _, v := range s.Values {
+		d := v - mean
+		den += d * d
+	}
+	out := make([]float64, maxLag+1)
+	out[0] = 1
+	if den == 0 {
+		return out, nil // constant series: zero correlation beyond lag 0
+	}
+	for lag := 1; lag <= maxLag; lag++ {
+		num := 0.0
+		for i := 0; i+lag < n; i++ {
+			num += (s.Values[i] - mean) * (s.Values[i+lag] - mean)
+		}
+		out[lag] = num / den
+	}
+	return out, nil
+}
+
+// DetectPeriod estimates the dominant seasonal period of the series as the
+// lag of the highest autocorrelation peak within [minLag, maxLag]. A peak
+// must be a local maximum of the ACF and exceed the significance threshold
+// (0.2 by default when threshold <= 0). Returns 0 when no significant
+// seasonality is found — the caller should then treat the series as
+// non-seasonal.
+func DetectPeriod(s *Series, minLag, maxLag int, threshold float64) (int, error) {
+	if minLag < 2 {
+		minLag = 2
+	}
+	if maxLag <= minLag {
+		return 0, fmt.Errorf("timeseries: period search range [%d, %d] empty", minLag, maxLag)
+	}
+	if threshold <= 0 {
+		threshold = 0.2
+	}
+	acf, err := ACF(s, maxLag)
+	if err != nil {
+		return 0, err
+	}
+	best, bestVal := 0, threshold
+	for lag := minLag; lag < maxLag; lag++ {
+		v := acf[lag]
+		if v > bestVal && v >= acf[lag-1] && v >= acf[lag+1] {
+			best, bestVal = lag, v
+		}
+	}
+	return best, nil
+}
+
+// Volatility summarizes how hard a workload series is to forecast: the
+// coefficient of variation of the residual after removing the dominant
+// seasonal pattern (if any), plus spike statistics. It is the quantitative
+// backing for "the Google trace is harder than the Alibaba trace".
+type Volatility struct {
+	// Period is the detected seasonal period (0 if none).
+	Period int
+	// SeasonalStrength is the ACF value at the detected period.
+	SeasonalStrength float64
+	// ResidualCV is the residual standard deviation over the series mean,
+	// after removing the seasonal component when one was detected.
+	ResidualCV float64
+	// SpikeRate is the fraction of observations more than three residual
+	// standard deviations above the (de-seasonalized) level.
+	SpikeRate float64
+}
+
+// Characterize computes the volatility summary, searching for a period up
+// to maxLag.
+func Characterize(s *Series, maxLag int) (*Volatility, error) {
+	period, err := DetectPeriod(s, 2, maxLag, 0)
+	if err != nil {
+		return nil, err
+	}
+	v := &Volatility{Period: period}
+	residual := s.Values
+	if period > 0 {
+		acf, err := ACF(s, period)
+		if err != nil {
+			return nil, err
+		}
+		v.SeasonalStrength = acf[period]
+		if s.Len() >= 2*period {
+			dec, err := DecomposeAdditive(s, period)
+			if err != nil {
+				return nil, err
+			}
+			clean := make([]float64, 0, s.Len())
+			for _, r := range dec.Residual {
+				if !math.IsNaN(r) {
+					clean = append(clean, r)
+				}
+			}
+			residual = clean
+		}
+	}
+	mean := s.Mean()
+	if mean == 0 {
+		return nil, fmt.Errorf("timeseries: zero-mean series, CV undefined")
+	}
+	rs := New(s.Name+"/residual", s.Start, s.Step, residual)
+	std := rs.Std()
+	v.ResidualCV = std / math.Abs(mean)
+	spikes := 0
+	rmean := rs.Mean()
+	for _, r := range residual {
+		if r > rmean+3*std {
+			spikes++
+		}
+	}
+	if len(residual) > 0 {
+		v.SpikeRate = float64(spikes) / float64(len(residual))
+	}
+	return v, nil
+}

@@ -1,0 +1,146 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func seasonalSeries(n, period int, noise float64, seed int64) *Series {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 100 + 20*math.Sin(2*math.Pi*float64(i)/float64(period)) + rng.NormFloat64()*noise
+	}
+	return New("seasonal", t0, DefaultStep, vals)
+}
+
+func TestACFBasics(t *testing.T) {
+	s := seasonalSeries(600, 48, 1, 1)
+	acf, err := ACF(s, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acf[0] != 1 {
+		t.Errorf("acf[0] = %v", acf[0])
+	}
+	// Strong positive correlation at the period, negative at half-period.
+	if acf[48] < 0.8 {
+		t.Errorf("acf[period] = %v", acf[48])
+	}
+	if acf[24] > -0.5 {
+		t.Errorf("acf[period/2] = %v, want strongly negative", acf[24])
+	}
+}
+
+func TestACFValidation(t *testing.T) {
+	s := seasonalSeries(50, 10, 1, 2)
+	if _, err := ACF(s, 0); err == nil {
+		t.Error("zero lag should fail")
+	}
+	if _, err := ACF(s, 50); err == nil {
+		t.Error("lag >= length should fail")
+	}
+}
+
+func TestACFConstantSeries(t *testing.T) {
+	s := New("const", t0, DefaultStep, []float64{5, 5, 5, 5, 5, 5})
+	acf, err := ACF(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acf[0] != 1 || acf[1] != 0 {
+		t.Errorf("constant ACF = %v", acf)
+	}
+}
+
+func TestDetectPeriod(t *testing.T) {
+	s := seasonalSeries(800, 48, 2, 3)
+	period, err := DetectPeriod(s, 2, 120, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if period != 48 {
+		t.Errorf("period = %d, want 48", period)
+	}
+}
+
+func TestDetectPeriodNoSeasonality(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	vals := make([]float64, 500)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	s := New("noise", t0, DefaultStep, vals)
+	period, err := DetectPeriod(s, 2, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if period != 0 {
+		t.Errorf("period = %d on white noise, want 0", period)
+	}
+	if _, err := DetectPeriod(s, 10, 5, 0); err == nil {
+		t.Error("empty range should fail")
+	}
+}
+
+func TestCharacterize(t *testing.T) {
+	smooth := seasonalSeries(800, 48, 1, 5)
+	vol, err := Characterize(smooth, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vol.Period != 48 {
+		t.Errorf("period = %d", vol.Period)
+	}
+	if vol.SeasonalStrength < 0.8 {
+		t.Errorf("strength = %v", vol.SeasonalStrength)
+	}
+	if vol.ResidualCV > 0.05 {
+		t.Errorf("residual CV = %v, want small", vol.ResidualCV)
+	}
+
+	noisy := seasonalSeries(800, 48, 15, 6)
+	volN, err := Characterize(noisy, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if volN.ResidualCV <= vol.ResidualCV {
+		t.Errorf("noisy CV %v should exceed smooth CV %v", volN.ResidualCV, vol.ResidualCV)
+	}
+}
+
+func TestCharacterizeNonSeasonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]float64, 400)
+	for i := range vals {
+		vals[i] = 100 + rng.NormFloat64()*5
+	}
+	s := New("flat", t0, DefaultStep, vals)
+	vol, err := Characterize(s, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vol.Period != 0 {
+		t.Errorf("period = %d", vol.Period)
+	}
+	if vol.ResidualCV <= 0 {
+		t.Errorf("CV = %v", vol.ResidualCV)
+	}
+}
+
+func TestCharacterizeZeroMeanFails(t *testing.T) {
+	// Alternating +1/-1 sums to exactly zero.
+	vals := make([]float64, 300)
+	for i := range vals {
+		if i%2 == 0 {
+			vals[i] = 1
+		} else {
+			vals[i] = -1
+		}
+	}
+	s := New("zero", t0, DefaultStep, vals)
+	if _, err := Characterize(s, 50); err == nil {
+		t.Error("zero mean should fail")
+	}
+}

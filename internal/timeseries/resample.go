@@ -1,0 +1,153 @@
+package timeseries
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Point is a raw, possibly irregularly sampled observation, as found in the
+// original cluster traces before aggregation.
+type Point struct {
+	Time  time.Time
+	Value float64
+}
+
+// AggFunc reduces a bucket of raw observations to one value.
+type AggFunc func([]float64) float64
+
+// AggMean averages the bucket. This is the aggregation the paper applies to
+// resource-usage traces.
+func AggMean(vs []float64) float64 {
+	sum := 0.0
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}
+
+// AggSum totals the bucket; useful for arrival-rate style workloads.
+func AggSum(vs []float64) float64 {
+	sum := 0.0
+	for _, v := range vs {
+		sum += v
+	}
+	return sum
+}
+
+// AggMax takes the bucket maximum; useful for peak-oriented scaling metrics.
+func AggMax(vs []float64) float64 {
+	max := vs[0]
+	for _, v := range vs[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Resample aggregates raw points into a regular series with the given step,
+// applying agg to every bucket. Empty buckets are filled by linear
+// interpolation between the neighbouring non-empty buckets (and by edge
+// extension at the boundaries), so the result is always gap-free.
+func Resample(name string, points []Point, step time.Duration, agg AggFunc) (*Series, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("timeseries: no points to resample for %q", name)
+	}
+	if step <= 0 {
+		step = DefaultStep
+	}
+	sorted := make([]Point, len(points))
+	copy(sorted, points)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Time.Before(sorted[j].Time) })
+
+	start := sorted[0].Time.Truncate(step)
+	end := sorted[len(sorted)-1].Time
+	n := int(end.Sub(start)/step) + 1
+
+	buckets := make([][]float64, n)
+	for _, p := range sorted {
+		i := int(p.Time.Sub(start) / step)
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		buckets[i] = append(buckets[i], p.Value)
+	}
+
+	values := make([]float64, n)
+	missing := make([]bool, n)
+	for i, b := range buckets {
+		if len(b) == 0 {
+			missing[i] = true
+			continue
+		}
+		values[i] = agg(b)
+	}
+	fillGaps(values, missing)
+	return New(name, start, step, values), nil
+}
+
+// fillGaps linearly interpolates runs of missing values in place. Leading
+// and trailing gaps are filled by extending the nearest observed value.
+func fillGaps(values []float64, missing []bool) {
+	n := len(values)
+	prev := -1
+	for i := 0; i < n; i++ {
+		if missing[i] {
+			continue
+		}
+		if prev == -1 && i > 0 {
+			// Leading gap: extend backwards.
+			for j := 0; j < i; j++ {
+				values[j] = values[i]
+			}
+		} else if prev != -1 && i-prev > 1 {
+			// Interior gap: interpolate.
+			span := float64(i - prev)
+			for j := prev + 1; j < i; j++ {
+				frac := float64(j-prev) / span
+				values[j] = values[prev]*(1-frac) + values[i]*frac
+			}
+		}
+		prev = i
+	}
+	if prev == -1 {
+		return // all missing; leave zeros
+	}
+	for j := prev + 1; j < n; j++ {
+		values[j] = values[prev]
+	}
+}
+
+// Aggregate sums several aligned series element-wise, as when combining the
+// resource usage of a sampled subset of machines into one cluster-level
+// trace. All series must share step and length; the earliest start wins.
+func Aggregate(name string, series []*Series) (*Series, error) {
+	if len(series) == 0 {
+		return nil, fmt.Errorf("timeseries: nothing to aggregate for %q", name)
+	}
+	step := series[0].Step
+	n := series[0].Len()
+	start := series[0].Start
+	for _, s := range series[1:] {
+		if s.Step != step {
+			return nil, fmt.Errorf("timeseries: step mismatch aggregating %q: %v vs %v", name, s.Step, step)
+		}
+		if s.Len() != n {
+			return nil, fmt.Errorf("timeseries: length mismatch aggregating %q: %d vs %d", name, s.Len(), n)
+		}
+		if s.Start.Before(start) {
+			start = s.Start
+		}
+	}
+	values := make([]float64, n)
+	for _, s := range series {
+		for i, v := range s.Values {
+			values[i] += v
+		}
+	}
+	return New(name, start, step, values), nil
+}

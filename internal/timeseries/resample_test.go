@@ -1,0 +1,228 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestResampleMean(t *testing.T) {
+	pts := []Point{
+		{t0.Add(1 * time.Minute), 10},
+		{t0.Add(4 * time.Minute), 20},
+		{t0.Add(12 * time.Minute), 30},
+		{t0.Add(25 * time.Minute), 40},
+	}
+	s, err := Resample("r", pts, 10*time.Minute, AggMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len = %d, want 3", s.Len())
+	}
+	want := []float64{15, 30, 40}
+	for i, w := range want {
+		if s.At(i) != w {
+			t.Errorf("bucket %d = %v, want %v", i, s.At(i), w)
+		}
+	}
+}
+
+func TestResampleUnsortedInput(t *testing.T) {
+	pts := []Point{
+		{t0.Add(25 * time.Minute), 40},
+		{t0.Add(1 * time.Minute), 10},
+		{t0.Add(12 * time.Minute), 30},
+	}
+	s, err := Resample("r", pts, 10*time.Minute, AggMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.At(0) != 10 || s.At(1) != 30 || s.At(2) != 40 {
+		t.Errorf("values = %v", s.Values)
+	}
+}
+
+func TestResampleGapInterpolation(t *testing.T) {
+	pts := []Point{
+		{t0, 10},
+		{t0.Add(40 * time.Minute), 50},
+	}
+	s, err := Resample("r", pts, 10*time.Minute, AggMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{10, 20, 30, 40, 50}
+	if s.Len() != len(want) {
+		t.Fatalf("len = %d, want %d: %v", s.Len(), len(want), s.Values)
+	}
+	for i, w := range want {
+		if !almostEqual(s.At(i), w, 1e-9) {
+			t.Errorf("bucket %d = %v, want %v", i, s.At(i), w)
+		}
+	}
+}
+
+func TestResampleEmpty(t *testing.T) {
+	if _, err := Resample("r", nil, DefaultStep, AggMean); err == nil {
+		t.Error("Resample of no points should error")
+	}
+}
+
+func TestResampleDefaultStep(t *testing.T) {
+	pts := []Point{{t0, 1}, {t0.Add(DefaultStep), 2}}
+	s, err := Resample("r", pts, 0, AggMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Step != DefaultStep {
+		t.Errorf("step = %v, want default", s.Step)
+	}
+}
+
+func TestAggFuncs(t *testing.T) {
+	vs := []float64{2, 8, 5}
+	if got := AggMean(vs); got != 5 {
+		t.Errorf("AggMean = %v", got)
+	}
+	if got := AggSum(vs); got != 15 {
+		t.Errorf("AggSum = %v", got)
+	}
+	if got := AggMax(vs); got != 8 {
+		t.Errorf("AggMax = %v", got)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	a := New("a", t0, DefaultStep, []float64{1, 2, 3})
+	b := New("b", t0, DefaultStep, []float64{10, 20, 30})
+	sum, err := Aggregate("sum", []*Series{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{11, 22, 33}
+	for i, w := range want {
+		if sum.At(i) != w {
+			t.Errorf("sum[%d] = %v, want %v", i, sum.At(i), w)
+		}
+	}
+	short := New("s", t0, DefaultStep, []float64{1})
+	if _, err := Aggregate("bad", []*Series{a, short}); err == nil {
+		t.Error("Aggregate should reject mismatched lengths")
+	}
+	otherStep := New("o", t0, time.Minute, []float64{1, 2, 3})
+	if _, err := Aggregate("bad", []*Series{a, otherStep}); err == nil {
+		t.Error("Aggregate should reject mismatched steps")
+	}
+	if _, err := Aggregate("empty", nil); err == nil {
+		t.Error("Aggregate of nothing should error")
+	}
+}
+
+func TestStandardScaler(t *testing.T) {
+	sc := &StandardScaler{}
+	vals := []float64{2, 4, 6, 8}
+	sc.Fit(vals)
+	if sc.Mean != 5 {
+		t.Errorf("Mean = %v", sc.Mean)
+	}
+	z := sc.Transform(vals)
+	// Round-trip.
+	back := sc.Inverse(z)
+	for i := range vals {
+		if !almostEqual(back[i], vals[i], 1e-9) {
+			t.Errorf("round trip [%d] = %v, want %v", i, back[i], vals[i])
+		}
+	}
+	// Normalized stats.
+	zs := New("z", t0, DefaultStep, z)
+	if !almostEqual(zs.Mean(), 0, 1e-9) || !almostEqual(zs.Std(), 1, 1e-9) {
+		t.Errorf("normalized mean/std = %v/%v", zs.Mean(), zs.Std())
+	}
+}
+
+func TestStandardScalerConstantSeries(t *testing.T) {
+	sc := &StandardScaler{}
+	sc.Fit([]float64{7, 7, 7})
+	if sc.Std != 1 {
+		t.Errorf("constant series Std = %v, want fallback 1", sc.Std)
+	}
+	sc.Fit(nil)
+	if sc.Std != 1 || sc.Mean != 0 {
+		t.Errorf("empty fit = mean %v std %v", sc.Mean, sc.Std)
+	}
+}
+
+func TestMinMaxScaler(t *testing.T) {
+	sc := &MinMaxScaler{}
+	vals := []float64{10, 20, 30}
+	sc.Fit(vals)
+	z := sc.Transform(vals)
+	if z[0] != 0 || z[2] != 1 || !almostEqual(z[1], 0.5, 1e-12) {
+		t.Errorf("Transform = %v", z)
+	}
+	back := sc.Inverse(z)
+	for i := range vals {
+		if !almostEqual(back[i], vals[i], 1e-9) {
+			t.Errorf("round trip [%d] = %v", i, back[i])
+		}
+	}
+	sc.Fit([]float64{5, 5})
+	if sc.Max <= sc.Min {
+		t.Error("constant fit should widen range")
+	}
+}
+
+func TestDecomposeAdditive(t *testing.T) {
+	// Build trend + seasonal signal.
+	period := 12
+	n := 10 * period
+	vals := make([]float64, n)
+	for i := range vals {
+		trend := 0.1 * float64(i)
+		seasonal := 5 * math.Sin(2*math.Pi*float64(i)/float64(period))
+		vals[i] = trend + seasonal
+	}
+	s := New("seasonal", t0, DefaultStep, vals)
+	dec, err := DecomposeAdditive(s, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Seasonal) != period {
+		t.Fatalf("seasonal len = %d", len(dec.Seasonal))
+	}
+	// Seasonal component should be mean-centred and capture the sine.
+	mean := 0.0
+	for _, v := range dec.Seasonal {
+		mean += v
+	}
+	if !almostEqual(mean/float64(period), 0, 1e-9) {
+		t.Errorf("seasonal mean = %v", mean/float64(period))
+	}
+	peak := dec.Seasonal[3] // sin peaks at i=3 for period 12
+	if peak < 4 {
+		t.Errorf("seasonal peak = %v, want near 5", peak)
+	}
+	// Residual should be small in the interior.
+	for i := period; i < n-period; i++ {
+		if r := dec.Residual[i]; !math.IsNaN(r) && math.Abs(r) > 0.5 {
+			t.Errorf("residual[%d] = %v, too large", i, r)
+		}
+	}
+	if _, err := DecomposeAdditive(New("tiny", t0, DefaultStep, []float64{1, 2, 3}), 12); err == nil {
+		t.Error("DecomposeAdditive should reject short series")
+	}
+}
+
+func TestCenteredMovingAverageOdd(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	out := centeredMovingAverage(vals, 3)
+	if !math.IsNaN(out[0]) || !math.IsNaN(out[4]) {
+		t.Error("edges should be NaN")
+	}
+	for i := 1; i <= 3; i++ {
+		if !almostEqual(out[i], float64(i+1), 1e-12) {
+			t.Errorf("ma[%d] = %v", i, out[i])
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestSeriesBasics(t *testing.T) {
+	s := New("test", t0, DefaultStep, []float64{1, 2, 3, 4, 5})
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", s.Len())
+	}
+	if got := s.At(2); got != 3 {
+		t.Errorf("At(2) = %v, want 3", got)
+	}
+	if got := s.TimeAt(3); !got.Equal(t0.Add(30 * time.Minute)) {
+		t.Errorf("TimeAt(3) = %v, want %v", got, t0.Add(30*time.Minute))
+	}
+	if got := s.Mean(); got != 3 {
+		t.Errorf("Mean = %v, want 3", got)
+	}
+	if got := s.Min(); got != 1 {
+		t.Errorf("Min = %v, want 1", got)
+	}
+	if got := s.Max(); got != 5 {
+		t.Errorf("Max = %v, want 5", got)
+	}
+	if got := s.Std(); !almostEqual(got, math.Sqrt(2), 1e-12) {
+		t.Errorf("Std = %v, want sqrt(2)", got)
+	}
+}
+
+func TestSeriesZeroStepDefaults(t *testing.T) {
+	s := New("x", t0, 0, nil)
+	if s.Step != DefaultStep {
+		t.Errorf("Step = %v, want default %v", s.Step, DefaultStep)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := New("x", t0, DefaultStep, []float64{1, 2, 3})
+	c := s.Clone()
+	c.Values[0] = 99
+	if s.Values[0] != 1 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestSliceAndLast(t *testing.T) {
+	s := New("x", t0, DefaultStep, []float64{0, 1, 2, 3, 4, 5})
+	sl := s.Slice(2, 5)
+	if sl.Len() != 3 || sl.At(0) != 2 {
+		t.Errorf("Slice(2,5) = %v", sl.Values)
+	}
+	if !sl.Start.Equal(t0.Add(20 * time.Minute)) {
+		t.Errorf("Slice start = %v", sl.Start)
+	}
+	last := s.Last(2)
+	if last.Len() != 2 || last.At(0) != 4 {
+		t.Errorf("Last(2) = %v", last.Values)
+	}
+	if whole := s.Last(100); whole.Len() != 6 {
+		t.Errorf("Last(100) = %d values, want all 6", whole.Len())
+	}
+}
+
+func TestEmptySeriesStats(t *testing.T) {
+	s := New("empty", t0, DefaultStep, nil)
+	if !math.IsNaN(s.Mean()) || !math.IsNaN(s.Std()) || !math.IsNaN(s.Quantile(0.5)) {
+		t.Error("empty series stats should be NaN")
+	}
+	if !math.IsInf(s.Min(), 1) || !math.IsInf(s.Max(), -1) {
+		t.Error("empty series Min/Max should be infinities")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := New("x", t0, DefaultStep, []float64{4, 1, 3, 2, 5})
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Out-of-range clamps.
+	if got := s.Quantile(-0.5); got != 1 {
+		t.Errorf("Quantile(-0.5) = %v, want 1", got)
+	}
+	if got := s.Quantile(1.5); got != 5 {
+		t.Errorf("Quantile(1.5) = %v, want 5", got)
+	}
+}
+
+func TestQuantileMonotonic(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			vals = append(vals, math.Mod(v, 1e6))
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		s := New("q", t0, DefaultStep, vals)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := s.Quantile(q)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := New("ok", t0, DefaultStep, []float64{1, 2})
+	if err := good.Validate(); err != nil {
+		t.Errorf("Validate(good) = %v", err)
+	}
+	bad := New("nan", t0, DefaultStep, []float64{1, math.NaN()})
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate should reject NaN")
+	}
+	inf := New("inf", t0, DefaultStep, []float64{math.Inf(1)})
+	if err := inf.Validate(); err == nil {
+		t.Error("Validate should reject Inf")
+	}
+	badStep := &Series{Name: "step", Start: t0, Step: -1, Values: []float64{1}}
+	if err := badStep.Validate(); err == nil {
+		t.Error("Validate should reject non-positive step")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	s := New("x", t0, DefaultStep, vals)
+	train, val, test, err := s.Split(0.7, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() != 70 || val.Len() != 10 || test.Len() != 20 {
+		t.Errorf("split sizes = %d/%d/%d", train.Len(), val.Len(), test.Len())
+	}
+	// Chronological contiguity.
+	if train.At(train.Len()-1)+1 != val.At(0) || val.At(val.Len()-1)+1 != test.At(0) {
+		t.Error("split partitions are not contiguous")
+	}
+	if _, _, _, err := s.Split(0.9, 0.2); err == nil {
+		t.Error("Split should reject fractions summing >= 1")
+	}
+	if _, _, _, err := s.Split(0, 0.1); err == nil {
+		t.Error("Split should reject zero train fraction")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	s := New("x", t0, DefaultStep, []float64{1, 4, 9, 16, 25})
+	d1 := s.Diff(1)
+	want := []float64{3, 5, 7, 9}
+	if d1.Len() != 4 {
+		t.Fatalf("Diff(1) len = %d", d1.Len())
+	}
+	for i, w := range want {
+		if d1.At(i) != w {
+			t.Errorf("Diff(1)[%d] = %v, want %v", i, d1.At(i), w)
+		}
+	}
+	d2 := s.Diff(2)
+	for i := 0; i < d2.Len(); i++ {
+		if d2.At(i) != 2 {
+			t.Errorf("Diff(2)[%d] = %v, want 2", i, d2.At(i))
+		}
+	}
+	if !d1.Start.Equal(t0.Add(DefaultStep)) {
+		t.Errorf("Diff(1) start = %v", d1.Start)
+	}
+	tiny := New("t", t0, DefaultStep, []float64{5})
+	if got := tiny.Diff(1); got.Len() != 0 {
+		t.Errorf("Diff on length-1 series should be empty, got %v", got.Values)
+	}
+}
+
+func TestWindows(t *testing.T) {
+	vals := make([]float64, 20)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	s := New("x", t0, DefaultStep, vals)
+	ws, err := s.Windows(5, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Origins: 5, 9, 13, 17 (17+3 = 20 fits).
+	if len(ws) != 4 {
+		t.Fatalf("got %d windows, want 4", len(ws))
+	}
+	w := ws[1]
+	if w.Origin != 9 {
+		t.Errorf("Origin = %d, want 9", w.Origin)
+	}
+	if w.Context[0] != 4 || w.Context[4] != 8 {
+		t.Errorf("Context = %v", w.Context)
+	}
+	if w.Target[0] != 9 || w.Target[2] != 11 {
+		t.Errorf("Target = %v", w.Target)
+	}
+	if _, err := s.Windows(18, 5, 1); err != ErrTooShort {
+		t.Errorf("Windows on short series: err = %v, want ErrTooShort", err)
+	}
+	if _, err := s.Windows(0, 3, 1); err == nil {
+		t.Error("Windows should reject non-positive context")
+	}
+}
+
+func TestWindowsPropertyAlignment(t *testing.T) {
+	f := func(seed uint8) bool {
+		n := 30 + int(seed)%40
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(i)
+		}
+		s := New("p", t0, DefaultStep, vals)
+		ctx, h, stride := 4+int(seed)%5, 2+int(seed)%4, 1+int(seed)%3
+		ws, err := s.Windows(ctx, h, stride)
+		if err != nil {
+			return false
+		}
+		for _, w := range ws {
+			// Values are their own indices, so alignment is checkable.
+			if int(w.Context[len(w.Context)-1]) != w.Origin-1 {
+				return false
+			}
+			if int(w.Target[0]) != w.Origin {
+				return false
+			}
+			if len(w.Context) != ctx || len(w.Target) != h {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

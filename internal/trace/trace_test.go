@@ -1,0 +1,296 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"robustscale/internal/timeseries"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a1, err := Generate(AlibabaStyle(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Generate(AlibabaStyle(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := a1.Series(CPU)
+	s2, _ := a2.Series(CPU)
+	if s1.Len() != s2.Len() {
+		t.Fatalf("lengths differ: %d vs %d", s1.Len(), s2.Len())
+	}
+	for i := 0; i < s1.Len(); i++ {
+		if s1.At(i) != s2.At(i) {
+			t.Fatalf("values differ at %d: %v vs %v", i, s1.At(i), s2.At(i))
+		}
+	}
+	a3, err := Generate(AlibabaStyle(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3, _ := a3.Series(CPU)
+	same := true
+	for i := 0; i < s1.Len(); i++ {
+		if s1.At(i) != s3.At(i) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := AlibabaStyle(1)
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepsPerDay := int(24 * time.Hour / cfg.Step)
+	wantLen := cfg.Days * stepsPerDay
+	for _, res := range cfg.Resources {
+		s, err := tr.Series(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Len() != wantLen {
+			t.Errorf("%s: len = %d, want %d", res, s.Len(), wantLen)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", res, err)
+		}
+		if s.Min() < 0 {
+			t.Errorf("%s: negative usage %v", res, s.Min())
+		}
+		if len(tr.Units[res]) != cfg.Units {
+			t.Errorf("%s: %d unit series, want %d", res, len(tr.Units[res]), cfg.Units)
+		}
+	}
+}
+
+func TestSeriesMissingResource(t *testing.T) {
+	tr, err := Generate(GoogleStyle(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Series(Disk); err == nil {
+		t.Error("Google trace should not carry disk usage")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := AlibabaStyle(1)
+	bad.Units = 0
+	if _, err := Generate(bad); err == nil {
+		t.Error("Generate should reject zero units")
+	}
+	bad = AlibabaStyle(1)
+	bad.Days = 0
+	if _, err := Generate(bad); err == nil {
+		t.Error("Generate should reject zero days")
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	cfg := Config{Name: "min", Seed: 1, Units: 2, Days: 1, BaseLoad: 10}
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := tr.Series(CPU)
+	if err != nil {
+		t.Fatalf("default resources should include CPU: %v", err)
+	}
+	if s.Step != timeseries.DefaultStep {
+		t.Errorf("step = %v, want default", s.Step)
+	}
+}
+
+// autocorrelation at lag k of a demeaned series.
+func autocorr(values []float64, lag int) float64 {
+	n := len(values)
+	mean := 0.0
+	for _, v := range values {
+		mean += v
+	}
+	mean /= float64(n)
+	num, den := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		d := values[i] - mean
+		den += d * d
+		if i+lag < n {
+			num += d * (values[i+lag] - mean)
+		}
+	}
+	return num / den
+}
+
+func TestAlibabaHasStrongDailyCycle(t *testing.T) {
+	tr, err := Generate(AlibabaStyle(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := tr.Series(CPU)
+	daily := autocorr(s.Values, 144) // 24h at 10-minute steps
+	if daily < 0.5 {
+		t.Errorf("daily autocorrelation = %v, want strong (>0.5)", daily)
+	}
+}
+
+func TestGoogleIsHarderThanAlibaba(t *testing.T) {
+	ali, err := Generate(AlibabaStyle(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	goo, err := Generate(GoogleStyle(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, _ := ali.Series(CPU)
+	sg, _ := goo.Series(CPU)
+
+	// Compare the coefficient of variation of the residual after removing
+	// the daily pattern: Google should be substantially noisier.
+	cvResidual := func(s *timeseries.Series) float64 {
+		dec, err := timeseries.DecomposeAdditive(s, 144)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss, n := 0.0, 0
+		for _, r := range dec.Residual {
+			if math.IsNaN(r) {
+				continue
+			}
+			ss += r * r
+			n++
+		}
+		return math.Sqrt(ss/float64(n)) / s.Mean()
+	}
+	ca, cg := cvResidual(sa), cvResidual(sg)
+	if cg < 2*ca {
+		t.Errorf("google residual CV %v should be >> alibaba %v", cg, ca)
+	}
+	// Google seasonality should be weaker.
+	if autocorr(sg.Values, 144) > autocorr(sa.Values, 144) {
+		t.Error("google trace should have weaker daily autocorrelation than alibaba")
+	}
+}
+
+func TestGoogleHasSpikes(t *testing.T) {
+	tr, err := Generate(GoogleStyle(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := tr.Series(CPU)
+	mean, std := s.Mean(), s.Std()
+	spikes := 0
+	for _, v := range s.Values {
+		if v > mean+3*std {
+			spikes++
+		}
+	}
+	if spikes == 0 {
+		t.Error("google trace should contain >3-sigma spikes")
+	}
+}
+
+func TestResourceDifferentiation(t *testing.T) {
+	tr, err := Generate(AlibabaStyle(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, _ := tr.Series(CPU)
+	mem, _ := tr.Series(Memory)
+	// Memory should run at a higher level and be smoother than CPU.
+	if mem.Mean() < cpu.Mean() {
+		t.Errorf("memory mean %v should exceed cpu mean %v", mem.Mean(), cpu.Mean())
+	}
+	cvCPU := cpu.Std() / cpu.Mean()
+	cvMem := mem.Std() / mem.Mean()
+	if cvMem > cvCPU {
+		t.Errorf("memory CV %v should be below cpu CV %v", cvMem, cvCPU)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	cfg := AlibabaStyle(9)
+	cfg.Days = 2
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("alibaba", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range cfg.Resources {
+		orig, _ := tr.Series(res)
+		got, err := back.Series(res)
+		if err != nil {
+			t.Fatalf("%s missing after round trip", res)
+		}
+		if got.Len() != orig.Len() {
+			t.Fatalf("%s: len %d != %d", res, got.Len(), orig.Len())
+		}
+		if !got.Start.Equal(orig.Start) || got.Step != orig.Step {
+			t.Errorf("%s: start/step mismatch", res)
+		}
+		for i := 0; i < got.Len(); i++ {
+			if got.At(i) != orig.At(i) {
+				t.Fatalf("%s[%d]: %v != %v", res, i, got.At(i), orig.At(i))
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("x", bytes.NewBufferString("")); err == nil {
+		t.Error("empty CSV should error")
+	}
+	if _, err := ReadCSV("x", bytes.NewBufferString("time,cpu\n")); err == nil {
+		t.Error("header-only CSV should error")
+	}
+	if _, err := ReadCSV("x", bytes.NewBufferString("timestamp,cpu\nnot-a-time,1\n")); err == nil {
+		t.Error("bad timestamp should error")
+	}
+	if _, err := ReadCSV("x", bytes.NewBufferString("timestamp,cpu\n2023-09-01T00:00:00Z,abc\n")); err == nil {
+		t.Error("bad value should error")
+	}
+}
+
+func TestSustainedDiurnalRange(t *testing.T) {
+	for _, sharp := range []float64{0.35, 0.7, 1} {
+		for f := 0.0; f < 2; f += 0.01 {
+			v := sustainedDiurnal(f, sharp)
+			if v < -1.0001 || v > 1.0001 {
+				t.Fatalf("sustainedDiurnal(%v, %v) = %v out of range", f, sharp, v)
+			}
+		}
+	}
+}
+
+func TestSharperRampTransitionsFaster(t *testing.T) {
+	// A squarer wave spends more time near its extremes: the mean
+	// absolute value grows as sharpness shrinks.
+	meanAbs := func(sharp float64) float64 {
+		sum := 0.0
+		n := 0
+		for f := 0.0; f < 1; f += 0.001 {
+			sum += math.Abs(sustainedDiurnal(f, sharp))
+			n++
+		}
+		return sum / float64(n)
+	}
+	if meanAbs(0.35) <= meanAbs(1.0) {
+		t.Error("sharper waveform should be squarer")
+	}
+}
