@@ -12,8 +12,14 @@ build:
 vet:
 	$(GO) vet ./...
 
+# RACE_PKGS are the packages with real concurrency (worker pools,
+# gradient replicas, the shared model zoo); the default test target runs
+# them under the race detector on top of the plain suite.
+RACE_PKGS = ./internal/parallel/... ./internal/nn/... ./internal/forecast/... ./internal/experiment/...
+
 test:
 	$(GO) test ./...
+	$(GO) test -race $(RACE_PKGS)
 
 race:
 	$(GO) test -race ./...

@@ -220,15 +220,41 @@ func unionLevels(a, b []float64) []float64 {
 }
 
 // Zoo trains and caches forecasters per (model, dataset, run) so tables
-// and figures reuse each other's training work within a process.
+// and figures reuse each other's training work within a process. Each
+// cache key carries its own sync.Once, so two goroutines asking for
+// DIFFERENT models train concurrently while duplicate requests for the
+// SAME key block on one training run — this is what lets the parallel
+// table runners share the zoo safely.
 type Zoo struct {
 	cfg      Config
 	datasets map[DatasetName]*Dataset
 
-	mu       sync.Mutex
-	quantile map[string]forecast.QuantileForecaster
-	point    map[string]forecast.Forecaster
+	mu       sync.Mutex // guards the maps, never held during training
+	quantile map[string]*zooEntry[forecast.QuantileForecaster]
+	point    map[string]*zooEntry[forecast.Forecaster]
 	calib    map[string][]float64
+}
+
+// zooEntry is one lazily trained cache slot.
+type zooEntry[M any] struct {
+	once  sync.Once
+	model M
+	err   error
+}
+
+// zooGet returns the entry for key, training it at most once. Only the
+// map lookup holds mu; training runs under the entry's own once, so
+// distinct keys never serialize on each other.
+func zooGet[M any](mu *sync.Mutex, cache map[string]*zooEntry[M], key string, train func() (M, error)) (M, error) {
+	mu.Lock()
+	e, ok := cache[key]
+	if !ok {
+		e = &zooEntry[M]{}
+		cache[key] = e
+	}
+	mu.Unlock()
+	e.once.Do(func() { e.model, e.err = train() })
+	return e.model, e.err
 }
 
 // NewZoo prepares datasets and an empty cache.
@@ -240,8 +266,8 @@ func NewZoo(cfg Config) (*Zoo, error) {
 	return &Zoo{
 		cfg:      cfg,
 		datasets: ds,
-		quantile: map[string]forecast.QuantileForecaster{},
-		point:    map[string]forecast.Forecaster{},
+		quantile: map[string]*zooEntry[forecast.QuantileForecaster]{},
+		point:    map[string]*zooEntry[forecast.Forecaster]{},
 		calib:    map[string][]float64{},
 	}, nil
 }
@@ -262,46 +288,38 @@ func (z *Zoo) Dataset(name DatasetName) (*Dataset, error) {
 // run), training it on first use.
 func (z *Zoo) Quantile(model ModelName, ds DatasetName, run int) (forecast.QuantileForecaster, error) {
 	key := fmt.Sprintf("q/%s/%s/%d", model, ds, run)
-	z.mu.Lock()
-	defer z.mu.Unlock()
-	if m, ok := z.quantile[key]; ok {
+	return zooGet(&z.mu, z.quantile, key, func() (forecast.QuantileForecaster, error) {
+		d, ok := z.datasets[ds]
+		if !ok {
+			return nil, fmt.Errorf("experiment: unknown dataset %s", ds)
+		}
+		m, err := buildQuantile(model, z.cfg, z.cfg.Seed+int64(run))
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Fit(d.Train()); err != nil {
+			return nil, fmt.Errorf("experiment: training %s on %s: %w", model, ds, err)
+		}
 		return m, nil
-	}
-	d, ok := z.datasets[ds]
-	if !ok {
-		return nil, fmt.Errorf("experiment: unknown dataset %s", ds)
-	}
-	m, err := buildQuantile(model, z.cfg, z.cfg.Seed+int64(run))
-	if err != nil {
-		return nil, err
-	}
-	if err := m.Fit(d.Train()); err != nil {
-		return nil, fmt.Errorf("experiment: training %s on %s: %w", model, ds, err)
-	}
-	z.quantile[key] = m
-	return m, nil
+	})
 }
 
 // Point returns the trained point forecaster for (model, dataset, run),
 // training it on first use.
 func (z *Zoo) Point(model ModelName, ds DatasetName, run int) (forecast.Forecaster, error) {
 	key := fmt.Sprintf("p/%s/%s/%d", model, ds, run)
-	z.mu.Lock()
-	defer z.mu.Unlock()
-	if m, ok := z.point[key]; ok {
+	return zooGet(&z.mu, z.point, key, func() (forecast.Forecaster, error) {
+		d, ok := z.datasets[ds]
+		if !ok {
+			return nil, fmt.Errorf("experiment: unknown dataset %s", ds)
+		}
+		m, err := buildPoint(model, z.cfg, z.cfg.Seed+int64(run))
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Fit(d.Train()); err != nil {
+			return nil, fmt.Errorf("experiment: training %s on %s: %w", model, ds, err)
+		}
 		return m, nil
-	}
-	d, ok := z.datasets[ds]
-	if !ok {
-		return nil, fmt.Errorf("experiment: unknown dataset %s", ds)
-	}
-	m, err := buildPoint(model, z.cfg, z.cfg.Seed+int64(run))
-	if err != nil {
-		return nil, err
-	}
-	if err := m.Fit(d.Train()); err != nil {
-		return nil, fmt.Errorf("experiment: training %s on %s: %w", model, ds, err)
-	}
-	z.point[key] = m
-	return m, nil
+	})
 }

@@ -8,6 +8,7 @@ import (
 	"robustscale/internal/cluster"
 	"robustscale/internal/forecast"
 	"robustscale/internal/optimize"
+	"robustscale/internal/parallel"
 	"robustscale/internal/scaler"
 	"robustscale/internal/timeseries"
 )
@@ -31,16 +32,22 @@ func Table2(z *Zoo) ([]Table2Row, error) {
 	}
 	cfg := z.Config()
 
-	qb, err := z.Point(ModelQB5000, ds, 0)
-	if err != nil {
-		return nil, err
+	// Train/fetch the three models concurrently (they are distinct zoo
+	// keys). Only the prefetch is parallel: the timed planning loop below
+	// must stay sequential so wall-clock measurements are not polluted by
+	// sibling work.
+	var qb forecast.Forecaster
+	var deepar, tft forecast.QuantileForecaster
+	fetches := []func() error{
+		func() (err error) { qb, err = z.Point(ModelQB5000, ds, 0); return },
+		func() (err error) { deepar, err = z.Quantile(ModelDeepAR, ds, 0); return },
+		func() (err error) { tft, err = z.Quantile(ModelTFT, ds, 0); return },
 	}
-	deepar, err := z.Quantile(ModelDeepAR, ds, 0)
-	if err != nil {
-		return nil, err
-	}
-	tft, err := z.Quantile(ModelTFT, ds, 0)
-	if err != nil {
+	errs := make([]error, len(fetches))
+	parallel.ForEach(parallel.Workers(0, len(fetches)), len(fetches), func(i int) {
+		errs[i] = fetches[i]()
+	})
+	if err := parallel.FirstError(errs); err != nil {
 		return nil, err
 	}
 

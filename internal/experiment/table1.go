@@ -6,6 +6,7 @@ import (
 
 	"robustscale/internal/forecast"
 	"robustscale/internal/metrics"
+	"robustscale/internal/parallel"
 )
 
 // Table1Row is one model's accuracy on one dataset (a row of Table I).
@@ -23,17 +24,32 @@ var table1Taus = []float64{0.7, 0.8, 0.9}
 
 // Table1 reproduces Table I: forecaster comparison on both datasets with
 // context and prediction length Horizon, metrics averaged over cfg.Runs
-// training runs.
+// training runs. The (dataset, model) cells are independent — distinct
+// zoo keys — so they train and evaluate concurrently; rows land in their
+// fixed slots, preserving the table's order regardless of scheduling.
 func Table1(z *Zoo) ([]Table1Row, error) {
-	var rows []Table1Row
+	type cell struct {
+		ds    DatasetName
+		model ModelName
+	}
+	var cells []cell
 	for _, ds := range []DatasetName{Alibaba, Google} {
 		for _, model := range QuantileModels {
-			row, err := table1Cell(z, ds, model)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, *row)
+			cells = append(cells, cell{ds, model})
 		}
+	}
+	rows := make([]Table1Row, len(cells))
+	errs := make([]error, len(cells))
+	parallel.ForEach(parallel.Workers(0, len(cells)), len(cells), func(i int) {
+		row, err := table1Cell(z, cells[i].ds, cells[i].model)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		rows[i] = *row
+	})
+	if err := parallel.FirstError(errs); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

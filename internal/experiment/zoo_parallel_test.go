@@ -1,0 +1,76 @@
+package experiment
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestZooConcurrentSameKey hammers one cache key from many goroutines:
+// the per-key once must hand every caller the same trained model (i.e.
+// training ran exactly once), with no data race (run under -race).
+func TestZooConcurrentSameKey(t *testing.T) {
+	z, err := NewZoo(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 8
+	models := make([]any, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := z.Quantile(ModelARIMA, Alibaba, 0)
+			models[i], errs[i] = m, err
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if models[i] != models[0] {
+			t.Fatalf("caller %d got a different model instance", i)
+		}
+	}
+}
+
+// TestZooConcurrentDistinctKeys checks that different keys can train at
+// the same time without tripping the race detector or cross-wiring cache
+// slots.
+func TestZooConcurrentDistinctKeys(t *testing.T) {
+	z, err := NewZoo(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []struct {
+		model ModelName
+		ds    DatasetName
+	}{
+		{ModelARIMA, Alibaba},
+		{ModelARIMA, Google},
+		{ModelMLP, Alibaba},
+	}
+	errs := make([]error, len(keys))
+	var wg sync.WaitGroup
+	for i, k := range keys {
+		wg.Add(1)
+		go func(i int, model ModelName, ds DatasetName) {
+			defer wg.Done()
+			_, errs[i] = z.Quantile(model, ds, 0)
+		}(i, k.model, k.ds)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("key %d: %v", i, err)
+		}
+	}
+	// The cache must now serve each key instantly and distinctly.
+	a, _ := z.Quantile(ModelARIMA, Alibaba, 0)
+	g, _ := z.Quantile(ModelARIMA, Google, 0)
+	if a == g {
+		t.Fatal("distinct keys share one cached model")
+	}
+}

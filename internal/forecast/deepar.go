@@ -8,6 +8,7 @@ import (
 
 	"robustscale/internal/dist"
 	"robustscale/internal/nn"
+	"robustscale/internal/parallel"
 	"robustscale/internal/timeseries"
 )
 
@@ -43,6 +44,16 @@ type DeepARConfig struct {
 	TrainHorizon int
 	// Emission selects the output distribution.
 	Emission Emission
+	// Workers bounds the concurrency of Monte-Carlo sampling and batch
+	// training; 0 means one worker per CPU. Outputs are bit-identical for
+	// every value (each sample path owns a seed-derived RNG and writes
+	// only its own slot).
+	Workers int
+	// Batch is the number of BPTT windows whose gradients are merged into
+	// one Adam step. 0 or 1 keeps the classic one-step-per-window regime;
+	// larger values train data-parallel across Workers while staying
+	// deterministic (per-window gradient buffers merged in window order).
+	Batch int
 }
 
 // DefaultDeepARConfig mirrors the paper's setup: 72-step context, Student-t
@@ -121,6 +132,10 @@ func (d *DeepAR) build() {
 }
 
 // Fit trains the model on the series with teacher forcing and BPTT.
+// Gradients for the cfg.Batch windows of each mini-batch are computed on
+// replica networks (private gradient buffers over shared weights) in
+// parallel across cfg.Workers, then merged in window order into one Adam
+// step — so the fitted weights are bit-identical for any worker count.
 func (d *DeepAR) Fit(train *timeseries.Series) error {
 	d.build()
 	d.scaler.Fit(train.Values)
@@ -130,23 +145,75 @@ func (d *DeepAR) Fit(train *timeseries.Series) error {
 		return err
 	}
 
+	batch := d.cfg.Batch
+	if batch < 1 {
+		batch = 1
+	}
+	if batch > len(windows) {
+		batch = len(windows)
+	}
+	reps := make([]*deeparReplica, batch)
+	for i := range reps {
+		reps[i] = d.replica()
+	}
+	workers := parallel.Workers(d.cfg.Workers, batch)
+
 	rng := rand.New(rand.NewSource(d.cfg.Seed + 1)) // shuffle stream, distinct from init
 	opt := nn.NewAdam(d.cfg.LR)
 	order := rng.Perm(len(windows))
 	for epoch := 0; epoch < d.cfg.Epochs; epoch++ {
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-		for _, wi := range order {
-			w := windows[wi]
-			d.trainWindow(train, w, opt)
+		for start := 0; start < len(order); start += batch {
+			n := len(order) - start
+			if n > batch {
+				n = batch
+			}
+			parallel.ForEach(workers, n, func(i int) {
+				reps[i].windowGrad(train, windows[order[start+i]])
+			})
+			d.params.ZeroGrads()
+			for i := 0; i < n; i++ {
+				nn.AccumGrads(d.params, reps[i].params)
+			}
+			d.params.ClipGradNorm(5)
+			opt.Step(d.params)
 		}
 	}
 	d.fitted = true
 	return nil
 }
 
-// trainWindow runs one teacher-forced sequence through the network and
-// applies one optimizer step.
-func (d *DeepAR) trainWindow(train *timeseries.Series, w timeseries.Window, opt *nn.Adam) {
+// deeparReplica is one data-parallel training lane: a gradient replica of
+// the network plus its own scratch arena.
+type deeparReplica struct {
+	d       *DeepAR
+	cell    *nn.LSTMCell
+	head    *nn.Dense
+	params  nn.Params
+	scratch *nn.Scratch
+}
+
+// replica builds a training lane over the model's shared weights.
+func (d *DeepAR) replica() *deeparReplica {
+	cell := d.cell.Replica()
+	head := d.head.Replica()
+	return &deeparReplica{
+		d:       d,
+		cell:    cell,
+		head:    head,
+		params:  append(cell.Params(), head.Params()...),
+		scratch: nn.NewScratch(),
+	}
+}
+
+// windowGrad runs one teacher-forced sequence through the replica and
+// leaves the window's gradients in the replica's buffers (no optimizer
+// step; the caller merges and steps).
+func (r *deeparReplica) windowGrad(train *timeseries.Series, w timeseries.Window) {
+	r.scratch.Reset()
+	d := r.d
+	s := r.scratch
+
 	// The sequence covers context plus horizon; at step t the input is the
 	// normalized previous observation and the target is the current one.
 	seq := make([]float64, 0, len(w.Context)+len(w.Target))
@@ -158,33 +225,36 @@ func (d *DeepAR) trainWindow(train *timeseries.Series, w timeseries.Window, opt 
 	steps := len(norm) - 1
 	xs := make([][]float64, steps)
 	for t := 0; t < steps; t++ {
-		xs[t] = d.stepInput(norm[t], train.TimeAt(startIdx+t+1))
+		xs[t] = d.stepInputScratch(s, norm[t], train.TimeAt(startIdx+t+1))
 	}
 
-	d.params.ZeroGrads()
-	hs, _, caches := d.cell.RunSequence(xs, d.cell.NewLSTMState())
+	r.params.ZeroGrads()
+	hs, _, caches := r.cell.RunSequenceScratch(s, xs, r.cell.NewLSTMStateScratch(s))
 	dhs := make([][]float64, steps)
 	headCaches := make([]*nn.DenseCache, steps)
 	dOuts := make([][]float64, steps)
 	for t := 0; t < steps; t++ {
-		out, hc := d.head.Forward(hs[t])
+		out, hc := r.head.ForwardScratch(s, hs[t])
 		headCaches[t] = hc
 		dOuts[t] = d.nllGrad(out, norm[t+1])
 	}
 	for t := 0; t < steps; t++ {
-		dhs[t] = d.head.Backward(headCaches[t], dOuts[t])
+		dhs[t] = r.head.BackwardScratch(s, headCaches[t], dOuts[t])
 	}
-	d.cell.BackwardSequence(caches, dhs, nn.LSTMState{})
-	d.params.ClipGradNorm(5)
-	opt.Step(d.params)
+	r.cell.BackwardSequenceScratch(s, caches, dhs, nn.LSTMState{})
 }
 
 // stepInput builds the covariate vector for one step: previous normalized
 // value plus the calendar features of the step's own timestamp.
 func (d *DeepAR) stepInput(prevNorm float64, ts time.Time) []float64 {
-	x := make([]float64, 0, deepARInputDim)
-	x = append(x, prevNorm)
-	x = append(x, timeFeatures(ts)...)
+	return d.stepInputScratch(nil, prevNorm, ts)
+}
+
+// stepInputScratch is stepInput with the vector drawn from the arena.
+func (d *DeepAR) stepInputScratch(s *nn.Scratch, prevNorm float64, ts time.Time) []float64 {
+	x := s.Vec(deepARInputDim)
+	x[0] = prevNorm
+	timeFeaturesInto(x[1:], ts)
 	return x
 }
 
@@ -270,7 +340,10 @@ func (d *DeepAR) Predict(history *timeseries.Series, h int) ([]float64, error) {
 
 // PredictQuantiles implements QuantileForecaster by ancestral sampling:
 // Samples paths are rolled forward feeding each draw back as the next
-// input, and per-step empirical quantiles are reported.
+// input, and per-step empirical quantiles are reported. Paths are fanned
+// across cfg.Workers goroutines; each path draws from its own
+// seed-derived RNG and writes only its own sample slots, so the result is
+// bit-identical for every worker count (including 1).
 func (d *DeepAR) PredictQuantiles(history *timeseries.Series, h int, levels []float64) (*QuantileForecast, error) {
 	if !d.fitted {
 		return nil, ErrNotFitted
@@ -286,27 +359,35 @@ func (d *DeepAR) PredictQuantiles(history *timeseries.Series, h int, levels []fl
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(d.cfg.Seed + int64(history.Len())))
+	base := d.cfg.Seed + int64(history.Len())
 
 	samples := make([][]float64, h) // [step][sample] in normalized space
 	for t := range samples {
 		samples[t] = make([]float64, d.cfg.Samples)
 	}
-	for s := 0; s < d.cfg.Samples; s++ {
-		state := state0.Clone()
+	workers := parallel.Workers(d.cfg.Workers, d.cfg.Samples)
+	scratches := make([]*nn.Scratch, workers)
+	for i := range scratches {
+		scratches[i] = nn.NewScratch()
+	}
+	parallel.ForEachWorker(workers, d.cfg.Samples, func(worker, sIdx int) {
+		rng := rand.New(rand.NewSource(pathSeed(base, sIdx)))
+		sc := scratches[worker]
+		sc.Reset()
+		state := state0.CloneScratch(sc)
 		emit := emit0
 		for t := 0; t < h; t++ {
 			z := emit.Sample(rng)
-			samples[t][s] = z
+			samples[t][sIdx] = z
 			if t == h-1 {
 				break
 			}
-			x := d.stepInput(z, history.TimeAt(history.Len()+t+1))
-			state, _ = d.cell.Step(x, state)
-			out, _ := d.head.Forward(state.H)
+			x := d.stepInputScratch(sc, z, history.TimeAt(history.Len()+t+1))
+			state, _ = d.cell.StepScratch(sc, x, state)
+			out, _ := d.head.ForwardScratch(sc, state.H)
 			emit = d.emissionFrom(out)
 		}
-	}
+	})
 
 	f := &QuantileForecast{
 		Levels: levels,

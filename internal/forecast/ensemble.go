@@ -3,6 +3,7 @@ package forecast
 import (
 	"fmt"
 
+	"robustscale/internal/parallel"
 	"robustscale/internal/timeseries"
 )
 
@@ -16,6 +17,11 @@ type Ensemble struct {
 	// Weights are per-member combination weights; nil means uniform.
 	// They are normalized to sum to one at prediction time.
 	Weights []float64
+	// Workers bounds how many members fit or predict concurrently; 0
+	// means one worker per CPU. Members are independent models, so
+	// results are identical for every value; the Vincentized merge always
+	// runs in member order.
+	Workers int
 }
 
 // NewEnsemble returns an equally weighted ensemble.
@@ -43,12 +49,13 @@ func (e *Ensemble) Fit(train *timeseries.Series) error {
 	if e.Weights != nil && len(e.Weights) != len(e.Members) {
 		return fmt.Errorf("forecast: ensemble has %d weights for %d members", len(e.Weights), len(e.Members))
 	}
-	for _, m := range e.Members {
-		if err := m.Fit(train); err != nil {
-			return fmt.Errorf("forecast: ensemble member %s: %w", m.Name(), err)
+	errs := make([]error, len(e.Members))
+	parallel.ForEach(parallel.Workers(e.Workers, len(e.Members)), len(e.Members), func(i int) {
+		if err := e.Members[i].Fit(train); err != nil {
+			errs[i] = fmt.Errorf("forecast: ensemble member %s: %w", e.Members[i].Name(), err)
 		}
-	}
-	return nil
+	})
+	return parallel.FirstError(errs)
 }
 
 // normalizedWeights returns combination weights summing to one.
@@ -109,11 +116,23 @@ func (e *Ensemble) PredictQuantiles(history *timeseries.Series, h int, levels []
 	for t := 0; t < h; t++ {
 		out.Values[t] = make([]float64, len(levels))
 	}
-	for mi, m := range e.Members {
-		f, err := m.PredictQuantiles(history, h, levels)
+	// Query the members concurrently (each fills its own slot), then
+	// Vincentize sequentially in member order so the floating-point sums
+	// never depend on scheduling.
+	fs := make([]*QuantileForecast, len(e.Members))
+	errs := make([]error, len(e.Members))
+	parallel.ForEach(parallel.Workers(e.Workers, len(e.Members)), len(e.Members), func(mi int) {
+		f, err := e.Members[mi].PredictQuantiles(history, h, levels)
 		if err != nil {
-			return nil, fmt.Errorf("forecast: ensemble member %s: %w", m.Name(), err)
+			errs[mi] = fmt.Errorf("forecast: ensemble member %s: %w", e.Members[mi].Name(), err)
+			return
 		}
+		fs[mi] = f
+	})
+	if err := parallel.FirstError(errs); err != nil {
+		return nil, err
+	}
+	for mi, f := range fs {
 		for t := 0; t < h; t++ {
 			out.Mean[t] += weights[mi] * f.Mean[t]
 			for i := range levels {

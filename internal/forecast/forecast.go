@@ -129,15 +129,35 @@ const timeFeatureDim = 4
 // timeFeatures computes calendar covariates for the observation at absolute
 // timestamp ts.
 func timeFeatures(ts time.Time) []float64 {
+	out := make([]float64, timeFeatureDim)
+	timeFeaturesInto(out, ts)
+	return out
+}
+
+// timeFeaturesInto writes the calendar covariates of ts into dst (len
+// timeFeatureDim), the allocation-free form used on the sampling and BPTT
+// hot paths.
+func timeFeaturesInto(dst []float64, ts time.Time) {
 	daySec := float64(ts.Hour()*3600 + ts.Minute()*60 + ts.Second())
 	dayFrac := daySec / 86400
 	weekFrac := (float64(ts.Weekday()) + dayFrac) / 7
-	return []float64{
-		math.Sin(2 * math.Pi * dayFrac),
-		math.Cos(2 * math.Pi * dayFrac),
-		math.Sin(2 * math.Pi * weekFrac),
-		math.Cos(2 * math.Pi * weekFrac),
-	}
+	dst[0] = math.Sin(2 * math.Pi * dayFrac)
+	dst[1] = math.Cos(2 * math.Pi * dayFrac)
+	dst[2] = math.Sin(2 * math.Pi * weekFrac)
+	dst[3] = math.Cos(2 * math.Pi * weekFrac)
+}
+
+// pathSeed derives an independent RNG seed for Monte-Carlo path `path`
+// from the call-level base seed, using a splitmix64-style mix so nearby
+// path indices land on well-separated streams. Deriving the seed from the
+// path INDEX (never from the worker id) is what keeps sampled forecasts
+// bit-identical across worker counts.
+func pathSeed(base int64, path int) int64 {
+	z := uint64(base) + uint64(path+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
 }
 
 // trainingWindows extracts (context, target) windows for supervised

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"robustscale/internal/nn"
+	"robustscale/internal/parallel"
 	"robustscale/internal/timeseries"
 )
 
@@ -37,6 +38,15 @@ type TFTConfig struct {
 	// normalization, as in the original TFT) between the attention
 	// residual and the quantile heads.
 	Gated bool
+	// Workers bounds the concurrency of batch training; 0 means one
+	// worker per CPU. The fitted weights are bit-identical for every
+	// value.
+	Workers int
+	// Batch is the number of BPTT windows whose gradients are merged into
+	// one Adam step. 0 or 1 keeps the classic one-step-per-window regime;
+	// larger values train data-parallel across Workers while staying
+	// deterministic (per-window gradient buffers merged in window order).
+	Batch int
 }
 
 // DefaultTFTConfig mirrors the paper's setup: 72-step context and the
@@ -58,7 +68,17 @@ func DefaultTFTConfig() TFTConfig {
 type TFT struct {
 	cfg TFTConfig
 
-	scaler   timeseries.StandardScaler
+	scaler timeseries.StandardScaler
+	tftNet // master network; replicas of it carry per-worker gradients
+	fitted bool
+}
+
+// tftNet bundles the network layers so data-parallel training can stamp
+// out gradient replicas of the whole stack (shared weights, private
+// gradients, private scratch arena). The TFT embeds one as the master —
+// its scratch stays nil so one-off calls take the plain heap path.
+type tftNet struct {
+	hidden   int
 	embPast  *nn.Dense
 	embFut   *nn.Dense
 	enc, dec *nn.LSTMCell
@@ -66,7 +86,41 @@ type TFT struct {
 	grn      *nn.GRN // nil unless cfg.Gated
 	head     *nn.Dense
 	params   nn.Params
-	fitted   bool
+	scratch  *nn.Scratch
+}
+
+// collectParams rebuilds the parameter list in the canonical (build)
+// order; replicas must use the same order so AccumGrads lines up.
+func (n *tftNet) collectParams() {
+	n.params = nil
+	n.params = append(n.params, n.embPast.Params()...)
+	n.params = append(n.params, n.embFut.Params()...)
+	n.params = append(n.params, n.enc.Params()...)
+	n.params = append(n.params, n.dec.Params()...)
+	n.params = append(n.params, n.attn.Params()...)
+	if n.grn != nil {
+		n.params = append(n.params, n.grn.Params()...)
+	}
+	n.params = append(n.params, n.head.Params()...)
+}
+
+// replica returns a training lane over the net's shared weights.
+func (n *tftNet) replica() *tftNet {
+	r := &tftNet{
+		hidden:  n.hidden,
+		embPast: n.embPast.Replica(),
+		embFut:  n.embFut.Replica(),
+		enc:     n.enc.Replica(),
+		dec:     n.dec.Replica(),
+		attn:    nn.ReplicaSelfAttention(n.attn),
+		head:    n.head.Replica(),
+		scratch: nn.NewScratch(),
+	}
+	if n.grn != nil {
+		r.grn = n.grn.Replica()
+	}
+	r.collectParams()
+	return r
 }
 
 // NewTFT returns an untrained TFT forecaster.
@@ -126,6 +180,7 @@ func (m *TFT) build() error {
 	m.cfg.Levels = levels
 	rng := rand.New(rand.NewSource(m.cfg.Seed))
 	h := m.cfg.Hidden
+	m.hidden = h
 	m.embPast = nn.NewDense("tft.embPast", tftPastDim, h, rng)
 	m.embFut = nn.NewDense("tft.embFut", timeFeatureDim, h, rng)
 	m.enc = nn.NewLSTMCell("tft.enc", h, h, rng)
@@ -145,20 +200,14 @@ func (m *TFT) build() error {
 		m.grn = nil
 	}
 	m.head = nn.NewDense("tft.head", h, len(levels), rng)
-	m.params = nil
-	m.params = append(m.params, m.embPast.Params()...)
-	m.params = append(m.params, m.embFut.Params()...)
-	m.params = append(m.params, m.enc.Params()...)
-	m.params = append(m.params, m.dec.Params()...)
-	m.params = append(m.params, m.attn.Params()...)
-	if m.grn != nil {
-		m.params = append(m.params, m.grn.Params()...)
-	}
-	m.params = append(m.params, m.head.Params()...)
+	m.collectParams()
 	return nil
 }
 
-// Fit trains the network on the series.
+// Fit trains the network on the series. As with DeepAR, each mini-batch
+// of cfg.Batch windows is pushed through gradient replicas in parallel
+// and merged in window order into one Adam step, so the fitted weights
+// are bit-identical for any worker count.
 func (m *TFT) Fit(train *timeseries.Series) error {
 	if err := m.build(); err != nil {
 		return err
@@ -169,13 +218,38 @@ func (m *TFT) Fit(train *timeseries.Series) error {
 		return err
 	}
 
+	batch := m.cfg.Batch
+	if batch < 1 {
+		batch = 1
+	}
+	if batch > len(windows) {
+		batch = len(windows)
+	}
+	reps := make([]*tftNet, batch)
+	for i := range reps {
+		reps[i] = m.tftNet.replica()
+	}
+	workers := parallel.Workers(m.cfg.Workers, batch)
+
 	rng := rand.New(rand.NewSource(m.cfg.Seed + 1)) // shuffle stream, distinct from init
 	opt := nn.NewAdam(m.cfg.LR)
 	order := rng.Perm(len(windows))
 	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-		for _, wi := range order {
-			m.trainWindow(train, windows[wi], opt)
+		for start := 0; start < len(order); start += batch {
+			nb := len(order) - start
+			if nb > batch {
+				nb = batch
+			}
+			parallel.ForEach(workers, nb, func(i int) {
+				m.windowGrad(reps[i], train, windows[order[start+i]])
+			})
+			m.params.ZeroGrads()
+			for i := 0; i < nb; i++ {
+				nn.AccumGrads(m.params, reps[i].params)
+			}
+			m.params.ClipGradNorm(5)
+			opt.Step(m.params)
 		}
 	}
 	m.fitted = true
@@ -197,8 +271,10 @@ type tftForward struct {
 
 // forward runs encoder, decoder, attention and heads. contextNorm has T
 // normalized observations; startIdx is the absolute index of contextNorm[0]
-// within the series that provides the calendar.
-func (m *TFT) forward(series *timeseries.Series, contextNorm []float64, startIdx, horizon int) *tftForward {
+// within the series that provides the calendar. Vectors are drawn from s
+// (nil falls back to the heap); the attention block keeps its own matrix
+// allocations.
+func (n *tftNet) forward(s *nn.Scratch, series *timeseries.Series, contextNorm []float64, startIdx, horizon int) *tftForward {
 	T := len(contextNorm)
 	H := horizon
 	f := &tftForward{
@@ -211,69 +287,70 @@ func (m *TFT) forward(series *timeseries.Series, contextNorm []float64, startIdx
 
 	embPast := make([][]float64, T)
 	for t := 0; t < T; t++ {
-		x := make([]float64, 0, tftPastDim)
-		x = append(x, contextNorm[t])
-		x = append(x, timeFeatures(series.TimeAt(startIdx+t))...)
-		embPast[t], f.pastCaches[t] = m.embPast.Forward(x)
+		x := s.Vec(tftPastDim)
+		x[0] = contextNorm[t]
+		timeFeaturesInto(x[1:], series.TimeAt(startIdx+t))
+		embPast[t], f.pastCaches[t] = n.embPast.ForwardScratch(s, x)
 	}
 	var hsE [][]float64
 	var finalE nn.LSTMState
-	hsE, finalE, f.encCaches = m.enc.RunSequence(embPast, m.enc.NewLSTMState())
+	hsE, finalE, f.encCaches = n.enc.RunSequenceScratch(s, embPast, n.enc.NewLSTMStateScratch(s))
 
 	embFut := make([][]float64, H)
 	for k := 0; k < H; k++ {
-		feats := timeFeatures(series.TimeAt(startIdx + T + k))
-		embFut[k], f.futCaches[k] = m.embFut.Forward(feats)
+		feats := s.Vec(timeFeatureDim)
+		timeFeaturesInto(feats, series.TimeAt(startIdx+T+k))
+		embFut[k], f.futCaches[k] = n.embFut.ForwardScratch(s, feats)
 	}
 	var hsD [][]float64
-	hsD, _, f.decCaches = m.dec.RunSequence(embFut, finalE)
+	hsD, _, f.decCaches = n.dec.RunSequenceScratch(s, embFut, finalE)
 
-	x := nn.NewMat(T+H, m.cfg.Hidden)
+	x := nn.NewMat(T+H, n.hidden)
 	for t := 0; t < T; t++ {
 		copy(x.Row(t), hsE[t])
 	}
 	for k := 0; k < H; k++ {
 		copy(x.Row(T+k), hsD[k])
 	}
-	attnOut, attnBackward := m.attn.Apply(x)
+	attnOut, attnBackward := n.attn.Apply(x)
 	f.attnBackward = attnBackward
 
-	if m.grn != nil {
+	if n.grn != nil {
 		f.grnCaches = make([]*nn.GRNCache, H)
 	}
 	for k := 0; k < H; k++ {
-		z := make([]float64, m.cfg.Hidden)
+		z := s.Vec(n.hidden)
 		arow := attnOut.Row(T + k)
 		for j := range z {
 			z[j] = arow[j] + hsD[k][j] // residual connection
 		}
-		if m.grn != nil {
-			z, f.grnCaches[k] = m.grn.Forward(z)
+		if n.grn != nil {
+			z, f.grnCaches[k] = n.grn.ForwardScratch(s, z)
 		}
-		f.outs[k], f.headCaches[k] = m.head.Forward(z)
+		f.outs[k], f.headCaches[k] = n.head.ForwardScratch(s, z)
 	}
 	return f
 }
 
 // backward propagates per-step, per-level output gradients through the
 // whole network, accumulating parameter gradients.
-func (m *TFT) backward(f *tftForward, dOuts [][]float64) {
+func (n *tftNet) backward(s *nn.Scratch, f *tftForward, dOuts [][]float64) {
 	T, H := f.T, f.H
-	dA := nn.NewMat(T+H, m.cfg.Hidden)
+	dA := nn.NewMat(T+H, n.hidden)
 	dhsD := make([][]float64, H)
 	for k := 0; k < H; k++ {
-		dz := m.head.Backward(f.headCaches[k], dOuts[k])
-		if m.grn != nil {
-			dz = m.grn.Backward(f.grnCaches[k], dz)
+		dz := n.head.BackwardScratch(s, f.headCaches[k], dOuts[k])
+		if n.grn != nil {
+			dz = n.grn.BackwardScratch(s, f.grnCaches[k], dz)
 		}
 		copy(dA.Row(T+k), dz)
-		dhsD[k] = append([]float64{}, dz...) // residual path
+		dhsD[k] = s.VecCopy(dz) // residual path
 	}
 
 	dX := f.attnBackward(dA)
 	dhsE := make([][]float64, T)
 	for t := 0; t < T; t++ {
-		dhsE[t] = append([]float64{}, dX.Row(t)...)
+		dhsE[t] = s.VecCopy(dX.Row(t))
 	}
 	for k := 0; k < H; k++ {
 		row := dX.Row(T + k)
@@ -282,34 +359,37 @@ func (m *TFT) backward(f *tftForward, dOuts [][]float64) {
 		}
 	}
 
-	dEmbFut, dS0dec := m.dec.BackwardSequence(f.decCaches, dhsD, nn.LSTMState{})
+	dEmbFut, dS0dec := n.dec.BackwardSequenceScratch(s, f.decCaches, dhsD, nn.LSTMState{})
 	for k := 0; k < H; k++ {
-		m.embFut.Backward(f.futCaches[k], dEmbFut[k])
+		n.embFut.BackwardScratch(s, f.futCaches[k], dEmbFut[k])
 	}
-	dEmbPast, _ := m.enc.BackwardSequence(f.encCaches, dhsE, dS0dec)
+	dEmbPast, _ := n.enc.BackwardSequenceScratch(s, f.encCaches, dhsE, dS0dec)
 	for t := 0; t < T; t++ {
-		m.embPast.Backward(f.pastCaches[t], dEmbPast[t])
+		n.embPast.BackwardScratch(s, f.pastCaches[t], dEmbPast[t])
 	}
 }
 
-func (m *TFT) trainWindow(train *timeseries.Series, w timeseries.Window, opt *nn.Adam) {
+// windowGrad runs one window forward+backward on the replica lane,
+// leaving the window's gradients in the replica's buffers (no optimizer
+// step; Fit merges and steps).
+func (m *TFT) windowGrad(rep *tftNet, train *timeseries.Series, w timeseries.Window) {
+	rep.scratch.Reset()
+	s := rep.scratch
 	contextNorm := m.scaler.Transform(w.Context)
 	targetNorm := m.scaler.Transform(w.Target)
 	startIdx := w.Origin - len(w.Context)
 
-	m.params.ZeroGrads()
-	f := m.forward(train, contextNorm, startIdx, len(w.Target))
+	rep.params.ZeroGrads()
+	f := rep.forward(s, train, contextNorm, startIdx, len(w.Target))
 	dOuts := make([][]float64, f.H)
 	for k := 0; k < f.H; k++ {
-		g := make([]float64, len(m.cfg.Levels))
+		g := s.Vec(len(m.cfg.Levels))
 		for i, tau := range m.cfg.Levels {
 			g[i] = PinballGrad(tau, targetNorm[k], f.outs[k][i])
 		}
 		dOuts[k] = g
 	}
-	m.backward(f, dOuts)
-	m.params.ClipGradNorm(5)
-	opt.Step(m.params)
+	rep.backward(s, f, dOuts)
 }
 
 // Predict implements Forecaster via the median head (or the single trained
@@ -337,7 +417,9 @@ func (m *TFT) predictGrid(history *timeseries.Series, h int) (*QuantileForecast,
 	}
 	contextNorm := m.scaler.Transform(context)
 	startIdx := history.Len() - m.cfg.Context
-	fw := m.forward(history, contextNorm, startIdx, h)
+	// A call-local arena keeps the forward pass allocation-light while
+	// leaving the model safe for concurrent PredictQuantiles callers.
+	fw := m.tftNet.forward(nn.NewScratch(), history, contextNorm, startIdx, h)
 
 	out := &QuantileForecast{
 		Levels: m.cfg.Levels,

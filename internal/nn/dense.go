@@ -27,6 +27,12 @@ func NewDense(name string, in, out int, rng *rand.Rand) *Dense {
 // Params returns the layer's trainable parameters.
 func (d *Dense) Params() Params { return Params{d.W, d.B} }
 
+// Replica returns a layer sharing this layer's weights with private
+// gradient buffers; see Param.Replica.
+func (d *Dense) Replica() *Dense {
+	return &Dense{In: d.In, Out: d.Out, W: d.W.Replica(), B: d.B.Replica()}
+}
+
 // DenseCache stores the forward input for the backward pass.
 type DenseCache struct {
 	x []float64
@@ -34,20 +40,34 @@ type DenseCache struct {
 
 // Forward computes W x + b and returns the output plus a cache.
 func (d *Dense) Forward(x []float64) ([]float64, *DenseCache) {
-	y := d.W.Value.MulVec(x)
+	return d.ForwardScratch(nil, x)
+}
+
+// ForwardScratch is Forward with the output and cache drawn from the
+// arena; zero heap allocations in steady state.
+func (d *Dense) ForwardScratch(s *Scratch, x []float64) ([]float64, *DenseCache) {
+	y := d.W.Value.MulVecInto(x, s.Vec(d.Out))
 	for i := range y {
 		y[i] += d.B.Value.Data[i]
 	}
-	return y, &DenseCache{x: x}
+	c := s.denseCache()
+	c.x = x
+	return y, c
 }
 
 // Backward accumulates dW and db and returns dx.
 func (d *Dense) Backward(c *DenseCache, dy []float64) []float64 {
+	return d.BackwardScratch(nil, c, dy)
+}
+
+// BackwardScratch is Backward with the input gradient drawn from the
+// arena.
+func (d *Dense) BackwardScratch(s *Scratch, c *DenseCache, dy []float64) []float64 {
 	d.W.Grad.AddOuter(dy, c.x)
 	for i, g := range dy {
 		d.B.Grad.Data[i] += g
 	}
-	return d.W.Value.MulVecT(dy)
+	return d.W.Value.MulVecTInto(dy, s.Vec(d.In))
 }
 
 // Activation is an element-wise nonlinearity with its derivative expressed
@@ -94,16 +114,29 @@ type ActCache struct {
 
 // Forward applies the activation element-wise.
 func (a Activation) Forward(x []float64) ([]float64, *ActCache) {
-	y := make([]float64, len(x))
+	return a.ForwardScratch(nil, x)
+}
+
+// ForwardScratch is Forward with arena-backed output and cache.
+func (a Activation) ForwardScratch(s *Scratch, x []float64) ([]float64, *ActCache) {
+	y := s.Vec(len(x))
 	for i, v := range x {
 		y[i] = a.F(v)
 	}
-	return y, &ActCache{y: y}
+	c := s.actCache()
+	c.y = y
+	return y, c
 }
 
 // Backward returns dx given dy.
 func (a Activation) Backward(c *ActCache, dy []float64) []float64 {
-	dx := make([]float64, len(dy))
+	return a.BackwardScratch(nil, c, dy)
+}
+
+// BackwardScratch is Backward with the input gradient drawn from the
+// arena.
+func (a Activation) BackwardScratch(s *Scratch, c *ActCache, dy []float64) []float64 {
+	dx := s.Vec(len(dy))
 	for i, g := range dy {
 		dx[i] = g * a.DFroY(c.y[i])
 	}

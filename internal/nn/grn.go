@@ -29,6 +29,12 @@ func NewLayerNorm(name string, dim int) *LayerNorm {
 // Params returns the trainable gain and bias.
 func (ln *LayerNorm) Params() Params { return Params{ln.G, ln.B} }
 
+// Replica returns a layer norm sharing this one's parameters with private
+// gradient buffers; see Param.Replica.
+func (ln *LayerNorm) Replica() *LayerNorm {
+	return &LayerNorm{Dim: ln.Dim, G: ln.G.Replica(), B: ln.B.Replica()}
+}
+
 const lnEps = 1e-5
 
 // LNCache stores the normalization intermediates.
@@ -39,6 +45,11 @@ type LNCache struct {
 
 // Forward normalizes x.
 func (ln *LayerNorm) Forward(x []float64) ([]float64, *LNCache) {
+	return ln.ForwardScratch(nil, x)
+}
+
+// ForwardScratch is Forward with arena-backed output and cache.
+func (ln *LayerNorm) ForwardScratch(s *Scratch, x []float64) ([]float64, *LNCache) {
 	n := float64(len(x))
 	mean := 0.0
 	for _, v := range x {
@@ -53,8 +64,10 @@ func (ln *LayerNorm) Forward(x []float64) ([]float64, *LNCache) {
 	variance /= n
 	invStd := 1 / math.Sqrt(variance+lnEps)
 
-	cache := &LNCache{xhat: make([]float64, len(x)), invStd: invStd}
-	y := make([]float64, len(x))
+	cache := s.lnCache()
+	cache.xhat = s.Vec(len(x))
+	cache.invStd = invStd
+	y := s.Vec(len(x))
 	for i, v := range x {
 		xhat := (v - mean) * invStd
 		cache.xhat[i] = xhat
@@ -65,9 +78,14 @@ func (ln *LayerNorm) Forward(x []float64) ([]float64, *LNCache) {
 
 // Backward accumulates gain/bias gradients and returns dx.
 func (ln *LayerNorm) Backward(c *LNCache, dy []float64) []float64 {
+	return ln.BackwardScratch(nil, c, dy)
+}
+
+// BackwardScratch is Backward with arena-backed intermediates.
+func (ln *LayerNorm) BackwardScratch(s *Scratch, c *LNCache, dy []float64) []float64 {
 	n := float64(len(dy))
 	// dxhat = dy * g; accumulate parameter grads.
-	dxhat := make([]float64, len(dy))
+	dxhat := s.Vec(len(dy))
 	sumDxhat := 0.0
 	sumDxhatXhat := 0.0
 	for i, g := range dy {
@@ -77,7 +95,7 @@ func (ln *LayerNorm) Backward(c *LNCache, dy []float64) []float64 {
 		sumDxhat += dxhat[i]
 		sumDxhatXhat += dxhat[i] * c.xhat[i]
 	}
-	dx := make([]float64, len(dy))
+	dx := s.Vec(len(dy))
 	for i := range dx {
 		dx[i] = c.invStd / n * (n*dxhat[i] - sumDxhat - c.xhat[i]*sumDxhatXhat)
 	}
@@ -150,48 +168,59 @@ type GRNCache struct {
 
 // Forward applies the block to one vector.
 func (g *GRN) Forward(x []float64) ([]float64, *GRNCache) {
-	cache := &GRNCache{}
+	return g.ForwardScratch(nil, x)
+}
+
+// ForwardScratch is Forward with every intermediate drawn from the arena.
+func (g *GRN) ForwardScratch(s *Scratch, x []float64) ([]float64, *GRNCache) {
+	cache := s.grnCache()
 	var h []float64
-	h, cache.c1 = g.l1.Forward(x)
-	h, cache.a1 = ELU.Forward(h)
-	h, cache.c2 = g.l2.Forward(h)
+	h, cache.c1 = g.l1.ForwardScratch(s, x)
+	h, cache.a1 = ELU.ForwardScratch(s, h)
+	h, cache.c2 = g.l2.ForwardScratch(s, h)
 
 	var gateRaw, val []float64
-	gateRaw, cache.cw = g.gateW.Forward(h)
-	val, cache.cv = g.gateV.Forward(h)
-	cache.sig = make([]float64, len(gateRaw))
+	gateRaw, cache.cw = g.gateW.ForwardScratch(s, h)
+	val, cache.cv = g.gateV.ForwardScratch(s, h)
+	cache.sig = s.Vec(len(gateRaw))
 	cache.val = val
-	z := make([]float64, len(x))
+	z := s.Vec(len(x))
 	for i := range z {
-		s := sigmoid(gateRaw[i])
-		cache.sig[i] = s
-		z[i] = x[i] + s*val[i]
+		sg := sigmoid(gateRaw[i])
+		cache.sig[i] = sg
+		z[i] = x[i] + sg*val[i]
 	}
-	out, ln := g.norm.Forward(z)
+	out, ln := g.norm.ForwardScratch(s, z)
 	cache.ln = ln
 	return out, cache
 }
 
 // Backward accumulates parameter gradients and returns dx.
 func (g *GRN) Backward(c *GRNCache, dy []float64) []float64 {
-	dz := g.norm.Backward(c.ln, dy)
+	return g.BackwardScratch(nil, c, dy)
+}
 
-	dGateRaw := make([]float64, len(dz))
-	dVal := make([]float64, len(dz))
-	dx := make([]float64, len(dz))
+// BackwardScratch is Backward with every intermediate drawn from the
+// arena.
+func (g *GRN) BackwardScratch(s *Scratch, c *GRNCache, dy []float64) []float64 {
+	dz := g.norm.BackwardScratch(s, c.ln, dy)
+
+	dGateRaw := s.Vec(len(dz))
+	dVal := s.Vec(len(dz))
+	dx := s.Vec(len(dz))
 	for i, d := range dz {
 		dx[i] = d // residual path
 		dVal[i] = d * c.sig[i]
 		dGateRaw[i] = d * c.val[i] * c.sig[i] * (1 - c.sig[i])
 	}
-	dh := g.gateW.Backward(c.cw, dGateRaw)
-	dhv := g.gateV.Backward(c.cv, dVal)
+	dh := g.gateW.BackwardScratch(s, c.cw, dGateRaw)
+	dhv := g.gateV.BackwardScratch(s, c.cv, dVal)
 	for i := range dh {
 		dh[i] += dhv[i]
 	}
-	dh = g.l2.Backward(c.c2, dh)
-	dh = ELU.Backward(c.a1, dh)
-	dh = g.l1.Backward(c.c1, dh)
+	dh = g.l2.BackwardScratch(s, c.c2, dh)
+	dh = ELU.BackwardScratch(s, c.a1, dh)
+	dh = g.l1.BackwardScratch(s, c.c1, dh)
 	for i := range dx {
 		dx[i] += dh[i]
 	}

@@ -37,6 +37,15 @@ func NewLSTMCell(name string, inSize, hidden int, rng *rand.Rand) *LSTMCell {
 // Params returns the cell's trainable parameters.
 func (c *LSTMCell) Params() Params { return Params{c.Wx, c.Wh, c.B} }
 
+// Replica returns a cell that shares this cell's weights but accumulates
+// gradients into private buffers; see Param.Replica.
+func (c *LSTMCell) Replica() *LSTMCell {
+	return &LSTMCell{
+		InSize: c.InSize, Hidden: c.Hidden,
+		Wx: c.Wx.Replica(), Wh: c.Wh.Replica(), B: c.B.Replica(),
+	}
+}
+
 // LSTMState is the recurrent state (h, c) carried between steps.
 type LSTMState struct {
 	H, C []float64
@@ -47,6 +56,11 @@ func (c *LSTMCell) NewLSTMState() LSTMState {
 	return LSTMState{H: make([]float64, c.Hidden), C: make([]float64, c.Hidden)}
 }
 
+// NewLSTMStateScratch returns a zero state backed by the arena.
+func (c *LSTMCell) NewLSTMStateScratch(s *Scratch) LSTMState {
+	return LSTMState{H: s.VecZero(c.Hidden), C: s.VecZero(c.Hidden)}
+}
+
 // Clone deep-copies the state.
 func (s LSTMState) Clone() LSTMState {
 	h := make([]float64, len(s.H))
@@ -54,6 +68,11 @@ func (s LSTMState) Clone() LSTMState {
 	copy(h, s.H)
 	copy(cc, s.C)
 	return LSTMState{H: h, C: cc}
+}
+
+// CloneScratch deep-copies the state into arena-backed buffers.
+func (s LSTMState) CloneScratch(sc *Scratch) LSTMState {
+	return LSTMState{H: sc.VecCopy(s.H), C: sc.VecCopy(s.C)}
 }
 
 // LSTMCache stores one step's intermediates for BPTT.
@@ -67,20 +86,28 @@ type LSTMCache struct {
 // Step advances the cell by one time step, returning the new state and the
 // cache needed for the backward pass.
 func (c *LSTMCell) Step(x []float64, prev LSTMState) (LSTMState, *LSTMCache) {
+	return c.StepScratch(nil, x, prev)
+}
+
+// StepScratch is Step drawing every intermediate from the arena: in steady
+// state (after the arena has grown to the step's working set) it performs
+// zero heap allocations. The returned state and cache are arena-backed and
+// die at the next s.Reset. The cache also retains x and prev, so those must
+// outlive the backward pass as usual.
+func (c *LSTMCell) StepScratch(s *Scratch, x []float64, prev LSTMState) (LSTMState, *LSTMCache) {
 	h := c.Hidden
-	pre := c.Wx.Value.MulVec(x)
-	preH := c.Wh.Value.MulVec(prev.H)
+	pre := c.Wx.Value.MulVecInto(x, s.Vec(4*h))
+	preH := c.Wh.Value.MulVecInto(prev.H, s.Vec(4*h))
 	for i := range pre {
 		pre[i] += preH[i] + c.B.Value.Data[i]
 	}
 
-	cache := &LSTMCache{
-		x: x, hPrev: prev.H, cPrev: prev.C,
-		i: make([]float64, h), f: make([]float64, h),
-		g: make([]float64, h), o: make([]float64, h),
-		c: make([]float64, h), tanhC: make([]float64, h),
-	}
-	newH := make([]float64, h)
+	cache := s.lstmCache()
+	cache.x, cache.hPrev, cache.cPrev = x, prev.H, prev.C
+	cache.i, cache.f = s.Vec(h), s.Vec(h)
+	cache.g, cache.o = s.Vec(h), s.Vec(h)
+	cache.c, cache.tanhC = s.Vec(h), s.Vec(h)
+	newH := s.Vec(h)
 	for j := 0; j < h; j++ {
 		cache.i[j] = sigmoid(pre[j])
 		cache.f[j] = sigmoid(pre[h+j])
@@ -97,9 +124,15 @@ func (c *LSTMCell) Step(x []float64, prev LSTMState) (LSTMState, *LSTMCache) {
 // into the step's output state, it accumulates parameter gradients and
 // returns the gradients for the input and the previous state.
 func (c *LSTMCell) StepBackward(cache *LSTMCache, dh, dc []float64) (dx []float64, dPrev LSTMState) {
+	return c.StepBackwardScratch(nil, cache, dh, dc)
+}
+
+// StepBackwardScratch is StepBackward drawing every intermediate from the
+// arena; zero heap allocations in steady state.
+func (c *LSTMCell) StepBackwardScratch(s *Scratch, cache *LSTMCache, dh, dc []float64) (dx []float64, dPrev LSTMState) {
 	h := c.Hidden
-	dPre := make([]float64, 4*h)
-	dcPrev := make([]float64, h)
+	dPre := s.Vec(4 * h)
+	dcPrev := s.Vec(h)
 	for j := 0; j < h; j++ {
 		do := dh[j] * cache.tanhC[j]
 		dcj := dc[j] + dh[j]*cache.o[j]*(1-cache.tanhC[j]*cache.tanhC[j])
@@ -120,8 +153,8 @@ func (c *LSTMCell) StepBackward(cache *LSTMCache, dh, dc []float64) (dx []float6
 		c.B.Grad.Data[i] += g
 	}
 
-	dx = c.Wx.Value.MulVecT(dPre)
-	dhPrev := c.Wh.Value.MulVecT(dPre)
+	dx = c.Wx.Value.MulVecTInto(dPre, s.Vec(c.InSize))
+	dhPrev := c.Wh.Value.MulVecTInto(dPre, s.Vec(h))
 	return dx, LSTMState{H: dhPrev, C: dcPrev}
 }
 
@@ -129,11 +162,18 @@ func (c *LSTMCell) StepBackward(cache *LSTMCache, dh, dc []float64) (dx []float6
 // state s0, returning the hidden states per step and the caches needed for
 // BackwardSequence.
 func (c *LSTMCell) RunSequence(xs [][]float64, s0 LSTMState) (hs [][]float64, final LSTMState, caches []*LSTMCache) {
+	return c.RunSequenceScratch(nil, xs, s0)
+}
+
+// RunSequenceScratch is RunSequence with arena-backed steps. The slice
+// headers still come from the heap (one allocation each per sequence); the
+// per-step working set does not.
+func (c *LSTMCell) RunSequenceScratch(s *Scratch, xs [][]float64, s0 LSTMState) (hs [][]float64, final LSTMState, caches []*LSTMCache) {
 	hs = make([][]float64, len(xs))
 	caches = make([]*LSTMCache, len(xs))
 	state := s0
 	for t, x := range xs {
-		state, caches[t] = c.Step(x, state)
+		state, caches[t] = c.StepScratch(s, x, state)
 		hs[t] = state.H
 	}
 	return hs, state, caches
@@ -145,10 +185,15 @@ func (c *LSTMCell) RunSequence(xs [][]float64, s0 LSTMState) (hs [][]float64, fi
 // from a decoder that consumed it). It returns input gradients per step and
 // the gradient on the initial state.
 func (c *LSTMCell) BackwardSequence(caches []*LSTMCache, dhs [][]float64, dFinal LSTMState) (dxs [][]float64, dS0 LSTMState) {
+	return c.BackwardSequenceScratch(nil, caches, dhs, dFinal)
+}
+
+// BackwardSequenceScratch is BackwardSequence with arena-backed steps.
+func (c *LSTMCell) BackwardSequenceScratch(s *Scratch, caches []*LSTMCache, dhs [][]float64, dFinal LSTMState) (dxs [][]float64, dS0 LSTMState) {
 	n := len(caches)
 	dxs = make([][]float64, n)
-	dh := make([]float64, c.Hidden)
-	dc := make([]float64, c.Hidden)
+	dh := s.VecZero(c.Hidden)
+	dc := s.VecZero(c.Hidden)
 	if dFinal.H != nil {
 		copy(dh, dFinal.H)
 	}
@@ -162,7 +207,7 @@ func (c *LSTMCell) BackwardSequence(caches []*LSTMCache, dhs [][]float64, dFinal
 			}
 		}
 		var dPrev LSTMState
-		dxs[t], dPrev = c.StepBackward(caches[t], dh, dc)
+		dxs[t], dPrev = c.StepBackwardScratch(s, caches[t], dh, dc)
 		dh, dc = dPrev.H, dPrev.C
 	}
 	return dxs, LSTMState{H: dh, C: dc}

@@ -55,28 +55,48 @@ func (m Mat) Zero() {
 // MulVec computes m * x for a column vector x (len Cols), returning a
 // vector of length Rows.
 func (m Mat) MulVec(x []float64) []float64 {
+	return m.MulVecInto(x, make([]float64, m.Rows))
+}
+
+// MulVecInto is the allocation-free MulVec: it overwrites dst (len Rows)
+// with m * x and returns dst. This is the innermost kernel of every BPTT
+// step, so callers on the hot path hand it a scratch buffer.
+func (m Mat) MulVecInto(x, dst []float64) []float64 {
 	if len(x) != m.Cols {
 		panic(fmt.Sprintf("nn: MulVec dimension mismatch: %dx%d by %d", m.Rows, m.Cols, len(x)))
 	}
-	out := make([]float64, m.Rows)
+	if len(dst) != m.Rows {
+		panic(fmt.Sprintf("nn: MulVecInto destination has %d rows, want %d", len(dst), m.Rows))
+	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		sum := 0.0
 		for j, v := range row {
 			sum += v * x[j]
 		}
-		out[i] = sum
+		dst[i] = sum
 	}
-	return out
+	return dst
 }
 
 // MulVecT computes m^T * y for a vector y (len Rows), returning a vector of
 // length Cols. Used for input gradients.
 func (m Mat) MulVecT(y []float64) []float64 {
+	return m.MulVecTInto(y, make([]float64, m.Cols))
+}
+
+// MulVecTInto is the allocation-free MulVecT: it overwrites dst (len Cols)
+// with m^T * y and returns dst.
+func (m Mat) MulVecTInto(y, dst []float64) []float64 {
 	if len(y) != m.Rows {
 		panic(fmt.Sprintf("nn: MulVecT dimension mismatch: %dx%d by %d", m.Rows, m.Cols, len(y)))
 	}
-	out := make([]float64, m.Cols)
+	if len(dst) != m.Cols {
+		panic(fmt.Sprintf("nn: MulVecTInto destination has %d cols, want %d", len(dst), m.Cols))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		yi := y[i]
@@ -84,23 +104,29 @@ func (m Mat) MulVecT(y []float64) []float64 {
 			continue
 		}
 		for j, v := range row {
-			out[j] += v * yi
+			dst[j] += v * yi
 		}
 	}
-	return out
+	return dst
 }
 
 // AddOuter accumulates the outer product y x^T into m (Rows = len(y),
 // Cols = len(x)). Used for weight gradients.
-func (m Mat) AddOuter(y, x []float64) {
-	if len(y) != m.Rows || len(x) != m.Cols {
-		panic(fmt.Sprintf("nn: AddOuter dimension mismatch: %dx%d by %dx%d", m.Rows, m.Cols, len(y), len(x)))
+func (m Mat) AddOuter(y, x []float64) { AddOuterInto(m, y, x) }
+
+// AddOuterInto accumulates the outer product y x^T into dst (Rows = len(y),
+// Cols = len(x)). It is the explicit-destination form of AddOuter for
+// callers that accumulate into a gradient buffer other than a layer's own,
+// e.g. the per-replica buffers of data-parallel training.
+func AddOuterInto(dst Mat, y, x []float64) {
+	if len(y) != dst.Rows || len(x) != dst.Cols {
+		panic(fmt.Sprintf("nn: AddOuter dimension mismatch: %dx%d by %dx%d", dst.Rows, dst.Cols, len(y), len(x)))
 	}
 	for i, yi := range y {
 		if yi == 0 {
 			continue
 		}
-		row := m.Row(i)
+		row := dst.Row(i)
 		for j, xj := range x {
 			row[j] += yi * xj
 		}

@@ -1,0 +1,82 @@
+package nn
+
+import "fmt"
+
+// Replica support for data-parallel training: a replica of a layer shares
+// the original's weight storage (reads are safe concurrently) but owns a
+// private, zeroed gradient accumulator, so several goroutines can run
+// forward+backward over different training windows at once. After the
+// parallel section, the per-replica gradients are merged into the master
+// parameters IN A FIXED ORDER with AccumGrads, which keeps floating-point
+// summation — and therefore training — bit-identical for any worker count.
+
+// Replica returns a parameter aliasing p's value storage with a private
+// zeroed gradient buffer. Writing to the replica's Value writes to the
+// original; that is the point (one Adam step on the master updates every
+// replica), and also why replicas must never run concurrently with an
+// optimizer step.
+func (p *Param) Replica() *Param {
+	return &Param{Name: p.Name, Value: p.Value, Grad: NewMat(p.Grad.Rows, p.Grad.Cols)}
+}
+
+// Replica returns an attention block sharing this block's weights with
+// private gradient buffers.
+func (a *Attention) Replica() *Attention {
+	return &Attention{
+		Dim: a.Dim, Causal: a.Causal,
+		Wq: a.Wq.Replica(), Wk: a.Wk.Replica(), Wv: a.Wv.Replica(),
+	}
+}
+
+// Replica returns a multi-head attention block sharing this block's
+// weights with private gradient buffers.
+func (a *MultiHeadAttention) Replica() *MultiHeadAttention {
+	return &MultiHeadAttention{
+		Dim: a.Dim, Heads: a.Heads, Causal: a.Causal,
+		Wq: a.Wq.Replica(), Wk: a.Wk.Replica(),
+		Wv: a.Wv.Replica(), Wo: a.Wo.Replica(),
+	}
+}
+
+// Replica returns a GRN sharing this block's weights with private gradient
+// buffers.
+func (g *GRN) Replica() *GRN {
+	return &GRN{
+		Dim: g.Dim,
+		l1:  g.l1.Replica(), l2: g.l2.Replica(),
+		gateW: g.gateW.Replica(), gateV: g.gateV.Replica(),
+		norm: g.norm.Replica(),
+	}
+}
+
+// ReplicaSelfAttention replicates either attention implementation behind
+// the SelfAttention interface.
+func ReplicaSelfAttention(a SelfAttention) SelfAttention {
+	switch t := a.(type) {
+	case *Attention:
+		return t.Replica()
+	case *MultiHeadAttention:
+		return t.Replica()
+	default:
+		panic(fmt.Sprintf("nn: cannot replicate attention type %T", a))
+	}
+}
+
+// AccumGrads adds src's gradients into dst's, matching parameters by
+// position (dst and src must come from identically built models). Callers
+// merging several replicas must iterate them in a fixed order to keep the
+// result independent of goroutine scheduling.
+func AccumGrads(dst, src Params) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("nn: AccumGrads over %d vs %d parameters", len(dst), len(src)))
+	}
+	for i, d := range dst {
+		s := src[i]
+		if len(d.Grad.Data) != len(s.Grad.Data) {
+			panic(fmt.Sprintf("nn: AccumGrads shape mismatch at %s", d.Name))
+		}
+		for j, g := range s.Grad.Data {
+			d.Grad.Data[j] += g
+		}
+	}
+}

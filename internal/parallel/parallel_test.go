@@ -1,0 +1,92 @@
+package parallel
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	cases := []struct {
+		requested, tasks, want int
+	}{
+		{0, 100, runtime.NumCPU()},
+		{-3, 100, runtime.NumCPU()},
+		{4, 100, 4},
+		{8, 3, 3},
+		{1, 0, 1},
+		{0, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Workers(c.requested, c.tasks); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.requested, c.tasks, got, c.want)
+		}
+	}
+}
+
+func TestForEachCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 1000
+		counts := make([]int32, n)
+		ForEach(workers, n, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachZeroTasks(t *testing.T) {
+	ran := false
+	ForEach(4, 0, func(int) { ran = true })
+	if ran {
+		t.Error("fn ran with zero tasks")
+	}
+}
+
+func TestForEachWorkerIDsInRange(t *testing.T) {
+	const workers, n = 5, 200
+	var bad atomic.Int32
+	ForEachWorker(workers, n, func(worker, i int) {
+		if worker < 0 || worker >= workers {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Errorf("%d calls saw an out-of-range worker id", bad.Load())
+	}
+}
+
+// TestForEachDeterministicSlots is the pattern every caller relies on:
+// writes keyed by index produce identical results for any worker count.
+func TestForEachDeterministicSlots(t *testing.T) {
+	const n = 500
+	ref := make([]int, n)
+	ForEach(1, n, func(i int) { ref[i] = i * i })
+	for _, workers := range []int{2, 3, 16} {
+		got := make([]int, n)
+		ForEach(workers, n, func(i int) { got[i] = i * i })
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestFirstError(t *testing.T) {
+	e1, e2 := errors.New("one"), errors.New("two")
+	if err := FirstError([]error{nil, nil}); err != nil {
+		t.Errorf("FirstError(nil,nil) = %v", err)
+	}
+	if err := FirstError([]error{nil, e2, e1}); err != e2 {
+		t.Errorf("FirstError = %v, want %v", err, e2)
+	}
+	if err := FirstError(nil); err != nil {
+		t.Errorf("FirstError(empty) = %v", err)
+	}
+}
