@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race cover bench experiments examples clean
+.PHONY: all build test vet race cover bench bench-compile ci experiments examples clean
 
 all: build vet test
 
@@ -15,7 +15,7 @@ vet:
 # RACE_PKGS are the packages with real concurrency (worker pools,
 # gradient replicas, the shared model zoo); the default test target runs
 # them under the race detector on top of the plain suite.
-RACE_PKGS = ./internal/parallel/... ./internal/nn/... ./internal/forecast/... ./internal/experiment/...
+RACE_PKGS = ./internal/parallel/... ./internal/nn/... ./internal/forecast/... ./internal/experiment/... ./internal/obs/...
 
 test:
 	$(GO) test ./...
@@ -30,6 +30,18 @@ cover:
 # Regenerate every paper table/figure as benchmarks (quick settings).
 bench:
 	$(GO) test -bench . -benchmem
+
+# Compile and once-run every benchmark so they cannot rot.
+bench-compile:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Everything the CI workflow checks, runnable locally in one shot.
+ci: build vet
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+	$(GO) test ./...
+	$(GO) test -race $(RACE_PKGS)
+	$(MAKE) bench-compile
 
 # Regenerate every paper table/figure with the CLI runner.
 experiments:

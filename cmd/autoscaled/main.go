@@ -8,17 +8,29 @@
 //
 //	autoscaled -strategy robust -tau 0.9 -days 7
 //	autoscaled -strategy adaptive -tau 0.7 -tau2 0.95
-//	autoscaled -strategy reactive-max -listen :8080   # JSON status endpoint
+//	autoscaled -strategy reactive-max -listen :8080
+//
+// With -listen set, the daemon serves its observability surface on that
+// address: /status (JSON snapshot), /metrics (Prometheus text format:
+// status gauges, per-stage control-loop latency histograms, training and
+// scaling counters, online forecast-calibration gauges), /journal (the
+// bounded event journal as JSON) and /debug/pprof (runtime profiles).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"net/http/pprof"
+	"time"
 
 	"robustscale"
+	"robustscale/internal/cluster"
+	"robustscale/internal/obs"
 	"robustscale/internal/ops"
+	"robustscale/internal/scaler"
 )
 
 func main() {
@@ -37,6 +49,34 @@ func main() {
 		listen   = flag.String("listen", "", "address for the JSON status endpoint (e.g. :8080; empty disables)")
 	)
 	flag.Parse()
+
+	// Bind the observability listener before the (potentially long)
+	// training phase: an occupied or invalid -listen address fails fast
+	// instead of surfacing minutes later — a daemon that silently runs
+	// without its observability surface is worse than one that refuses
+	// to start — and operators can probe /status while training runs.
+	registry := ops.NewRegistry(*strategy, *theta)
+	if *listen != "" {
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			log.Fatalf("autoscaled: cannot serve observability endpoint on %s: %v", *listen, err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/status", registry.Handler())
+		mux.Handle("/metrics", registry.MetricsHandler())
+		mux.Handle("/journal", obs.DefaultJournal.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("autoscaled: observability endpoint on http://%s (/status /metrics /journal /debug/pprof)", ln.Addr())
+			if err := http.Serve(ln, mux); err != nil {
+				log.Printf("autoscaled: observability endpoint: %v", err)
+			}
+		}()
+	}
 
 	var tr *robustscale.Trace
 	var err error
@@ -81,18 +121,14 @@ func main() {
 	log.Printf("autoscaled: strategy=%s theta=%.0f horizon=%d replaying %d steps of %s",
 		strat.Name(), *theta, planHorizon, replaySteps, cpu.Name)
 
-	registry := ops.NewRegistry(strat.Name(), *theta)
-	if *listen != "" {
-		mux := http.NewServeMux()
-		mux.Handle("/status", registry.Handler())
-		mux.Handle("/metrics", registry.MetricsHandler())
-		go func() {
-			log.Printf("autoscaled: status endpoint on http://%s/status (Prometheus metrics on /metrics)", *listen)
-			if err := http.ListenAndServe(*listen, mux); err != nil {
-				log.Printf("autoscaled: status endpoint: %v", err)
-			}
-		}()
-	}
+	// The built strategy may carry a more specific name than the flag
+	// (e.g. "tft-0.9" for "robust").
+	registry.Update(func(s *ops.Status) { s.Strategy = strat.Name() })
+
+	// Quantile strategies retain the fan behind each plan; grade its
+	// calibration online over a one-day rolling window.
+	var cal *cluster.Calibration
+	fanProvider, _ := strat.(scaler.FanProvider)
 
 	violations, steps := 0, 0
 	prevAlloc := 1
@@ -101,14 +137,28 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		var fan *robustscale.QuantileForecast
+		if fanProvider != nil {
+			fan = fanProvider.LastFan()
+		}
+		if fan != nil && cal == nil {
+			if cal, err = cluster.NewCalibration(fan.Levels, stepsPerDay); err != nil {
+				log.Fatal(err)
+			}
+		}
+		absErrSum := 0.0
 		for i, alloc := range plan {
 			t := origin + i
+			applyStart := time.Now()
 			if err := c.ScaleTo(alloc); err != nil {
 				log.Fatal(err)
 			}
 			if alloc != prevAlloc {
 				log.Printf("%s scale %d -> %d nodes (workload %.0f)",
 					cpu.TimeAt(t).Format("Jan 02 15:04"), prevAlloc, alloc, cpu.At(t))
+				obs.DefaultJournal.RecordAt(c.Now(), "scale",
+					fmt.Sprintf("scale %d -> %d nodes", prevAlloc, alloc),
+					map[string]float64{"from": float64(prevAlloc), "to": float64(alloc), "workload": cpu.At(t)})
 				prevAlloc = alloc
 			}
 			capacity := c.EffectiveCapacity(cpu.Step)
@@ -117,6 +167,9 @@ func main() {
 				violations++
 				log.Printf("%s VIOLATION: utilization %.1f > %.0f with %d nodes",
 					cpu.TimeAt(t).Format("Jan 02 15:04"), util, *theta, alloc)
+				obs.DefaultJournal.RecordAt(c.Now(), "violation",
+					fmt.Sprintf("utilization %.1f > %.0f with %d nodes", util, *theta, alloc),
+					map[string]float64{"utilization": util, "theta": *theta, "nodes": float64(alloc)})
 			}
 			steps++
 			c.Advance(cpu.Step)
@@ -131,6 +184,19 @@ func main() {
 				s.ScaleIns = c.ScaleIns
 				s.Plan = plan[i+1:]
 			})
+			ops.ObserveApply(time.Since(applyStart))
+			if fan != nil && cal != nil && i < fan.Horizon() {
+				if err := cal.Observe(cpu.At(t), fan.Step(i)); err != nil {
+					log.Fatal(err)
+				}
+				absErrSum += abs(cpu.At(t) - fan.At(i, 0.5))
+			}
+		}
+		if fan != nil {
+			obs.DefaultJournal.RecordAt(c.Now(), "forecast_error",
+				fmt.Sprintf("plan round at %s: mean |actual - median forecast| = %.1f",
+					cpu.TimeAt(origin).Format("Jan 02 15:04"), absErrSum/float64(len(plan))),
+				map[string]float64{"mean_abs_error": absErrSum / float64(len(plan))})
 		}
 		// Daily-ish progress summary.
 		if (origin-trainEnd)%stepsPerDay < planHorizon {
@@ -141,6 +207,21 @@ func main() {
 	}
 	fmt.Printf("\nfinal: %d steps, %d violations (%.2f%%), %d scale-outs, %d scale-ins\n",
 		steps, violations, 100*float64(violations)/float64(steps), c.ScaleOuts, c.ScaleIns)
+	if cal != nil {
+		snap := cal.Snapshot()
+		fmt.Printf("calibration over last %d steps: rolling wQL %.4f; coverage", snap.Steps, snap.WQL)
+		for i, tau := range snap.Levels {
+			fmt.Printf(" %g:%.2f", tau, snap.Coverage[i])
+		}
+		fmt.Println()
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
 }
 
 // buildStrategy trains (when needed) and assembles the requested strategy.

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"robustscale/internal/experiment"
+	"robustscale/internal/obs"
 )
 
 var runners = map[string]func(*experiment.Zoo) error{
@@ -43,9 +44,10 @@ var order = []string{
 func main() {
 	log.SetFlags(0)
 	var (
-		id    = flag.String("id", "all", "artifact to regenerate: table1|table2|table3|fig5..fig12|all")
-		quick = flag.Bool("quick", false, "use reduced training budgets")
-		seed  = flag.Int64("seed", 42, "experiment seed")
+		id      = flag.String("id", "all", "artifact to regenerate: table1|table2|table3|fig5..fig12|all")
+		quick   = flag.Bool("quick", false, "use reduced training budgets")
+		seed    = flag.Int64("seed", 42, "experiment seed")
+		metrics = flag.Bool("metrics", false, "dump accumulated Prometheus metrics to stdout after the run")
 	)
 	flag.Parse()
 
@@ -74,6 +76,15 @@ func main() {
 			log.Fatalf("experiment: %s: %v", one, err)
 		}
 		fmt.Printf("[%s done in %v]\n", one, time.Since(start).Round(time.Millisecond))
+	}
+	if *metrics {
+		// The same instruments the daemon serves at /metrics, dumped once
+		// for quick offline runs: stage latencies, training counters,
+		// scaling actions.
+		fmt.Println("\n# --- accumulated metrics (Prometheus text format) ---")
+		if err := obs.Default.WritePrometheus(os.Stdout); err != nil {
+			log.Fatalf("experiment: metrics dump: %v", err)
+		}
 	}
 }
 

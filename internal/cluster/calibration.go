@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"robustscale/internal/obs"
+)
+
+// Calibration grades quantile forecasts against realized workloads online
+// over a rolling window, the monitoring loop the paper argues production
+// autoscalers need: if the 0.9-quantile band covers far less than 90% of
+// realized workloads, the robust strategy's safety margin has silently
+// eroded and retraining is due.
+//
+// Every Observe updates, in O(levels) time:
+//
+//   - per-level observed coverage (fraction of actuals at or below the
+//     level's forecast) exported as robustscale_forecast_coverage{tau=...}
+//     alongside the observed-minus-nominal error gauge, and
+//   - the rolling mean weighted quantile loss, exported as
+//     robustscale_forecast_rolling_wql.
+//
+// Calibration is safe for concurrent use, though the control loop is its
+// only writer in practice.
+type Calibration struct {
+	levels []float64
+	window int
+
+	mu        sync.Mutex
+	actuals   []float64   // ring of realized workloads
+	preds     [][]float64 // ring of quantile rows, aligned with levels
+	next      int
+	count     int
+	covered   []int     // per level: covered steps currently in window
+	pinball   []float64 // per level: pinball-loss sum over window
+	actualSum float64
+
+	coverage []*obs.Gauge
+	covError []*obs.Gauge
+	wql      *obs.Gauge
+	samples  *obs.Gauge
+}
+
+// CalibrationSnapshot is a point-in-time view of the rolling window.
+type CalibrationSnapshot struct {
+	// Levels are the nominal quantile levels.
+	Levels []float64
+	// Coverage[i] is the observed coverage of Levels[i].
+	Coverage []float64
+	// WQL is the rolling mean weighted quantile loss.
+	WQL float64
+	// Steps is how many observations the window currently holds.
+	Steps int
+}
+
+// NewCalibration builds a tracker for the given quantile levels over a
+// rolling window of that many steps, registering its gauges on
+// obs.Default.
+func NewCalibration(levels []float64, window int) (*Calibration, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("cluster: calibration needs at least one quantile level")
+	}
+	if window < 1 {
+		return nil, fmt.Errorf("cluster: non-positive calibration window %d", window)
+	}
+	for _, tau := range levels {
+		if tau <= 0 || tau >= 1 {
+			return nil, fmt.Errorf("cluster: calibration level %v outside (0, 1)", tau)
+		}
+	}
+	c := &Calibration{
+		levels:  append([]float64(nil), levels...),
+		window:  window,
+		actuals: make([]float64, window),
+		preds:   make([][]float64, window),
+		covered: make([]int, len(levels)),
+		pinball: make([]float64, len(levels)),
+	}
+	for i := range c.preds {
+		c.preds[i] = make([]float64, len(levels))
+	}
+	covVec := obs.Default.GaugeVec(
+		"robustscale_forecast_coverage",
+		"Observed rolling coverage of each quantile level; calibrated forecasts match the tau label.",
+		"tau")
+	errVec := obs.Default.GaugeVec(
+		"robustscale_forecast_coverage_error",
+		"Observed minus nominal rolling coverage, by quantile level.",
+		"tau")
+	c.coverage = make([]*obs.Gauge, len(levels))
+	c.covError = make([]*obs.Gauge, len(levels))
+	for i, tau := range levels {
+		label := strconv.FormatFloat(tau, 'g', -1, 64)
+		c.coverage[i] = covVec.With(label)
+		c.covError[i] = errVec.With(label)
+	}
+	c.wql = obs.Default.Gauge(
+		"robustscale_forecast_rolling_wql",
+		"Rolling mean weighted quantile loss over the calibration window.")
+	c.samples = obs.Default.Gauge(
+		"robustscale_forecast_calibration_samples",
+		"Steps currently held in the forecast-calibration window.")
+	return c, nil
+}
+
+// Levels returns the nominal quantile levels, in order.
+func (c *Calibration) Levels() []float64 { return append([]float64(nil), c.levels...) }
+
+// Observe feeds one realized workload and the quantile row that was
+// forecast for its step (values aligned with the tracker's levels), then
+// refreshes the exported gauges.
+func (c *Calibration) Observe(actual float64, quantiles []float64) error {
+	if len(quantiles) != len(c.levels) {
+		return fmt.Errorf("cluster: %d quantile values for %d calibration levels", len(quantiles), len(c.levels))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	if c.count == c.window {
+		// Evict the oldest observation from the running sums.
+		old := c.actuals[c.next]
+		oldRow := c.preds[c.next]
+		c.actualSum -= old
+		for i := range c.levels {
+			if oldRow[i] >= old {
+				c.covered[i]--
+			}
+			c.pinball[i] -= pinballLoss(c.levels[i], old, oldRow[i])
+		}
+	} else {
+		c.count++
+	}
+	c.actuals[c.next] = actual
+	copy(c.preds[c.next], quantiles)
+	c.actualSum += actual
+	for i, tau := range c.levels {
+		if quantiles[i] >= actual {
+			c.covered[i]++
+		}
+		c.pinball[i] += pinballLoss(tau, actual, quantiles[i])
+	}
+	c.next = (c.next + 1) % c.window
+
+	n := float64(c.count)
+	for i, tau := range c.levels {
+		cov := float64(c.covered[i]) / n
+		c.coverage[i].Set(cov)
+		c.covError[i].Set(cov - tau)
+	}
+	c.wql.Set(c.rollingWQL())
+	c.samples.Set(n)
+	return nil
+}
+
+// rollingWQL computes the mean over levels of 2*QL_tau/sum(actuals) for
+// the window; callers hold the lock.
+func (c *Calibration) rollingWQL() float64 {
+	if c.actualSum <= 0 {
+		return 0
+	}
+	total := 0.0
+	for i := range c.levels {
+		total += 2 * c.pinball[i] / c.actualSum
+	}
+	return total / float64(len(c.levels))
+}
+
+// Snapshot returns the current rolling statistics.
+func (c *Calibration) Snapshot() CalibrationSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap := CalibrationSnapshot{
+		Levels:   append([]float64(nil), c.levels...),
+		Coverage: make([]float64, len(c.levels)),
+		WQL:      c.rollingWQL(),
+		Steps:    c.count,
+	}
+	if c.count > 0 {
+		for i := range c.levels {
+			snap.Coverage[i] = float64(c.covered[i]) / float64(c.count)
+		}
+	}
+	return snap
+}
+
+// pinballLoss is the quantile (pinball) loss rho_tau of prediction yhat
+// against actual y.
+func pinballLoss(tau, y, yhat float64) float64 {
+	u := y - yhat
+	if u < 0 {
+		return (tau - 1) * u
+	}
+	return tau * u
+}

@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCalibrationValidation(t *testing.T) {
+	if _, err := NewCalibration(nil, 10); err == nil {
+		t.Error("empty levels accepted")
+	}
+	if _, err := NewCalibration([]float64{0.5}, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := NewCalibration([]float64{1.5}, 10); err == nil {
+		t.Error("level outside (0,1) accepted")
+	}
+	c, err := NewCalibration([]float64{0.5, 0.9}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Observe(1, []float64{1}); err == nil {
+		t.Error("mismatched quantile row accepted")
+	}
+}
+
+func TestCalibrationCoverage(t *testing.T) {
+	c, err := NewCalibration([]float64{0.5, 0.9}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four steps: the 0.9 forecast covers all four actuals, the 0.5
+	// forecast covers two of four.
+	steps := []struct {
+		actual float64
+		row    []float64 // q0.5, q0.9
+	}{
+		{10, []float64{12, 20}}, // both cover
+		{10, []float64{8, 15}},  // only 0.9 covers
+		{10, []float64{10, 11}}, // both cover (boundary inclusive)
+		{10, []float64{9, 12}},  // only 0.9 covers
+	}
+	for _, s := range steps {
+		if err := c.Observe(s.actual, s.row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := c.Snapshot()
+	if snap.Steps != 4 {
+		t.Fatalf("steps = %d, want 4", snap.Steps)
+	}
+	if got := snap.Coverage[0]; got != 0.5 {
+		t.Errorf("coverage(0.5) = %v, want 0.5", got)
+	}
+	if got := snap.Coverage[1]; got != 1 {
+		t.Errorf("coverage(0.9) = %v, want 1", got)
+	}
+}
+
+// TestCalibrationRollingEviction pins the incremental ring bookkeeping
+// against a from-scratch recomputation over the retained window.
+func TestCalibrationRollingEviction(t *testing.T) {
+	levels := []float64{0.5, 0.9}
+	const window = 8
+	c, err := NewCalibration(levels, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var actuals []float64
+	var rows [][]float64
+	for i := 0; i < 25; i++ {
+		actual := 100 + 13*math.Sin(float64(i))
+		row := []float64{actual + float64(i%7) - 3, actual + 5}
+		actuals = append(actuals, actual)
+		rows = append(rows, row)
+		if err := c.Observe(actual, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Recompute over the last `window` observations from scratch.
+	tail := actuals[len(actuals)-window:]
+	tailRows := rows[len(rows)-window:]
+	wantCov := make([]float64, len(levels))
+	wantWQL := 0.0
+	actualSum := 0.0
+	for _, a := range tail {
+		actualSum += a
+	}
+	for li, tau := range levels {
+		covered, ql := 0, 0.0
+		for i, a := range tail {
+			if tailRows[i][li] >= a {
+				covered++
+			}
+			ql += pinballLoss(tau, a, tailRows[i][li])
+		}
+		wantCov[li] = float64(covered) / window
+		wantWQL += 2 * ql / actualSum
+	}
+	wantWQL /= float64(len(levels))
+
+	snap := c.Snapshot()
+	if snap.Steps != window {
+		t.Fatalf("steps = %d, want %d", snap.Steps, window)
+	}
+	for li := range levels {
+		if math.Abs(snap.Coverage[li]-wantCov[li]) > 1e-12 {
+			t.Errorf("coverage[%d] = %v, want %v", li, snap.Coverage[li], wantCov[li])
+		}
+	}
+	if math.Abs(snap.WQL-wantWQL) > 1e-9 {
+		t.Errorf("rolling wQL = %v, want %v", snap.WQL, wantWQL)
+	}
+}

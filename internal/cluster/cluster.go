@@ -15,7 +15,22 @@ import (
 	"math/rand"
 	"time"
 
+	"robustscale/internal/obs"
 	"robustscale/internal/timeseries"
+)
+
+// Fleet-level counters on the process-wide registry; every simulated
+// cluster feeds them, mirroring what a real control plane would emit.
+var (
+	obsScaleOuts = obs.Default.Counter(
+		"robustscale_cluster_scale_outs_total",
+		"Compute nodes launched by scale-out operations.")
+	obsScaleIns = obs.Default.Counter(
+		"robustscale_cluster_scale_ins_total",
+		"Compute nodes retired by scale-in operations.")
+	obsFailures = obs.Default.Counter(
+		"robustscale_cluster_node_failures_total",
+		"Compute nodes lost to injected failures.")
 )
 
 // Config describes the simulated database deployment.
@@ -130,10 +145,12 @@ func (c *Cluster) ScaleTo(n int) error {
 		})
 		c.nextID++
 		c.ScaleOuts++
+		obsScaleOuts.Inc()
 	}
 	if len(c.nodes) > n {
 		// Retire the newest nodes first; they are the least warmed.
 		c.ScaleIns += len(c.nodes) - n
+		obsScaleIns.Add(float64(len(c.nodes) - n))
 		c.nodes = c.nodes[:n]
 	}
 	return nil
@@ -156,6 +173,7 @@ func (c *Cluster) Kill(count int) int {
 		killed++
 	}
 	c.Failures += killed
+	obsFailures.Add(float64(killed))
 	return killed
 }
 
@@ -247,7 +265,11 @@ func (c *Cluster) ReplayWithFaults(workload *timeseries.Series, allocations []in
 			if size < 1 {
 				size = 1
 			}
-			c.Kill(size)
+			if killed := c.Kill(size); killed > 0 {
+				obs.DefaultJournal.RecordAt(c.now, "fault",
+					fmt.Sprintf("failure event killed %d node(s)", killed),
+					map[string]float64{"killed": float64(killed), "nodes": float64(len(c.nodes))})
+			}
 		}
 		if err := c.ScaleTo(allocations[i]); err != nil {
 			return nil, fmt.Errorf("cluster: step %d: %w", i, err)

@@ -178,6 +178,7 @@ func (d *DeepAR) Fit(train *timeseries.Series) error {
 			d.params.ClipGradNorm(5)
 			opt.Step(d.params)
 		}
+		obsDeepAREpochs.Inc()
 	}
 	d.fitted = true
 	return nil
@@ -359,6 +360,8 @@ func (d *DeepAR) PredictQuantiles(history *timeseries.Series, h int, levels []fl
 	if err != nil {
 		return nil, err
 	}
+	obsPredictions.With("deepar").Inc()
+	obsMCPaths.Add(float64(d.cfg.Samples))
 	base := d.cfg.Seed + int64(history.Len())
 
 	samples := make([][]float64, h) // [step][sample] in normalized space

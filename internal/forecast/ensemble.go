@@ -55,7 +55,11 @@ func (e *Ensemble) Fit(train *timeseries.Series) error {
 			errs[i] = fmt.Errorf("forecast: ensemble member %s: %w", e.Members[i].Name(), err)
 		}
 	})
-	return parallel.FirstError(errs)
+	if err := parallel.FirstError(errs); err != nil {
+		return err
+	}
+	obsEnsembleMemberFits.Add(float64(len(e.Members)))
+	return nil
 }
 
 // normalizedWeights returns combination weights summing to one.

@@ -251,6 +251,7 @@ func (m *TFT) Fit(train *timeseries.Series) error {
 			m.params.ClipGradNorm(5)
 			opt.Step(m.params)
 		}
+		obsTFTEpochs.Inc()
 	}
 	m.fitted = true
 	return nil
@@ -452,6 +453,7 @@ func (m *TFT) PredictQuantiles(history *timeseries.Series, h int, levels []float
 	if err != nil {
 		return nil, err
 	}
+	obsPredictions.With("tft").Inc()
 	out := &QuantileForecast{
 		Levels: levels,
 		Values: make([][]float64, h),

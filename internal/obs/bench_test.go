@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The benchmarks below bound the per-operation cost of the hot-path
+// instruments; DESIGN.md §5 relates them to the control-loop step cost to
+// justify the always-on instrumentation (<2% overhead).
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("c_total", "help")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	c := NewRegistry().Counter("c_total", "help")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("h_seconds", "help", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0042)
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := NewRegistry().Histogram("h_seconds", "help", nil)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(0.0042)
+		}
+	})
+}
+
+func BenchmarkVecWithLookup(b *testing.B) {
+	v := NewRegistry().CounterVec("v_total", "help", "k")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.With("stage").Inc()
+	}
+}
+
+func BenchmarkJournalRecord(b *testing.B) {
+	j := NewJournal(1024)
+	now := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	fields := map[string]float64{"from": 3, "to": 5}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		j.RecordAt(now, "scale", "scale 3 -> 5", fields)
+	}
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestJournalWraparound(t *testing.T) {
+	j := NewJournal(4)
+	base := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 1; i <= 10; i++ {
+		j.RecordAt(base.Add(time.Duration(i)*time.Minute), "scale", fmt.Sprintf("event %d", i), map[string]float64{"i": float64(i)})
+	}
+	events := j.Events()
+	if len(events) != 4 {
+		t.Fatalf("retained %d events, want 4", len(events))
+	}
+	for i, e := range events {
+		wantSeq := uint64(7 + i)
+		if e.Seq != wantSeq {
+			t.Errorf("event %d seq = %d, want %d", i, e.Seq, wantSeq)
+		}
+		if e.Fields["i"] != float64(wantSeq) {
+			t.Errorf("event %d payload = %v, want %d", i, e.Fields["i"], wantSeq)
+		}
+	}
+	if j.Total() != 10 || j.Dropped() != 6 || j.Len() != 4 || j.Cap() != 4 {
+		t.Errorf("total/dropped/len/cap = %d/%d/%d/%d, want 10/6/4/4", j.Total(), j.Dropped(), j.Len(), j.Cap())
+	}
+}
+
+func TestJournalCopiesFields(t *testing.T) {
+	j := NewJournal(2)
+	fields := map[string]float64{"nodes": 3}
+	j.Record("scale", "up", fields)
+	fields["nodes"] = 99
+	if got := j.Events()[0].Fields["nodes"]; got != 3 {
+		t.Errorf("journal shares the caller's fields map: %v", got)
+	}
+}
+
+func TestJournalConcurrentRecord(t *testing.T) {
+	j := NewJournal(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				j.Record("k", "m", nil)
+				j.Events()
+			}
+		}()
+	}
+	wg.Wait()
+	if j.Total() != 1600 {
+		t.Errorf("total = %d, want 1600", j.Total())
+	}
+}
+
+func TestJournalHandler(t *testing.T) {
+	j := NewJournal(8)
+	j.RecordAt(time.Date(2024, 3, 1, 12, 0, 0, 0, time.UTC), "fault", "killed 1 node", map[string]float64{"killed": 1})
+	srv := httptest.NewServer(j.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var export struct {
+		Capacity int     `json:"capacity"`
+		Total    uint64  `json:"total"`
+		Dropped  uint64  `json:"dropped"`
+		Events   []Event `json:"events"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&export); err != nil {
+		t.Fatal(err)
+	}
+	if export.Capacity != 8 || export.Total != 1 || export.Dropped != 0 {
+		t.Errorf("export meta = %+v", export)
+	}
+	if len(export.Events) != 1 || export.Events[0].Kind != "fault" || export.Events[0].Fields["killed"] != 1 {
+		t.Errorf("export events = %+v", export.Events)
+	}
+
+	post, err := http.Post(srv.URL, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %d, want 405", post.StatusCode)
+	}
+}

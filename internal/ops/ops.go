@@ -12,7 +12,38 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"robustscale/internal/obs"
 )
+
+// Control-loop stage names used with ObserveStage. The forecast and
+// optimize stages are recorded inside internal/scaler (which registers
+// the same histogram family); apply is recorded by the daemon around the
+// cluster mutation.
+const (
+	StageForecast = "forecast"
+	StageOptimize = "optimize"
+	StageApply    = "apply"
+)
+
+// stageSeconds is the shared per-stage latency histogram of the control
+// loop, registered on obs.Default under the same family name
+// internal/scaler uses — obs registration is idempotent by name, so both
+// packages feed one histogram.
+var stageSeconds = obs.Default.HistogramVec(
+	"robustscale_stage_duration_seconds",
+	"Control-loop stage latency in seconds.",
+	"stage", obs.LatencyBuckets)
+
+var stageApply = stageSeconds.With(StageApply)
+
+// ObserveStage records one execution of a control-loop stage.
+func ObserveStage(stage string, d time.Duration) {
+	stageSeconds.With(stage).Observe(d.Seconds())
+}
+
+// ObserveApply records one apply-stage execution without a label lookup.
+func ObserveApply(d time.Duration) { stageApply.Observe(d.Seconds()) }
 
 // Status is a snapshot of the auto-scaler's state.
 type Status struct {
@@ -86,9 +117,17 @@ func (r *Registry) Handler() http.Handler {
 }
 
 // MetricsHandler returns an http.Handler exposing the status as
-// Prometheus text-format gauges under the `robustscale_` prefix, so the
-// daemon plugs into standard monitoring stacks.
+// Prometheus text-format gauges under the `robustscale_` prefix, followed
+// by every instrument registered on obs.Default (stage latencies,
+// training counters, calibration gauges), so one /metrics endpoint covers
+// the whole daemon.
 func (r *Registry) MetricsHandler() http.Handler {
+	return r.MetricsHandlerFor(obs.Default)
+}
+
+// MetricsHandlerFor is MetricsHandler against an explicit obs registry
+// (nil appends nothing); tests use it to keep output deterministic.
+func (r *Registry) MetricsHandlerFor(reg *obs.Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -110,6 +149,12 @@ func (r *Registry) MetricsHandler() http.Handler {
 		gauge("scale_outs_total", "Scale-out operations performed.", float64(snap.ScaleOuts))
 		gauge("scale_ins_total", "Scale-in operations performed.", float64(snap.ScaleIns))
 		gauge("theta", "Per-node workload threshold in effect.", snap.Theta)
+		if reg != nil {
+			if err := reg.WritePrometheus(&b); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+		}
 		if _, err := io.WriteString(w, b.String()); err != nil {
 			return
 		}

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"robustscale/internal/obs"
 )
 
 func TestRegistryUpdateAndSnapshot(t *testing.T) {
@@ -140,5 +142,60 @@ func TestRegistryConcurrentAccess(t *testing.T) {
 	wg.Wait()
 	if got := r.Snapshot().Steps; got != 800 {
 		t.Errorf("steps = %d, want 800", got)
+	}
+}
+
+// TestMetricsHandlerComposesObsRegistry checks that /metrics serves the
+// status gauges followed by every instrument of the obs registry, so one
+// endpoint covers the whole daemon.
+func TestMetricsHandlerComposesObsRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("robustscale_custom_total", "A custom counter.").Add(7)
+	reg.HistogramVec("robustscale_stage_duration_seconds",
+		"Control-loop stage latency in seconds.", "stage", []float64{0.01, 0.1}).
+		With("forecast").Observe(0.05)
+
+	r := NewRegistry("tft-0.9", 100)
+	r.Update(func(s *Status) { s.Nodes = 2 })
+	srv := httptest.NewServer(r.MetricsHandlerFor(reg))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"robustscale_nodes 2",
+		"robustscale_custom_total 7",
+		`robustscale_stage_duration_seconds_bucket{stage="forecast",le="0.1"} 1`,
+		`robustscale_stage_duration_seconds_count{stage="forecast"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, text)
+		}
+	}
+	// Status gauges come first, obs families after.
+	if strings.Index(text, "robustscale_nodes") > strings.Index(text, "robustscale_custom_total") {
+		t.Error("status gauges should precede obs registry families")
+	}
+}
+
+// TestObserveStage checks the daemon-side stage helper feeds the shared
+// histogram family on obs.Default.
+func TestObserveStage(t *testing.T) {
+	before := stageSeconds.With(StageApply).Count()
+	ObserveApply(3 * time.Millisecond)
+	ObserveStage(StageApply, 2*time.Millisecond)
+	if got := stageSeconds.With(StageApply).Count(); got != before+2 {
+		t.Errorf("apply-stage observations = %d, want %d", got, before+2)
 	}
 }

@@ -115,6 +115,8 @@ func Evaluate(strategy Strategy, s *timeseries.Series, cfg EvalConfig) (*EvalRes
 	if err != nil {
 		return nil, err
 	}
+	countActions(0, allocations)
+	violationsTotal.With(strategy.Name()).Add(float64(report.UnderProvisioned))
 	return &EvalResult{
 		Strategy:    strategy.Name(),
 		Report:      report,

@@ -1,0 +1,67 @@
+package scaler
+
+import (
+	"robustscale/internal/obs"
+)
+
+// Instruments registered on the process-wide registry. The stage
+// histogram names the same family internal/ops registers (registration is
+// idempotent by name), so forecast/optimize timings recorded here and the
+// apply timings recorded by the daemon land in one histogram.
+var (
+	stageSeconds = obs.Default.HistogramVec(
+		"robustscale_stage_duration_seconds",
+		"Control-loop stage latency in seconds.",
+		"stage", obs.LatencyBuckets)
+	stageForecast = stageSeconds.With("forecast")
+	stageOptimize = stageSeconds.With("optimize")
+
+	// plansTotal counts planning rounds per strategy; plannedSteps the
+	// allocation steps they committed.
+	plansTotal = obs.Default.CounterVec(
+		"robustscale_scaler_plans_total",
+		"Planning rounds completed, by strategy.",
+		"strategy")
+	plannedSteps = obs.Default.Counter(
+		"robustscale_scaler_planned_steps_total",
+		"Allocation steps committed across all plans.")
+
+	// scaleActions counts planned node-count changes by direction; the
+	// evaluation harness and the daemon both feed it.
+	scaleActions = obs.Default.CounterVec(
+		"robustscale_scaler_scale_actions_total",
+		"Node-count changes between consecutive allocation steps, by direction (out/in).",
+		"direction")
+	scaleOut = scaleActions.With("out")
+	scaleIn  = scaleActions.With("in")
+
+	// violationsTotal counts threshold breaches graded during evaluation
+	// replays.
+	violationsTotal = obs.Default.CounterVec(
+		"robustscale_scaler_violations_total",
+		"Threshold violations observed in evaluation replays, by strategy.",
+		"strategy")
+)
+
+// countPlan records one completed planning round for a strategy.
+func countPlan(name string, steps int) {
+	plansTotal.With(name).Inc()
+	plannedSteps.Add(float64(steps))
+}
+
+// countActions records the scale-out/in transitions of an allocation
+// sequence, starting from the previous allocation prev (prev <= 0 skips
+// the first comparison).
+func countActions(prev int, allocations []int) {
+	for _, a := range allocations {
+		if prev > 0 {
+			switch {
+			case a > prev:
+				scaleOut.Inc()
+			case a < prev:
+				scaleIn.Inc()
+			}
+		}
+		prev = a
+	}
+}

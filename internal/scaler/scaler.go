@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"robustscale/internal/forecast"
 	"robustscale/internal/metrics"
@@ -38,6 +39,16 @@ type Observer interface {
 // ErrNoHistory is returned when a reactive strategy has no observations to
 // work from.
 var ErrNoHistory = errors.New("scaler: empty workload history")
+
+// FanProvider is implemented by strategies that retain the quantile fan
+// behind their most recent plan, letting callers grade forecast
+// calibration online (observed coverage vs nominal level, rolling wQL)
+// without paying for a second forecast.
+type FanProvider interface {
+	// LastFan returns the quantile forecast of the most recent Plan call,
+	// or nil before the first plan.
+	LastFan() *forecast.QuantileForecast
+}
 
 // ReactiveMax scales on the maximum workload inside a trailing window, the
 // conservative variant of a moving-window reactive scaler.
@@ -142,12 +153,21 @@ func (p *Predictive) Plan(history *timeseries.Series, h int) ([]int, error) {
 	if p.Theta <= 0 {
 		return nil, fmt.Errorf("scaler: predictive threshold %v", p.Theta)
 	}
+	t0 := time.Now()
 	pred, err := p.Forecaster.Predict(history, h)
 	if err != nil {
 		return nil, err
 	}
+	stageForecast.ObserveSince(t0)
 	p.lastPrediction = pred
-	return optimize.Plan(pred, p.Theta)
+	t0 = time.Now()
+	plan, err := optimize.Plan(pred, p.Theta)
+	if err != nil {
+		return nil, err
+	}
+	stageOptimize.ObserveSince(t0)
+	countPlan(p.Name(), h)
+	return plan, nil
 }
 
 // Observe implements Observer: when the wrapped forecaster supports
@@ -168,7 +188,12 @@ type Robust struct {
 	Tau float64
 	// Theta is the per-node workload threshold.
 	Theta float64
+
+	lastFan *forecast.QuantileForecast
 }
+
+// LastFan implements FanProvider.
+func (r *Robust) LastFan() *forecast.QuantileForecast { return r.lastFan }
 
 // Name implements Strategy.
 func (r *Robust) Name() string {
@@ -183,15 +208,25 @@ func (r *Robust) Plan(history *timeseries.Series, h int) ([]int, error) {
 	if r.Tau <= 0 || r.Tau >= 1 {
 		return nil, fmt.Errorf("scaler: robust quantile level %v outside (0, 1)", r.Tau)
 	}
+	t0 := time.Now()
 	f, err := r.Forecaster.PredictQuantiles(history, h, []float64{r.Tau})
 	if err != nil {
 		return nil, err
 	}
+	stageForecast.ObserveSince(t0)
+	r.lastFan = f
 	path := make([]float64, h)
 	for t := 0; t < h; t++ {
 		path[t] = f.Values[t][0]
 	}
-	return optimize.Plan(path, r.Theta)
+	t0 = time.Now()
+	plan, err := optimize.Plan(path, r.Theta)
+	if err != nil {
+		return nil, err
+	}
+	stageOptimize.ObserveSince(t0)
+	countPlan(r.Name(), h)
+	return plan, nil
 }
 
 // Adaptive is the uncertainty-aware adaptive strategy of Algorithm 1: at
@@ -209,7 +244,12 @@ type Adaptive struct {
 	// Levels is the quantile grid used to compute U; it must include 0.5.
 	// Defaults to forecast.ScalingLevels.
 	Levels []float64
+
+	lastFan *forecast.QuantileForecast
 }
+
+// LastFan implements FanProvider.
+func (a *Adaptive) LastFan() *forecast.QuantileForecast { return a.lastFan }
 
 // Name implements Strategy.
 func (a *Adaptive) Name() string {
@@ -225,10 +265,14 @@ func (a *Adaptive) Plan(history *timeseries.Series, h int) ([]int, error) {
 	if len(levels) == 0 {
 		levels = forecast.ScalingLevels
 	}
+	t0 := time.Now()
 	f, err := a.Forecaster.PredictQuantiles(history, h, levels)
 	if err != nil {
 		return nil, err
 	}
+	stageForecast.ObserveSince(t0)
+	a.lastFan = f
+	t0 = time.Now()
 	us, err := Uncertainties(f)
 	if err != nil {
 		return nil, err
@@ -241,6 +285,8 @@ func (a *Adaptive) Plan(history *timeseries.Series, h int) ([]int, error) {
 		}
 		out[t] = optimize.Allocate(f.At(t, tau), a.Theta)
 	}
+	stageOptimize.ObserveSince(t0)
+	countPlan(a.Name(), h)
 	return out, nil
 }
 
@@ -292,7 +338,12 @@ type Staircase struct {
 	// Levels is the quantile grid used to compute U (must include 0.5);
 	// defaults to forecast.ScalingLevels.
 	Levels []float64
+
+	lastFan *forecast.QuantileForecast
 }
+
+// LastFan implements FanProvider.
+func (s *Staircase) LastFan() *forecast.QuantileForecast { return s.lastFan }
 
 // Name implements Strategy.
 func (s *Staircase) Name() string {
@@ -316,10 +367,14 @@ func (s *Staircase) Plan(history *timeseries.Series, h int) ([]int, error) {
 	if len(levels) == 0 {
 		levels = forecast.ScalingLevels
 	}
+	t0 := time.Now()
 	f, err := s.Forecaster.PredictQuantiles(history, h, levels)
 	if err != nil {
 		return nil, err
 	}
+	stageForecast.ObserveSince(t0)
+	s.lastFan = f
+	t0 = time.Now()
 	us, err := Uncertainties(f)
 	if err != nil {
 		return nil, err
@@ -334,5 +389,7 @@ func (s *Staircase) Plan(history *timeseries.Series, h int) ([]int, error) {
 		}
 		out[t] = optimize.Allocate(f.At(t, tau), s.Theta)
 	}
+	stageOptimize.ObserveSince(t0)
+	countPlan(s.Name(), h)
 	return out, nil
 }

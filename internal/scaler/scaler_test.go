@@ -402,3 +402,31 @@ func repeat(v float64, n int) []float64 {
 	}
 	return out
 }
+
+// TestFanProviderRetainsLastForecast checks that the quantile strategies
+// keep the fan behind their most recent plan for online calibration.
+func TestFanProviderRetainsLastForecast(t *testing.T) {
+	base := []float64{100, 200, 300}
+	spread := []float64{0.1, 0.1, 0.1}
+	strategies := []Strategy{
+		&Robust{Forecaster: &fakeQF{name: "f", Base: base, Spread: spread}, Tau: 0.9, Theta: 100},
+		&Adaptive{Forecaster: &fakeQF{name: "f", Base: base, Spread: spread}, Tau1: 0.7, Tau2: 0.95, Rho: 1, Theta: 100},
+		&Staircase{Forecaster: &fakeQF{name: "f", Base: base, Spread: spread}, Base: 0.7, Theta: 100},
+	}
+	for _, strat := range strategies {
+		fp, ok := strat.(FanProvider)
+		if !ok {
+			t.Fatalf("%s does not implement FanProvider", strat.Name())
+		}
+		if fp.LastFan() != nil {
+			t.Errorf("%s has a fan before the first plan", strat.Name())
+		}
+		if _, err := strat.Plan(series(50, 60, 70), 3); err != nil {
+			t.Fatal(err)
+		}
+		fan := fp.LastFan()
+		if fan == nil || fan.Horizon() != 3 {
+			t.Errorf("%s retained fan = %+v, want 3-step fan", strat.Name(), fan)
+		}
+	}
+}
