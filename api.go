@@ -5,6 +5,7 @@ import (
 	"robustscale/internal/core"
 	"robustscale/internal/forecast"
 	"robustscale/internal/metrics"
+	"robustscale/internal/obs"
 	"robustscale/internal/optimize"
 	"robustscale/internal/qos"
 	"robustscale/internal/scaler"
@@ -278,4 +279,38 @@ var (
 	NewAdaptivePipeline = core.NewAdaptive
 	// NewPipelineWithStrategy wraps an arbitrary strategy.
 	NewPipelineWithStrategy = core.NewWithStrategy
+)
+
+// Decision tracing and explainability.
+type (
+	// Tracer is a bounded recorder of control-loop spans, exportable as
+	// Chrome trace-event JSON.
+	Tracer = obs.Tracer
+	// Span is one in-flight timed region of a Tracer.
+	Span = obs.Span
+	// Decision is the structured "why did we scale?" record of one
+	// planning round.
+	Decision = obs.Decision
+	// DecisionStore is a bounded, queryable ring of Decisions.
+	DecisionStore = obs.DecisionStore
+	// DecisionProvider is implemented by strategies that retain the
+	// Decision behind their latest plan.
+	DecisionProvider = scaler.DecisionProvider
+)
+
+// Tracing and decision entry points.
+var (
+	// NewTracer returns a span recorder with the given capacity.
+	NewTracer = obs.NewTracer
+	// NewDecisionStore returns a decision ring with the given capacity.
+	NewDecisionStore = obs.NewDecisionStore
+	// DefaultTracer is the process-wide tracer the daemon serves at
+	// /trace; disabled until SetEnabled(true).
+	DefaultTracer = obs.DefaultTracer
+	// DefaultDecisions is the process-wide decision store the daemon
+	// serves at /decisions.
+	DefaultDecisions = obs.DefaultDecisions
+	// RecordDecision stamps round context onto a strategy's latest
+	// decision and records it on DefaultDecisions.
+	RecordDecision = scaler.RecordDecision
 )

@@ -14,7 +14,14 @@
 // address: /status (JSON snapshot), /metrics (Prometheus text format:
 // status gauges, per-stage control-loop latency histograms, training and
 // scaling counters, online forecast-calibration gauges), /journal (the
-// bounded event journal as JSON) and /debug/pprof (runtime profiles).
+// bounded event journal as JSON, filterable by ?kind= and ?since_seq=),
+// /trace (control-loop spans as Chrome trace-event JSON, loadable in
+// Perfetto), /decisions (per-round "why did we scale?" records,
+// filterable by ?strategy= &from= &to=) and /debug/pprof (runtime
+// profiles), and keeps serving after the replay until interrupted.
+// -trace-out additionally writes the Chrome trace to a file when the
+// replay ends, and -explain prints the decision explanation for a
+// series step (or "latest") after the run.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"robustscale"
@@ -36,19 +44,37 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		dataset  = flag.String("dataset", "alibaba", "workload: alibaba or google")
-		seed     = flag.Int64("seed", 42, "trace seed")
-		days     = flag.Int("days", 7, "how many days of workload to replay")
-		strategy = flag.String("strategy", "robust", "robust | adaptive | reactive-max | reactive-avg")
-		tau      = flag.Float64("tau", 0.9, "quantile level (robust) or optimistic level (adaptive)")
-		tau2     = flag.Float64("tau2", 0.95, "conservative level for adaptive")
-		rho      = flag.Float64("rho", 0, "uncertainty threshold for adaptive (0 = auto-calibrate)")
-		theta    = flag.Float64("theta", 100, "per-node workload threshold")
-		horizon  = flag.Int("horizon", 72, "planning horizon in steps")
-		epochs   = flag.Int("epochs", 6, "forecaster training epochs")
-		listen   = flag.String("listen", "", "address for the JSON status endpoint (e.g. :8080; empty disables)")
+		dataset    = flag.String("dataset", "alibaba", "workload: alibaba or google")
+		seed       = flag.Int64("seed", 42, "trace seed")
+		days       = flag.Int("days", 7, "how many days of workload to replay")
+		strategy   = flag.String("strategy", "robust", "robust | adaptive | reactive-max | reactive-avg")
+		tau        = flag.Float64("tau", 0.9, "quantile level (robust) or optimistic level (adaptive)")
+		tau2       = flag.Float64("tau2", 0.95, "conservative level for adaptive")
+		rho        = flag.Float64("rho", 0, "uncertainty threshold for adaptive (0 = auto-calibrate)")
+		theta      = flag.Float64("theta", 100, "per-node workload threshold")
+		horizon    = flag.Int("horizon", 72, "planning horizon in steps")
+		epochs     = flag.Int("epochs", 6, "forecaster training epochs")
+		listen     = flag.String("listen", "", "address for the JSON status endpoint (e.g. :8080; empty disables)")
+		journalCap = flag.Int("journal-cap", 1024, "bounded event journal capacity (entries)")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON file here when the replay ends (implies tracing)")
+		explain    = flag.String("explain", "", `print the decision explanation for a series step index, or "latest", after the replay`)
 	)
 	flag.Parse()
+
+	// The journal is sized before anything records into it; the tracer is
+	// enabled only when someone can observe it (-trace-out or -listen),
+	// so a bare replay pays the disabled-tracer cost of ~one atomic load
+	// per span site.
+	if *journalCap != obs.DefaultJournal.Cap() {
+		obs.DefaultJournal = obs.NewJournal(*journalCap)
+	}
+	if *traceOut != "" || *listen != "" {
+		obs.DefaultTracer.SetEnabled(true)
+	}
+	// Decision records are the daemon's reason to exist (-explain,
+	// /decisions), so capture is always on here; library consumers stay
+	// at the disabled default.
+	obs.DefaultDecisions.SetEnabled(true)
 
 	// Bind the observability listener before the (potentially long)
 	// training phase: an occupied or invalid -listen address fails fast
@@ -65,13 +91,15 @@ func main() {
 		mux.Handle("/status", registry.Handler())
 		mux.Handle("/metrics", registry.MetricsHandler())
 		mux.Handle("/journal", obs.DefaultJournal.Handler())
+		mux.Handle("/trace", obs.DefaultTracer.Handler())
+		mux.Handle("/decisions", obs.DefaultDecisions.Handler())
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		go func() {
-			log.Printf("autoscaled: observability endpoint on http://%s (/status /metrics /journal /debug/pprof)", ln.Addr())
+			log.Printf("autoscaled: observability endpoint on http://%s (/status /metrics /journal /trace /decisions /debug/pprof)", ln.Addr())
 			if err := http.Serve(ln, mux); err != nil {
 				log.Printf("autoscaled: observability endpoint: %v", err)
 			}
@@ -133,10 +161,13 @@ func main() {
 	violations, steps := 0, 0
 	prevAlloc := 1
 	for origin := trainEnd; origin+planHorizon <= cpu.Len(); origin += planHorizon {
+		sp := obs.DefaultTracer.Start("plan-round")
 		plan, err := strat.Plan(cpu.Slice(0, origin), planHorizon)
+		sp.EndVirtual(c.Now())
 		if err != nil {
 			log.Fatal(err)
 		}
+		scaler.RecordDecision(strat, origin, c.Now(), prevAlloc, plan)
 		var fan *robustscale.QuantileForecast
 		if fanProvider != nil {
 			fan = fanProvider.LastFan()
@@ -150,6 +181,7 @@ func main() {
 		for i, alloc := range plan {
 			t := origin + i
 			applyStart := time.Now()
+			applySpan := obs.DefaultTracer.Start("apply")
 			if err := c.ScaleTo(alloc); err != nil {
 				log.Fatal(err)
 			}
@@ -184,6 +216,7 @@ func main() {
 				s.ScaleIns = c.ScaleIns
 				s.Plan = plan[i+1:]
 			})
+			applySpan.EndVirtual(c.Now())
 			ops.ObserveApply(time.Since(applyStart))
 			if fan != nil && cal != nil && i < fan.Horizon() {
 				if err := cal.Observe(cpu.At(t), fan.Step(i)); err != nil {
@@ -215,6 +248,50 @@ func main() {
 		}
 		fmt.Println()
 	}
+	if *traceOut != "" {
+		if err := obs.DefaultTracer.WriteChromeFile(*traceOut); err != nil {
+			log.Fatalf("autoscaled: writing trace: %v", err)
+		}
+		log.Printf("autoscaled: wrote %d spans (%d dropped) to %s",
+			obs.DefaultTracer.Len(), obs.DefaultTracer.Dropped(), *traceOut)
+	}
+	if *explain != "" {
+		if err := printExplanation(*explain); err != nil {
+			log.Fatalf("autoscaled: %v", err)
+		}
+	}
+	if *listen != "" {
+		// A daemon asked to expose its observability surface keeps
+		// serving it after the replay — postmortem tooling can query
+		// /decisions, /trace and /journal at leisure; ^C ends it.
+		log.Printf("autoscaled: replay complete; serving observability surface until interrupted")
+		select {}
+	}
+}
+
+// printExplanation resolves the -explain argument — a series step index
+// or "latest" — against the recorded decisions and prints the audit
+// line.
+func printExplanation(arg string) error {
+	var d obs.Decision
+	var ok bool
+	step := 0
+	if arg == "latest" {
+		if d, ok = obs.DefaultDecisions.Latest(); !ok {
+			return fmt.Errorf("no decisions recorded")
+		}
+		step = d.Step
+	} else {
+		var err error
+		if step, err = strconv.Atoi(arg); err != nil {
+			return fmt.Errorf(`-explain wants a step index or "latest": %v`, err)
+		}
+		if d, ok = obs.DefaultDecisions.At(step); !ok {
+			return fmt.Errorf("no decision recorded for step %d", step)
+		}
+	}
+	fmt.Println(d.Explain(step))
+	return nil
 }
 
 func abs(v float64) float64 {

@@ -6,6 +6,8 @@
 //	experiment -id table1            # forecaster comparison (Table I)
 //	experiment -id fig9 -quick       # scaler comparison, fast settings
 //	experiment -id all               # the full evaluation
+//	experiment -id fig9 -decisions   # plus the per-round decision audit
+//	experiment -id fig9 -trace-out t.json  # plus a Chrome trace of the run
 package main
 
 import (
@@ -44,12 +46,21 @@ var order = []string{
 func main() {
 	log.SetFlags(0)
 	var (
-		id      = flag.String("id", "all", "artifact to regenerate: table1|table2|table3|fig5..fig12|all")
-		quick   = flag.Bool("quick", false, "use reduced training budgets")
-		seed    = flag.Int64("seed", 42, "experiment seed")
-		metrics = flag.Bool("metrics", false, "dump accumulated Prometheus metrics to stdout after the run")
+		id        = flag.String("id", "all", "artifact to regenerate: table1|table2|table3|fig5..fig12|all")
+		quick     = flag.Bool("quick", false, "use reduced training budgets")
+		seed      = flag.Int64("seed", 42, "experiment seed")
+		metrics   = flag.Bool("metrics", false, "dump accumulated Prometheus metrics to stdout after the run")
+		decisions = flag.Bool("decisions", false, "print the retained per-round scaling decisions after the run")
+		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON file here after the run (implies tracing)")
 	)
 	flag.Parse()
+
+	if *traceOut != "" {
+		obs.DefaultTracer.SetEnabled(true)
+	}
+	if *decisions {
+		obs.DefaultDecisions.SetEnabled(true)
+	}
 
 	cfg := experiment.DefaultConfig()
 	if *quick {
@@ -85,6 +96,23 @@ func main() {
 		if err := obs.Default.WritePrometheus(os.Stdout); err != nil {
 			log.Fatalf("experiment: metrics dump: %v", err)
 		}
+	}
+	if *decisions {
+		// The same records the daemon serves at /decisions: one audit line
+		// per planning round the bounded store still retains.
+		store := obs.DefaultDecisions
+		fmt.Printf("\n# --- scaling decisions (%d retained of %d recorded, %d dropped) ---\n",
+			store.Len(), store.Total(), store.Dropped())
+		for _, d := range store.Decisions() {
+			fmt.Println(d.Explain(d.Step))
+		}
+	}
+	if *traceOut != "" {
+		if err := obs.DefaultTracer.WriteChromeFile(*traceOut); err != nil {
+			log.Fatalf("experiment: writing trace: %v", err)
+		}
+		log.Printf("experiment: wrote %d spans (%d dropped) to %s",
+			obs.DefaultTracer.Len(), obs.DefaultTracer.Dropped(), *traceOut)
 	}
 }
 

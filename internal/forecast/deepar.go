@@ -8,6 +8,7 @@ import (
 
 	"robustscale/internal/dist"
 	"robustscale/internal/nn"
+	"robustscale/internal/obs"
 	"robustscale/internal/parallel"
 	"robustscale/internal/timeseries"
 )
@@ -162,13 +163,14 @@ func (d *DeepAR) Fit(train *timeseries.Series) error {
 	opt := nn.NewAdam(d.cfg.LR)
 	order := rng.Perm(len(windows))
 	for epoch := 0; epoch < d.cfg.Epochs; epoch++ {
+		spe := obs.DefaultTracer.Start("deepar.epoch")
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		for start := 0; start < len(order); start += batch {
 			n := len(order) - start
 			if n > batch {
 				n = batch
 			}
-			parallel.ForEach(workers, n, func(i int) {
+			parallel.ForEachWorkerSpan("deepar.batch", workers, n, func(_, i int) {
 				reps[i].windowGrad(train, windows[order[start+i]])
 			})
 			d.params.ZeroGrads()
@@ -178,6 +180,7 @@ func (d *DeepAR) Fit(train *timeseries.Series) error {
 			d.params.ClipGradNorm(5)
 			opt.Step(d.params)
 		}
+		spe.End()
 		obsDeepAREpochs.Inc()
 	}
 	d.fitted = true
@@ -373,7 +376,8 @@ func (d *DeepAR) PredictQuantiles(history *timeseries.Series, h int, levels []fl
 	for i := range scratches {
 		scratches[i] = nn.NewScratch()
 	}
-	parallel.ForEachWorker(workers, d.cfg.Samples, func(worker, sIdx int) {
+	sp := obs.DefaultTracer.Start("deepar.sample")
+	parallel.ForEachWorkerSpan("deepar.sample", workers, d.cfg.Samples, func(worker, sIdx int) {
 		rng := rand.New(rand.NewSource(pathSeed(base, sIdx)))
 		sc := scratches[worker]
 		sc.Reset()
@@ -391,6 +395,7 @@ func (d *DeepAR) PredictQuantiles(history *timeseries.Series, h int, levels []fl
 			emit = d.emissionFrom(out)
 		}
 	})
+	sp.End()
 
 	f := &QuantileForecast{
 		Levels: levels,

@@ -3,6 +3,7 @@ package forecast
 import (
 	"fmt"
 
+	"robustscale/internal/obs"
 	"robustscale/internal/parallel"
 	"robustscale/internal/timeseries"
 )
@@ -50,11 +51,13 @@ func (e *Ensemble) Fit(train *timeseries.Series) error {
 		return fmt.Errorf("forecast: ensemble has %d weights for %d members", len(e.Weights), len(e.Members))
 	}
 	errs := make([]error, len(e.Members))
-	parallel.ForEach(parallel.Workers(e.Workers, len(e.Members)), len(e.Members), func(i int) {
+	sp := obs.DefaultTracer.Start("ensemble.fit")
+	parallel.ForEachWorkerSpan("ensemble.fit.member", parallel.Workers(e.Workers, len(e.Members)), len(e.Members), func(_, i int) {
 		if err := e.Members[i].Fit(train); err != nil {
 			errs[i] = fmt.Errorf("forecast: ensemble member %s: %w", e.Members[i].Name(), err)
 		}
 	})
+	sp.End()
 	if err := parallel.FirstError(errs); err != nil {
 		return err
 	}
@@ -125,7 +128,7 @@ func (e *Ensemble) PredictQuantiles(history *timeseries.Series, h int, levels []
 	// never depend on scheduling.
 	fs := make([]*QuantileForecast, len(e.Members))
 	errs := make([]error, len(e.Members))
-	parallel.ForEach(parallel.Workers(e.Workers, len(e.Members)), len(e.Members), func(mi int) {
+	parallel.ForEachWorkerSpan("ensemble.predict.member", parallel.Workers(e.Workers, len(e.Members)), len(e.Members), func(_, mi int) {
 		f, err := e.Members[mi].PredictQuantiles(history, h, levels)
 		if err != nil {
 			errs[mi] = fmt.Errorf("forecast: ensemble member %s: %w", e.Members[mi].Name(), err)

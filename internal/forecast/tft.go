@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"robustscale/internal/nn"
+	"robustscale/internal/obs"
 	"robustscale/internal/parallel"
 	"robustscale/internal/timeseries"
 )
@@ -235,13 +236,14 @@ func (m *TFT) Fit(train *timeseries.Series) error {
 	opt := nn.NewAdam(m.cfg.LR)
 	order := rng.Perm(len(windows))
 	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		spe := obs.DefaultTracer.Start("tft.epoch")
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		for start := 0; start < len(order); start += batch {
 			nb := len(order) - start
 			if nb > batch {
 				nb = batch
 			}
-			parallel.ForEach(workers, nb, func(i int) {
+			parallel.ForEachWorkerSpan("tft.batch", workers, nb, func(_, i int) {
 				m.windowGrad(reps[i], train, windows[order[start+i]])
 			})
 			m.params.ZeroGrads()
@@ -251,6 +253,7 @@ func (m *TFT) Fit(train *timeseries.Series) error {
 			m.params.ClipGradNorm(5)
 			opt.Step(m.params)
 		}
+		spe.End()
 		obsTFTEpochs.Inc()
 	}
 	m.fitted = true

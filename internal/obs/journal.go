@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -123,18 +124,48 @@ type journalExport struct {
 	Events   []Event `json:"events"`
 }
 
-// Handler returns an http.Handler serving the journal as JSON.
+// EventsFiltered returns the retained events matching kind (empty
+// matches all) with Seq > sinceSeq, oldest first. sinceSeq makes the
+// journal a resumable cursor: postmortem tooling passes the last Seq it
+// saw instead of re-paging the full ring.
+func (j *Journal) EventsFiltered(kind string, sinceSeq uint64) []Event {
+	events := j.Events()
+	if kind == "" && sinceSeq == 0 {
+		return events
+	}
+	out := events[:0]
+	for _, e := range events {
+		if e.Seq > sinceSeq && (kind == "" || e.Kind == kind) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Handler returns an http.Handler serving the journal as JSON. Query
+// parameters filter the events: ?kind= matches the event kind and
+// ?since_seq= returns only events with a larger sequence number.
 func (j *Journal) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
+		q := req.URL.Query()
+		var sinceSeq uint64
+		if raw := q.Get("since_seq"); raw != "" {
+			v, err := strconv.ParseUint(raw, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since_seq: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			sinceSeq = v
+		}
 		export := journalExport{
 			Capacity: j.Cap(),
 			Total:    j.Total(),
 			Dropped:  j.Dropped(),
-			Events:   j.Events(),
+			Events:   j.EventsFiltered(q.Get("kind"), sinceSeq),
 		}
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(export); err != nil {

@@ -99,3 +99,67 @@ func TestJournalHandler(t *testing.T) {
 		t.Errorf("POST status = %d, want 405", post.StatusCode)
 	}
 }
+
+func TestJournalEventsFiltered(t *testing.T) {
+	j := NewJournal(8)
+	j.Record("scale", "up", nil)
+	j.Record("violation", "breach", nil)
+	j.Record("scale", "down", nil)
+
+	if got := j.EventsFiltered("", 0); len(got) != 3 {
+		t.Errorf("unfiltered kept %d, want 3", len(got))
+	}
+	got := j.EventsFiltered("scale", 0)
+	if len(got) != 2 || got[0].Msg != "up" || got[1].Msg != "down" {
+		t.Errorf("kind filter = %+v", got)
+	}
+	if got := j.EventsFiltered("", 2); len(got) != 1 || got[0].Seq != 3 {
+		t.Errorf("since_seq filter = %+v", got)
+	}
+	if got := j.EventsFiltered("violation", 2); len(got) != 0 {
+		t.Errorf("combined filter = %+v", got)
+	}
+}
+
+func TestJournalHandlerFilters(t *testing.T) {
+	j := NewJournal(8)
+	j.Record("scale", "up", nil)
+	j.Record("violation", "breach", nil)
+	j.Record("scale", "down", nil)
+	srv := httptest.NewServer(j.Handler())
+	defer srv.Close()
+
+	var export struct {
+		Total  uint64  `json:"total"`
+		Events []Event `json:"events"`
+	}
+	get := func(query string) int {
+		resp, err := http.Get(srv.URL + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		export.Events = nil
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&export); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	if code := get("?kind=scale"); code != http.StatusOK || len(export.Events) != 2 {
+		t.Errorf("kind filter: code %d, %d events", code, len(export.Events))
+	}
+	// Total still reports the whole journal even when the view is filtered.
+	if export.Total != 3 {
+		t.Errorf("filtered total = %d, want 3", export.Total)
+	}
+	if code := get("?since_seq=1&kind=scale"); code != http.StatusOK ||
+		len(export.Events) != 1 || export.Events[0].Msg != "down" {
+		t.Errorf("combined filter: code %d, %+v", code, export.Events)
+	}
+	if code := get("?since_seq=banana"); code != http.StatusBadRequest {
+		t.Errorf("bad since_seq: code %d, want 400", code)
+	}
+}

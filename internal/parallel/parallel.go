@@ -15,6 +15,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"robustscale/internal/obs"
 )
 
 // Workers normalizes a requested worker count: requested <= 0 means "use
@@ -67,6 +69,47 @@ func ForEachWorker(workers, n int, fn func(worker, i int)) {
 	for w := 0; w < workers; w++ {
 		go func(worker int) {
 			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ForEachWorkerSpan is ForEachWorker with per-worker trace spans: each
+// worker's whole participation in the loop is recorded as one span named
+// name on its own trace row (obs.WorkerTID0+worker), so fan-out phases —
+// Monte-Carlo sampling, mini-batch gradients, ensemble fits — render as
+// parallel lanes in the Chrome trace. Scheduling is identical to
+// ForEachWorker (dynamic index hand-out, merge-order discipline applies
+// unchanged); with tracing disabled the extra cost is one atomic load
+// per worker, not per task.
+func ForEachWorkerSpan(name string, workers, n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers, n)
+	if workers == 1 {
+		sp := obs.DefaultTracer.StartTID(name, obs.WorkerTID0)
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		sp.End()
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			sp := obs.DefaultTracer.StartTID(name, uint64(obs.WorkerTID0+worker))
+			defer sp.End()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+
+	"robustscale/internal/obs"
 )
 
 func TestWorkers(t *testing.T) {
@@ -88,5 +90,84 @@ func TestFirstError(t *testing.T) {
 	}
 	if err := FirstError(nil); err != nil {
 		t.Errorf("FirstError(empty) = %v", err)
+	}
+}
+
+// TestForEachWorkerSpanMatchesForEachWorker: the traced variant schedules
+// identically — every index covered once, worker ids in range — with
+// tracing on and off.
+func TestForEachWorkerSpanMatchesForEachWorker(t *testing.T) {
+	obs.DefaultTracer.Reset()
+	defer obs.DefaultTracer.SetEnabled(false)
+	for _, enabled := range []bool{false, true} {
+		obs.DefaultTracer.SetEnabled(enabled)
+		for _, workers := range []int{1, 2, 7} {
+			const n = 300
+			var hits [n]atomic.Int32
+			var bad atomic.Int32
+			ForEachWorkerSpan("test.loop", workers, n, func(worker, i int) {
+				hits[i].Add(1)
+				if worker < 0 || worker >= workers {
+					bad.Add(1)
+				}
+			})
+			for i := range hits {
+				if hits[i].Load() != 1 {
+					t.Fatalf("enabled=%v workers=%d: index %d ran %d times", enabled, workers, i, hits[i].Load())
+				}
+			}
+			if bad.Load() != 0 {
+				t.Errorf("enabled=%v workers=%d: out-of-range worker ids", enabled, workers)
+			}
+		}
+	}
+}
+
+// TestForEachWorkerSpanRecordsPerWorkerLanes: with tracing enabled each
+// participating worker contributes one span on its own trace row; with it
+// disabled nothing is recorded. Runs under -race in CI, exercising
+// concurrent span open/close from the pool's goroutines.
+func TestForEachWorkerSpanRecordsPerWorkerLanes(t *testing.T) {
+	obs.DefaultTracer.Reset()
+	obs.DefaultTracer.SetEnabled(true)
+	defer func() {
+		obs.DefaultTracer.SetEnabled(false)
+		obs.DefaultTracer.Reset()
+	}()
+
+	const workers, n = 4, 64
+	ForEachWorkerSpan("test.lanes", workers, n, func(worker, i int) {})
+	events := obs.DefaultTracer.Events()
+	if len(events) != workers {
+		t.Fatalf("recorded %d spans, want one per worker (%d)", len(events), workers)
+	}
+	seen := map[uint64]bool{}
+	for _, ev := range events {
+		if ev.Name != "test.lanes" {
+			t.Errorf("span name = %q", ev.Name)
+		}
+		if ev.TID < obs.WorkerTID0 || ev.TID >= obs.WorkerTID0+workers {
+			t.Errorf("span tid = %d outside worker rows", ev.TID)
+		}
+		if seen[ev.TID] {
+			t.Errorf("two spans on tid %d", ev.TID)
+		}
+		seen[ev.TID] = true
+	}
+
+	obs.DefaultTracer.Reset()
+	obs.DefaultTracer.SetEnabled(false)
+	ForEachWorkerSpan("test.lanes", workers, n, func(worker, i int) {})
+	if obs.DefaultTracer.Len() != 0 {
+		t.Errorf("disabled tracer recorded %d spans", obs.DefaultTracer.Len())
+	}
+
+	// The single-worker inline path records one span too.
+	obs.DefaultTracer.SetEnabled(true)
+	obs.DefaultTracer.Reset()
+	ForEachWorkerSpan("test.inline", 1, 8, func(worker, i int) {})
+	events = obs.DefaultTracer.Events()
+	if len(events) != 1 || events[0].TID != obs.WorkerTID0 {
+		t.Errorf("inline path events = %+v", events)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"robustscale/internal/obs"
 	"robustscale/internal/timeseries"
 )
 
@@ -26,6 +27,26 @@ func benchSeries(n int) *timeseries.Series {
 func BenchmarkEvaluateReactiveMax(b *testing.B) {
 	s := benchSeries(2016) // two weeks of 10-minute steps
 	strat := &ReactiveMax{Window: 6, Theta: 100}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Evaluate(strat, s, EvalConfig{Theta: 100, Horizon: 1, Start: 144}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateReactiveMaxDecisions is the same rolling evaluation
+// with decision capture enabled, measuring what the daemon pays for one
+// queryable record per planning round over the disabled default above.
+func BenchmarkEvaluateReactiveMaxDecisions(b *testing.B) {
+	s := benchSeries(2016)
+	strat := &ReactiveMax{Window: 6, Theta: 100}
+	obs.DefaultDecisions.SetEnabled(true)
+	defer func() {
+		obs.DefaultDecisions.SetEnabled(false)
+		obs.DefaultDecisions.Reset()
+	}()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"robustscale/internal/metrics"
+	"robustscale/internal/obs"
 	"robustscale/internal/optimize"
 	"robustscale/internal/timeseries"
 )
@@ -18,13 +19,19 @@ type RateLimited struct {
 	// MaxDelta bounds the per-step node-count change.
 	MaxDelta int
 
-	last int
+	last         int
+	lastDecision *obs.Decision
 }
 
 // Name implements Strategy.
 func (r *RateLimited) Name() string {
 	return fmt.Sprintf("%s-ratelimit%d", r.Inner.Name(), r.MaxDelta)
 }
+
+// LastDecision implements DecisionProvider: the wrapped strategy's
+// record with the constrained plan substituted and every step the rate
+// limit overrode re-labelled obs.BindingRateLimit.
+func (r *RateLimited) LastDecision() *obs.Decision { return r.lastDecision }
 
 // Plan implements Strategy.
 func (r *RateLimited) Plan(history *timeseries.Series, h int) ([]int, error) {
@@ -36,23 +43,53 @@ func (r *RateLimited) Plan(history *timeseries.Series, h int) ([]int, error) {
 	if initial < 1 {
 		initial = 1
 	}
+	sp := obs.DefaultTracer.Start("optimize")
 	plan, err := optimize.PlanConstrainedDemand(inner, optimize.ThrashingConfig{
 		Initial:  initial,
 		MaxDelta: r.MaxDelta,
 	})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	if len(plan) > 0 {
 		r.last = plan[len(plan)-1]
 	}
+	if obs.DefaultDecisions.Enabled() {
+		r.lastDecision = r.decision(inner, plan)
+	} else if r.lastDecision != nil {
+		r.lastDecision = nil
+	}
 	return plan, nil
+}
+
+// decision derives the wrapper's record from the inner strategy's.
+func (r *RateLimited) decision(inner, plan []int) *obs.Decision {
+	d := &obs.Decision{Strategy: r.Name(), Horizon: len(plan), Nodes: plan}
+	if dp, ok := r.Inner.(DecisionProvider); ok {
+		if id := dp.LastDecision(); id != nil {
+			copied := *id
+			copied.Strategy = r.Name()
+			copied.Nodes = plan
+			if len(id.Binding) == len(plan) && len(inner) == len(plan) {
+				binding := append([]string(nil), id.Binding...)
+				for i := range plan {
+					if plan[i] != inner[i] {
+						binding[i] = obs.BindingRateLimit
+					}
+				}
+				copied.Binding = binding
+			}
+			d = &copied
+		}
+	}
+	return d
 }
 
 // Observe forwards realized workloads to the wrapped strategy.
 func (r *RateLimited) Observe(actual []float64) {
-	if obs, ok := r.Inner.(Observer); ok {
-		obs.Observe(actual)
+	if observer, ok := r.Inner.(Observer); ok {
+		observer.Observe(actual)
 	}
 }
 
@@ -93,7 +130,9 @@ func Evaluate(strategy Strategy, s *timeseries.Series, cfg EvalConfig) (*EvalRes
 	}
 	var allocations []int
 	var actuals []float64
+	prev := 0
 	for origin := cfg.Start; origin+cfg.Horizon <= s.Len(); origin += cfg.Horizon {
+		sp := obs.DefaultTracer.Start("plan-round")
 		plan, err := strategy.Plan(s.Slice(0, origin), cfg.Horizon)
 		if err != nil {
 			return nil, fmt.Errorf("scaler: %s planning at %d: %w", strategy.Name(), origin, err)
@@ -101,11 +140,20 @@ func Evaluate(strategy Strategy, s *timeseries.Series, cfg EvalConfig) (*EvalRes
 		if len(plan) != cfg.Horizon {
 			return nil, fmt.Errorf("scaler: %s returned %d allocations for horizon %d", strategy.Name(), len(plan), cfg.Horizon)
 		}
+		// The virtual-time lookup only feeds the span stamp and the
+		// decision record; with both observers off the loop pays two
+		// atomic loads here and nothing else.
+		if sp.Active() || obs.DefaultDecisions.Enabled() {
+			at := s.TimeAt(origin)
+			sp.EndVirtual(at)
+			RecordDecision(strategy, origin, at, prev, plan)
+		}
+		prev = plan[len(plan)-1]
 		realized := s.Values[origin : origin+cfg.Horizon]
 		allocations = append(allocations, plan...)
 		actuals = append(actuals, realized...)
-		if obs, ok := strategy.(Observer); ok {
-			obs.Observe(realized)
+		if observer, ok := strategy.(Observer); ok {
+			observer.Observe(realized)
 		}
 	}
 	if len(allocations) == 0 {

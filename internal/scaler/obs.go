@@ -1,6 +1,8 @@
 package scaler
 
 import (
+	"time"
+
 	"robustscale/internal/obs"
 )
 
@@ -64,4 +66,94 @@ func countActions(prev int, allocations []int) {
 		}
 		prev = a
 	}
+}
+
+// bindingFor labels which constraint pinned the allocation driven by one
+// workload value: the demand ceiling, or the one-node floor when the
+// value asked for nothing.
+func bindingFor(value float64) string {
+	if value <= 0 {
+		return obs.BindingFloor
+	}
+	return obs.BindingDemand
+}
+
+// resizeFloats and resizeStrings recycle a scratch slice when its backing
+// array is large enough, so per-round decision assembly settles to zero
+// allocations on the hot reactive path (one planning round per step).
+func resizeFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func resizeStrings(s []string, n int) []string {
+	if cap(s) < n {
+		return make([]string, n)
+	}
+	return s[:n]
+}
+
+// flatDecision assembles the decision record of a flat-allocation
+// reactive strategy driven by a single window statistic, reusing the
+// strategy's previous record (and its slices) as scratch.
+func flatDecision(d *obs.Decision, name string, h int, theta, drive float64, plan []int) *obs.Decision {
+	if d == nil {
+		d = &obs.Decision{}
+	}
+	*d = obs.Decision{
+		Strategy: name, Horizon: h, Theta: theta, Nodes: plan,
+		Quantile: resizeFloats(d.Quantile, h), Binding: resizeStrings(d.Binding, h),
+	}
+	b := bindingFor(drive)
+	for i := 0; i < h; i++ {
+		d.Quantile[i] = drive
+		d.Binding[i] = b
+	}
+	return d
+}
+
+// pathDecision assembles the decision record of a strategy that
+// allocated along a per-step workload path (point or quantile forecast),
+// reusing the previous record as scratch.
+func pathDecision(d *obs.Decision, name string, theta float64, path []float64, plan []int) *obs.Decision {
+	if d == nil {
+		d = &obs.Decision{}
+	}
+	*d = obs.Decision{
+		Strategy: name, Horizon: len(path), Theta: theta, Nodes: plan,
+		Quantile: path, Binding: resizeStrings(d.Binding, len(path)),
+	}
+	for i, v := range path {
+		d.Binding[i] = bindingFor(v)
+	}
+	return d
+}
+
+// RecordDecision stamps a strategy's last decision record with its round
+// context — planning origin, virtual time, previous allocation — and
+// records it on obs.DefaultDecisions. The evaluation harness and the
+// daemon call it once per planning round; strategies without a decision
+// record are a no-op.
+func RecordDecision(strategy Strategy, origin int, at time.Time, prev int, plan []int) {
+	if !obs.DefaultDecisions.Enabled() {
+		return
+	}
+	dp, ok := strategy.(DecisionProvider)
+	if !ok {
+		return
+	}
+	d := dp.LastDecision()
+	if d == nil {
+		return
+	}
+	rec := *d
+	rec.Step = origin
+	rec.Time = at
+	rec.PrevNodes = prev
+	if len(plan) > 0 {
+		rec.Delta = plan[0] - prev
+	}
+	obs.DefaultDecisions.Record(rec)
 }

@@ -14,6 +14,7 @@ import (
 
 	"robustscale/internal/forecast"
 	"robustscale/internal/metrics"
+	"robustscale/internal/obs"
 	"robustscale/internal/optimize"
 	"robustscale/internal/timeseries"
 )
@@ -50,6 +51,20 @@ type FanProvider interface {
 	LastFan() *forecast.QuantileForecast
 }
 
+// DecisionProvider is implemented by every strategy in this package: it
+// retains the structured "why did we scale?" record behind the most
+// recent plan — chosen quantile levels, per-step uncertainty, bounding
+// quantile values and binding constraints. The evaluation harness and
+// the daemon stamp the record with the planning origin and previous
+// allocation (RecordDecision) and record it on obs.DefaultDecisions.
+type DecisionProvider interface {
+	// LastDecision returns the decision record of the most recent Plan
+	// call, or nil before the first plan. The record (and its slices) is
+	// reused as scratch by the next Plan call; callers that keep it must
+	// record it first (obs.DefaultDecisions copies on Record).
+	LastDecision() *obs.Decision
+}
+
 // ReactiveMax scales on the maximum workload inside a trailing window, the
 // conservative variant of a moving-window reactive scaler.
 type ReactiveMax struct {
@@ -57,10 +72,15 @@ type ReactiveMax struct {
 	Window int
 	// Theta is the per-node workload threshold.
 	Theta float64
+
+	lastDecision *obs.Decision
 }
 
 // Name implements Strategy.
 func (r *ReactiveMax) Name() string { return "reactive-max" }
+
+// LastDecision implements DecisionProvider.
+func (r *ReactiveMax) LastDecision() *obs.Decision { return r.lastDecision }
 
 // Plan implements Strategy: the window maximum drives a flat allocation
 // for the whole horizon (a reactive scaler has no forward model).
@@ -76,8 +96,15 @@ func (r *ReactiveMax) Plan(history *timeseries.Series, h int) ([]int, error) {
 		window = 6
 	}
 	tail := history.Last(window)
-	c := optimize.Allocate(tail.Max(), r.Theta)
-	return flat(c, h), nil
+	peak := tail.Max()
+	c := optimize.Allocate(peak, r.Theta)
+	plan := flat(c, h)
+	if obs.DefaultDecisions.Enabled() {
+		r.lastDecision = flatDecision(r.lastDecision, r.Name(), h, r.Theta, peak, plan)
+	} else if r.lastDecision != nil {
+		r.lastDecision = nil
+	}
+	return plan, nil
 }
 
 // ReactiveAvg scales on an exponentially weighted average of the trailing
@@ -90,10 +117,15 @@ type ReactiveAvg struct {
 	HalfLife float64
 	// Theta is the per-node workload threshold.
 	Theta float64
+
+	lastDecision *obs.Decision
 }
 
 // Name implements Strategy.
 func (r *ReactiveAvg) Name() string { return "reactive-avg" }
+
+// LastDecision implements DecisionProvider.
+func (r *ReactiveAvg) LastDecision() *obs.Decision { return r.lastDecision }
 
 // Plan implements Strategy.
 func (r *ReactiveAvg) Plan(history *timeseries.Series, h int) ([]int, error) {
@@ -121,8 +153,15 @@ func (r *ReactiveAvg) Plan(history *timeseries.Series, h int) ([]int, error) {
 		wsum += weight
 		weight *= decay
 	}
-	c := optimize.Allocate(sum/wsum, r.Theta)
-	return flat(c, h), nil
+	avg := sum / wsum
+	c := optimize.Allocate(avg, r.Theta)
+	plan := flat(c, h)
+	if obs.DefaultDecisions.Enabled() {
+		r.lastDecision = flatDecision(r.lastDecision, r.Name(), h, r.Theta, avg, plan)
+	} else if r.lastDecision != nil {
+		r.lastDecision = nil
+	}
+	return plan, nil
 }
 
 func flat(c, h int) []int {
@@ -143,10 +182,14 @@ type Predictive struct {
 	Theta float64
 
 	lastPrediction []float64
+	lastDecision   *obs.Decision
 }
 
 // Name implements Strategy.
 func (p *Predictive) Name() string { return p.Forecaster.Name() }
+
+// LastDecision implements DecisionProvider.
+func (p *Predictive) LastDecision() *obs.Decision { return p.lastDecision }
 
 // Plan implements Strategy.
 func (p *Predictive) Plan(history *timeseries.Series, h int) ([]int, error) {
@@ -154,18 +197,27 @@ func (p *Predictive) Plan(history *timeseries.Series, h int) ([]int, error) {
 		return nil, fmt.Errorf("scaler: predictive threshold %v", p.Theta)
 	}
 	t0 := time.Now()
+	sp := obs.DefaultTracer.Start("forecast")
 	pred, err := p.Forecaster.Predict(history, h)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	stageForecast.ObserveSince(t0)
 	p.lastPrediction = pred
 	t0 = time.Now()
+	sp = obs.DefaultTracer.Start("optimize")
 	plan, err := optimize.Plan(pred, p.Theta)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	stageOptimize.ObserveSince(t0)
+	if obs.DefaultDecisions.Enabled() {
+		p.lastDecision = pathDecision(p.lastDecision, p.Name(), p.Theta, pred, plan)
+	} else if p.lastDecision != nil {
+		p.lastDecision = nil
+	}
 	countPlan(p.Name(), h)
 	return plan, nil
 }
@@ -189,11 +241,15 @@ type Robust struct {
 	// Theta is the per-node workload threshold.
 	Theta float64
 
-	lastFan *forecast.QuantileForecast
+	lastFan      *forecast.QuantileForecast
+	lastDecision *obs.Decision
 }
 
 // LastFan implements FanProvider.
 func (r *Robust) LastFan() *forecast.QuantileForecast { return r.lastFan }
+
+// LastDecision implements DecisionProvider.
+func (r *Robust) LastDecision() *obs.Decision { return r.lastDecision }
 
 // Name implements Strategy.
 func (r *Robust) Name() string {
@@ -209,7 +265,9 @@ func (r *Robust) Plan(history *timeseries.Series, h int) ([]int, error) {
 		return nil, fmt.Errorf("scaler: robust quantile level %v outside (0, 1)", r.Tau)
 	}
 	t0 := time.Now()
+	sp := obs.DefaultTracer.Start("forecast")
 	f, err := r.Forecaster.PredictQuantiles(history, h, []float64{r.Tau})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -220,11 +278,24 @@ func (r *Robust) Plan(history *timeseries.Series, h int) ([]int, error) {
 		path[t] = f.Values[t][0]
 	}
 	t0 = time.Now()
+	sp = obs.DefaultTracer.Start("optimize")
 	plan, err := optimize.Plan(path, r.Theta)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	stageOptimize.ObserveSince(t0)
+	if obs.DefaultDecisions.Enabled() {
+		d := pathDecision(r.lastDecision, r.Name(), r.Theta, path, plan)
+		d.Tau = resizeFloats(d.Tau, h)
+		for t := range d.Tau {
+			d.Tau[t] = r.Tau
+		}
+		d.Tau1, d.Tau2 = r.Tau, r.Tau
+		r.lastDecision = d
+	} else if r.lastDecision != nil {
+		r.lastDecision = nil
+	}
 	countPlan(r.Name(), h)
 	return plan, nil
 }
@@ -245,11 +316,15 @@ type Adaptive struct {
 	// Defaults to forecast.ScalingLevels.
 	Levels []float64
 
-	lastFan *forecast.QuantileForecast
+	lastFan      *forecast.QuantileForecast
+	lastDecision *obs.Decision
 }
 
 // LastFan implements FanProvider.
 func (a *Adaptive) LastFan() *forecast.QuantileForecast { return a.lastFan }
+
+// LastDecision implements DecisionProvider.
+func (a *Adaptive) LastDecision() *obs.Decision { return a.lastDecision }
 
 // Name implements Strategy.
 func (a *Adaptive) Name() string {
@@ -266,26 +341,45 @@ func (a *Adaptive) Plan(history *timeseries.Series, h int) ([]int, error) {
 		levels = forecast.ScalingLevels
 	}
 	t0 := time.Now()
+	sp := obs.DefaultTracer.Start("forecast")
 	f, err := a.Forecaster.PredictQuantiles(history, h, levels)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	stageForecast.ObserveSince(t0)
 	a.lastFan = f
 	t0 = time.Now()
+	sp = obs.DefaultTracer.Start("optimize")
 	us, err := Uncertainties(f)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
 	out := make([]int, h)
+	taus := make([]float64, h)
+	qs := make([]float64, h)
+	binding := make([]string, h)
 	for t := 0; t < h; t++ {
 		tau := a.Tau1
 		if us[t] >= a.Rho {
 			tau = a.Tau2
 		}
-		out[t] = optimize.Allocate(f.At(t, tau), a.Theta)
+		qv := f.At(t, tau)
+		out[t] = optimize.Allocate(qv, a.Theta)
+		taus[t], qs[t], binding[t] = tau, qv, bindingFor(qv)
 	}
+	sp.End()
 	stageOptimize.ObserveSince(t0)
+	if obs.DefaultDecisions.Enabled() {
+		a.lastDecision = &obs.Decision{
+			Strategy: a.Name(), Horizon: h, Theta: a.Theta, Nodes: out,
+			U: us, Tau: taus, Tau1: a.Tau1, Tau2: a.Tau2, Rho: a.Rho,
+			Quantile: qs, Binding: binding,
+		}
+	} else if a.lastDecision != nil {
+		a.lastDecision = nil
+	}
 	countPlan(a.Name(), h)
 	return out, nil
 }
@@ -339,11 +433,15 @@ type Staircase struct {
 	// defaults to forecast.ScalingLevels.
 	Levels []float64
 
-	lastFan *forecast.QuantileForecast
+	lastFan      *forecast.QuantileForecast
+	lastDecision *obs.Decision
 }
 
 // LastFan implements FanProvider.
 func (s *Staircase) LastFan() *forecast.QuantileForecast { return s.lastFan }
+
+// LastDecision implements DecisionProvider.
+func (s *Staircase) LastDecision() *obs.Decision { return s.lastDecision }
 
 // Name implements Strategy.
 func (s *Staircase) Name() string {
@@ -368,18 +466,25 @@ func (s *Staircase) Plan(history *timeseries.Series, h int) ([]int, error) {
 		levels = forecast.ScalingLevels
 	}
 	t0 := time.Now()
+	sp := obs.DefaultTracer.Start("forecast")
 	f, err := s.Forecaster.PredictQuantiles(history, h, levels)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	stageForecast.ObserveSince(t0)
 	s.lastFan = f
 	t0 = time.Now()
+	sp = obs.DefaultTracer.Start("optimize")
 	us, err := Uncertainties(f)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
 	out := make([]int, h)
+	taus := make([]float64, h)
+	qs := make([]float64, h)
+	binding := make([]string, h)
 	for t := 0; t < h; t++ {
 		tau := s.Base
 		for _, rung := range s.Rungs {
@@ -387,9 +492,26 @@ func (s *Staircase) Plan(history *timeseries.Series, h int) ([]int, error) {
 				tau = rung.Tau
 			}
 		}
-		out[t] = optimize.Allocate(f.At(t, tau), s.Theta)
+		qv := f.At(t, tau)
+		out[t] = optimize.Allocate(qv, s.Theta)
+		taus[t], qs[t], binding[t] = tau, qv, bindingFor(qv)
 	}
+	sp.End()
 	stageOptimize.ObserveSince(t0)
+	if obs.DefaultDecisions.Enabled() {
+		d := &obs.Decision{
+			Strategy: s.Name(), Horizon: h, Theta: s.Theta, Nodes: out,
+			U: us, Tau: taus, Tau1: s.Base, Tau2: s.Base,
+			Quantile: qs, Binding: binding,
+		}
+		if len(s.Rungs) > 0 {
+			d.Rho = s.Rungs[0].Rho
+			d.Tau2 = s.Rungs[len(s.Rungs)-1].Tau
+		}
+		s.lastDecision = d
+	} else if s.lastDecision != nil {
+		s.lastDecision = nil
+	}
 	countPlan(s.Name(), h)
 	return out, nil
 }
