@@ -13,9 +13,10 @@ vet:
 	$(GO) vet ./...
 
 # RACE_PKGS are the packages with real concurrency (worker pools,
-# gradient replicas, the shared model zoo); the default test target runs
-# them under the race detector on top of the plain suite.
-RACE_PKGS = ./internal/parallel/... ./internal/nn/... ./internal/forecast/... ./internal/experiment/... ./internal/obs/...
+# gradient replicas, the shared model zoo, the circuit breaker and the
+# chaos cursor); the default test target runs them under the race
+# detector on top of the plain suite.
+RACE_PKGS = ./internal/parallel/... ./internal/nn/... ./internal/forecast/... ./internal/experiment/... ./internal/obs/... ./internal/scaler/... ./internal/chaos/... ./internal/cluster/...
 
 test:
 	$(GO) test ./...

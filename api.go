@@ -1,6 +1,7 @@
 package robustscale
 
 import (
+	"robustscale/internal/chaos"
 	"robustscale/internal/cluster"
 	"robustscale/internal/core"
 	"robustscale/internal/forecast"
@@ -313,4 +314,54 @@ var (
 	// RecordDecision stamps round context onto a strategy's latest
 	// decision and records it on DefaultDecisions.
 	RecordDecision = scaler.RecordDecision
+)
+
+// Resilience: the guarded control loop and its fault-injection harness.
+type (
+	// Guard wraps a Strategy with forecast validation/repair and a
+	// graceful-degradation ladder (repair, last-known-good, reactive).
+	Guard = scaler.Guard
+	// GuardConfig tunes the guard's sanity bounds and fallback window.
+	GuardConfig = scaler.GuardConfig
+	// DegradationMode is the rung of the ladder a guard is operating on.
+	DegradationMode = scaler.DegradationMode
+	// HealthFunc is an external health gate consulted before planning.
+	HealthFunc = scaler.HealthFunc
+	// Applier retries scale actions with exponential backoff behind a
+	// circuit breaker, holding the current fleet when the control plane
+	// stays down.
+	Applier = scaler.Applier
+	// BackoffConfig shapes the Applier's retry schedule.
+	BackoffConfig = scaler.BackoffConfig
+	// Breaker is the consecutive-failure circuit breaker.
+	Breaker = scaler.Breaker
+
+	// ChaosProfile is a buildable description of a deterministic fault
+	// schedule; ChaosSchedule is the per-step realization.
+	ChaosProfile  = chaos.Profile
+	ChaosSchedule = chaos.Schedule
+)
+
+// Degradation ladder rungs, healthiest first.
+const (
+	ModeNormal        = scaler.ModeNormal
+	ModeRepair        = scaler.ModeRepair
+	ModeLastKnownGood = scaler.ModeLastKnownGood
+	ModeReactive      = scaler.ModeReactive
+)
+
+// Resilience entry points.
+var (
+	// RepairFan validates and repairs a quantile forecast in place:
+	// non-finite entries filled, crossings re-sorted, blowups clamped.
+	RepairFan = scaler.RepairFan
+	// ErrUnrepairableFan reports a fan too damaged to repair.
+	ErrUnrepairableFan = scaler.ErrUnrepairableFan
+	// ErrBreakerOpen reports a scale action deferred by the open breaker.
+	ErrBreakerOpen = scaler.ErrBreakerOpen
+	// ChaosPreset resolves a named fault profile (none, forecast,
+	// telemetry, apply, node-kill, all, smoke). A built Schedule plugs
+	// into Cluster.ReplayWithSchedule, which injects node kills and
+	// control-plane faults during a replay.
+	ChaosPreset = chaos.Preset
 )

@@ -9,6 +9,15 @@
 //	autoscaled -strategy robust -tau 0.9 -days 7
 //	autoscaled -strategy adaptive -tau 0.7 -tau2 0.95
 //	autoscaled -strategy reactive-max -listen :8080
+//	autoscaled -strategy robust -chaos all    # fault-injected replay
+//
+// Every strategy runs wrapped in the resilience guard (disable with
+// -guard=false): quantile fans are validated and repaired, a forecaster
+// failure falls back to the last known-good fan and then to a reactive
+// rule, and scale actions run through retry-with-backoff and a circuit
+// breaker, holding the current fleet when the control plane is down.
+// -chaos <preset> injects deterministic faults at every boundary to
+// exercise exactly that machinery.
 //
 // With -listen set, the daemon serves its observability surface on that
 // address: /status (JSON snapshot), /metrics (Prometheus text format:
@@ -35,7 +44,9 @@ import (
 	"time"
 
 	"robustscale"
+	"robustscale/internal/chaos"
 	"robustscale/internal/cluster"
+	"robustscale/internal/forecast"
 	"robustscale/internal/obs"
 	"robustscale/internal/ops"
 	"robustscale/internal/scaler"
@@ -58,6 +69,19 @@ func main() {
 		journalCap = flag.Int("journal-cap", 1024, "bounded event journal capacity (entries)")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON file here when the replay ends (implies tracing)")
 		explain    = flag.String("explain", "", `print the decision explanation for a series step index, or "latest", after the replay`)
+
+		guardOn     = flag.Bool("guard", true, "wrap the strategy in the resilience guard (fan repair, fallback ladder)")
+		guardBlowup = flag.Float64("guard-blowup", 8, "sanity bound: clamp forecasts above this multiple of the recent history maximum")
+		guardSlack  = flag.Float64("guard-coverage-slack", 0.25, "calibration health: tolerated shortfall of rolling coverage below each nominal level")
+		guardMaxWQL = flag.Float64("guard-max-wql", 0, "calibration health: rolling wQL above this marks the forecaster unhealthy (0 disables)")
+
+		applyRetries    = flag.Int("apply-retries", 3, "scale-apply attempts per round (first included)")
+		applyBackoff    = flag.Duration("apply-backoff", time.Second, "base backoff between apply retries (doubles per retry)")
+		breakerOpenAt   = flag.Int("breaker-threshold", 3, "consecutive failed apply rounds that open the circuit breaker")
+		breakerCooldown = flag.Duration("breaker-cooldown", 30*time.Minute, "virtual time the breaker stays open before probing")
+
+		chaosProf = flag.String("chaos", "", "inject deterministic faults from this preset during the replay (forecast|telemetry|apply|node-kill|all|smoke)")
+		chaosSeed = flag.Int64("chaos-seed", 0, "chaos schedule seed (0 = use -seed)")
 	)
 	flag.Parse()
 
@@ -131,7 +155,34 @@ func main() {
 	}
 	trainEnd := cpu.Len() - replaySteps
 
-	strat, err := buildStrategy(*strategy, cpu.Slice(0, trainEnd), *tau, *tau2, *rho, *theta, *horizon, *epochs)
+	// The chaos schedule (when enabled) spans the replay in relative
+	// steps; one cursor is shared by the forecaster wrapper and the apply
+	// wrapper so injected faults stay aligned with virtual time.
+	var sched *chaos.Schedule
+	cur := &chaos.Cursor{}
+	if *chaosProf != "" {
+		prof, err := chaos.Preset(*chaosProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prof.Seed = *chaosSeed
+		if prof.Seed == 0 {
+			prof.Seed = *seed
+		}
+		prof.Steps = replaySteps
+		if sched, err = prof.Build(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("autoscaled: chaos preset %q armed over %d steps (seed %d)", *chaosProf, replaySteps, prof.Seed)
+	}
+	wrap := func(qf forecast.QuantileForecaster) forecast.QuantileForecaster {
+		if sched == nil {
+			return qf
+		}
+		return &chaos.Forecaster{Inner: qf, Schedule: sched, Cursor: cur}
+	}
+
+	strat, err := buildStrategy(*strategy, cpu.Slice(0, trainEnd), *tau, *tau2, *rho, *theta, *horizon, *epochs, wrap)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -146,28 +197,79 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// The guard wraps the strategy: fans are repaired, forecaster errors
+	// fall back down the ladder, and the calibration health gate (wired
+	// lazily, once the first fan establishes the levels) pre-empts a
+	// forecaster whose rolling coverage has collapsed.
+	var calCheck func() (bool, string)
+	planner := robustscale.Strategy(strat)
+	var guard *scaler.Guard
+	if *guardOn {
+		guard = &scaler.Guard{
+			Inner:  strat,
+			Config: scaler.GuardConfig{Theta: *theta, Tau: *tau, BlowupFactor: *guardBlowup},
+			Clock:  c.Now,
+			Health: func() (bool, string) {
+				if calCheck == nil {
+					return true, ""
+				}
+				return calCheck()
+			},
+		}
+		planner = guard
+	}
+
+	// Scale actions go through retry-with-backoff and a circuit breaker;
+	// when the (possibly chaos-wrapped) control plane keeps failing, the
+	// loop holds the current fleet instead of crashing.
+	applyFn := c.ScaleTo
+	if sched != nil {
+		applyFn = chaos.WrapApply(c.ScaleTo, c.Size, sched, cur)
+	}
+	applier := &scaler.Applier{
+		Apply:   applyFn,
+		Backoff: scaler.BackoffConfig{MaxAttempts: *applyRetries, Base: *applyBackoff},
+		Breaker: &scaler.Breaker{Threshold: *breakerOpenAt, Cooldown: *breakerCooldown},
+		Clock:   c.Now,
+	}
+
 	log.Printf("autoscaled: strategy=%s theta=%.0f horizon=%d replaying %d steps of %s",
-		strat.Name(), *theta, planHorizon, replaySteps, cpu.Name)
+		planner.Name(), *theta, planHorizon, replaySteps, cpu.Name)
 
 	// The built strategy may carry a more specific name than the flag
 	// (e.g. "tft-0.9" for "robust").
-	registry.Update(func(s *ops.Status) { s.Strategy = strat.Name() })
+	registry.Update(func(s *ops.Status) { s.Strategy = planner.Name() })
 
 	// Quantile strategies retain the fan behind each plan; grade its
 	// calibration online over a one-day rolling window.
 	var cal *cluster.Calibration
-	fanProvider, _ := strat.(scaler.FanProvider)
+	fanProvider, _ := planner.(scaler.FanProvider)
 
-	violations, steps := 0, 0
+	violations, steps, holds := 0, 0, 0
 	prevAlloc := 1
 	for origin := trainEnd; origin+planHorizon <= cpu.Len(); origin += planHorizon {
+		cur.Set(origin - trainEnd)
+		hist := cpu.Slice(0, origin)
+		if sched != nil {
+			hist = chaos.CorruptTelemetry(hist, sched, origin-trainEnd)
+		}
 		sp := obs.DefaultTracer.Start("plan-round")
-		plan, err := strat.Plan(cpu.Slice(0, origin), planHorizon)
+		plan, err := planner.Plan(hist, planHorizon)
 		sp.EndVirtual(c.Now())
 		if err != nil {
-			log.Fatal(err)
+			// Even an exhausted fallback ladder must not crash the daemon:
+			// hold the current fleet for the round and keep flying.
+			if guard == nil {
+				log.Fatal(err)
+			}
+			log.Printf("%s HOLD: planning failed (%v), keeping %d nodes for %d steps",
+				cpu.TimeAt(origin).Format("Jan 02 15:04"), err, prevAlloc, planHorizon)
+			plan = make([]int, planHorizon)
+			for i := range plan {
+				plan[i] = prevAlloc
+			}
 		}
-		scaler.RecordDecision(strat, origin, c.Now(), prevAlloc, plan)
+		scaler.RecordDecision(planner, origin, c.Now(), prevAlloc, plan)
 		var fan *robustscale.QuantileForecast
 		if fanProvider != nil {
 			fan = fanProvider.LastFan()
@@ -176,38 +278,56 @@ func main() {
 			if cal, err = cluster.NewCalibration(fan.Levels, stepsPerDay); err != nil {
 				log.Fatal(err)
 			}
+			calCheck = cal.HealthCheck(*guardSlack, *guardMaxWQL, stepsPerDay/4)
 		}
 		absErrSum := 0.0
 		for i, alloc := range plan {
 			t := origin + i
+			cur.Set(t - trainEnd)
+			if sched != nil {
+				if kills := sched.KillsAt(t - trainEnd); kills > 0 {
+					chaos.CountInjected(chaos.NodeKill)
+					c.Kill(kills)
+					log.Printf("%s FAULT: killed %d node(s), fleet now %d",
+						cpu.TimeAt(t).Format("Jan 02 15:04"), kills, c.Size())
+					obs.DefaultJournal.RecordAt(c.Now(), "fault",
+						fmt.Sprintf("failure event killed %d node(s)", kills),
+						map[string]float64{"killed": float64(kills), "nodes": float64(c.Size())})
+				}
+			}
 			applyStart := time.Now()
 			applySpan := obs.DefaultTracer.Start("apply")
-			if err := c.ScaleTo(alloc); err != nil {
-				log.Fatal(err)
+			if err := applier.ScaleTo(alloc); err != nil {
+				// Retries and the breaker already did their part; hold the
+				// current fleet and try again next step.
+				holds++
+				log.Printf("%s HOLD: apply to %d nodes failed (%v), keeping %d",
+					cpu.TimeAt(t).Format("Jan 02 15:04"), alloc, err, c.Size())
 			}
-			if alloc != prevAlloc {
+			actual := c.Size()
+			if actual != prevAlloc {
 				log.Printf("%s scale %d -> %d nodes (workload %.0f)",
-					cpu.TimeAt(t).Format("Jan 02 15:04"), prevAlloc, alloc, cpu.At(t))
+					cpu.TimeAt(t).Format("Jan 02 15:04"), prevAlloc, actual, cpu.At(t))
 				obs.DefaultJournal.RecordAt(c.Now(), "scale",
-					fmt.Sprintf("scale %d -> %d nodes", prevAlloc, alloc),
-					map[string]float64{"from": float64(prevAlloc), "to": float64(alloc), "workload": cpu.At(t)})
-				prevAlloc = alloc
+					fmt.Sprintf("scale %d -> %d nodes", prevAlloc, actual),
+					map[string]float64{"from": float64(prevAlloc), "to": float64(actual), "workload": cpu.At(t)})
+				prevAlloc = actual
 			}
 			capacity := c.EffectiveCapacity(cpu.Step)
 			util := cpu.At(t) / capacity
 			if util > *theta {
 				violations++
 				log.Printf("%s VIOLATION: utilization %.1f > %.0f with %d nodes",
-					cpu.TimeAt(t).Format("Jan 02 15:04"), util, *theta, alloc)
+					cpu.TimeAt(t).Format("Jan 02 15:04"), util, *theta, actual)
 				obs.DefaultJournal.RecordAt(c.Now(), "violation",
-					fmt.Sprintf("utilization %.1f > %.0f with %d nodes", util, *theta, alloc),
-					map[string]float64{"utilization": util, "theta": *theta, "nodes": float64(alloc)})
+					fmt.Sprintf("utilization %.1f > %.0f with %d nodes", util, *theta, actual),
+					map[string]float64{"utilization": util, "theta": *theta, "nodes": float64(actual)})
 			}
 			steps++
 			c.Advance(cpu.Step)
 			registry.Update(func(s *ops.Status) {
 				s.VirtualTime = c.Now()
-				s.Nodes = alloc
+				s.Nodes = actual
 				s.Workload = cpu.At(t)
 				s.Utilization = util / *theta
 				s.Steps = steps
@@ -215,6 +335,12 @@ func main() {
 				s.ScaleOuts = c.ScaleOuts
 				s.ScaleIns = c.ScaleIns
 				s.Plan = plan[i+1:]
+				s.ApplyHolds = holds
+				if guard != nil {
+					s.DegradationMode = guard.Mode().String()
+					s.DegradationReason = guard.LastReason()
+					s.DegradedRounds = guard.DegradedRounds()
+				}
 			})
 			applySpan.EndVirtual(c.Now())
 			ops.ObserveApply(time.Since(applyStart))
@@ -240,6 +366,10 @@ func main() {
 	}
 	fmt.Printf("\nfinal: %d steps, %d violations (%.2f%%), %d scale-outs, %d scale-ins\n",
 		steps, violations, 100*float64(violations)/float64(steps), c.ScaleOuts, c.ScaleIns)
+	if guard != nil {
+		fmt.Printf("resilience: %d degraded rounds, %d apply holds, %d node failures, final mode %s\n",
+			guard.DegradedRounds(), holds, c.Failures, guard.Mode())
+	}
 	if cal != nil {
 		snap := cal.Snapshot()
 		fmt.Printf("calibration over last %d steps: rolling wQL %.4f; coverage", snap.Steps, snap.WQL)
@@ -301,8 +431,11 @@ func abs(v float64) float64 {
 	return v
 }
 
-// buildStrategy trains (when needed) and assembles the requested strategy.
-func buildStrategy(name string, train *robustscale.Series, tau, tau2, rho, theta float64, horizon, epochs int) (robustscale.Strategy, error) {
+// buildStrategy trains (when needed) and assembles the requested
+// strategy. wrap is applied to the trained forecaster before it is
+// handed to a strategy — the chaos injector hooks in there — but never
+// to the calibration pass, which must see the genuine model.
+func buildStrategy(name string, train *robustscale.Series, tau, tau2, rho, theta float64, horizon, epochs int, wrap func(forecast.QuantileForecaster) forecast.QuantileForecaster) (robustscale.Strategy, error) {
 	switch name {
 	case "reactive-max":
 		return &robustscale.ReactiveMax{Window: 6, Theta: theta}, nil
@@ -321,7 +454,7 @@ func buildStrategy(name string, train *robustscale.Series, tau, tau2, rho, theta
 			return nil, err
 		}
 		if name == "robust" {
-			return &robustscale.Robust{Forecaster: tft, Tau: tau, Theta: theta}, nil
+			return &robustscale.Robust{Forecaster: wrap(tft), Tau: tau, Theta: theta}, nil
 		}
 		if rho <= 0 {
 			// Calibrate rho as the median uncertainty of a forecast made
@@ -338,7 +471,7 @@ func buildStrategy(name string, train *robustscale.Series, tau, tau2, rho, theta
 			rho = s.Quantile(0.5)
 			log.Printf("autoscaled: calibrated rho = %.2f", rho)
 		}
-		return &robustscale.Adaptive{Forecaster: tft, Tau1: tau, Tau2: tau2, Rho: rho, Theta: theta}, nil
+		return &robustscale.Adaptive{Forecaster: wrap(tft), Tau1: tau, Tau2: tau2, Rho: rho, Theta: theta}, nil
 	default:
 		return nil, fmt.Errorf("autoscaled: unknown strategy %q", name)
 	}

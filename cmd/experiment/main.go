@@ -8,6 +8,8 @@
 //	experiment -id all               # the full evaluation
 //	experiment -id fig9 -decisions   # plus the per-round decision audit
 //	experiment -id fig9 -trace-out t.json  # plus a Chrome trace of the run
+//	experiment -chaos smoke          # guarded-loop resilience, smoke profile
+//	experiment -chaos matrix         # fault class x strategy resilience matrix
 package main
 
 import (
@@ -52,6 +54,8 @@ func main() {
 		metrics   = flag.Bool("metrics", false, "dump accumulated Prometheus metrics to stdout after the run")
 		decisions = flag.Bool("decisions", false, "print the retained per-round scaling decisions after the run")
 		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON file here after the run (implies tracing)")
+		chaosProf = flag.String("chaos", "", "run the guarded-loop resilience matrix under this chaos preset (none|forecast|telemetry|apply|node-kill|all|smoke) or 'matrix' for the full sweep")
+		chaosJSON = flag.String("chaos-json", "", "with -chaos, also write the resilience report as JSON here")
 	)
 	flag.Parse()
 
@@ -71,6 +75,13 @@ func main() {
 	z, err := experiment.NewZoo(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *chaosProf != "" {
+		if err := runChaos(z, *chaosProf, *chaosJSON); err != nil {
+			log.Fatalf("experiment: chaos: %v", err)
+		}
+		return
 	}
 
 	ids := []string{*id}
@@ -114,6 +125,35 @@ func main() {
 		log.Printf("experiment: wrote %d spans (%d dropped) to %s",
 			obs.DefaultTracer.Len(), obs.DefaultTracer.Dropped(), *traceOut)
 	}
+}
+
+// runChaos drives the guarded-loop resilience matrix. Decision capture
+// is forced on so degraded rounds leave auditable records — the CI smoke
+// job asserts they exist.
+func runChaos(z *experiment.Zoo, profile, jsonPath string) error {
+	obs.DefaultDecisions.SetEnabled(true)
+	experiment.Header(os.Stdout, fmt.Sprintf("Resilience matrix (alibaba, chaos=%s)", profile))
+	start := time.Now()
+	rep, err := experiment.Resilience(z, experiment.Alibaba, profile)
+	if err != nil {
+		return err
+	}
+	if err := experiment.RenderResilience(os.Stdout, rep); err != nil {
+		return err
+	}
+	fmt.Printf("[chaos %s done in %v]\n", profile, time.Since(start).Round(time.Millisecond))
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := experiment.WriteResilienceJSON(f, rep); err != nil {
+			return err
+		}
+		log.Printf("experiment: wrote resilience report to %s", jsonPath)
+	}
+	return nil
 }
 
 func runTable1(z *experiment.Zoo) error {

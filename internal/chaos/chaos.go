@@ -1,0 +1,424 @@
+// Package chaos is a deterministic fault-injection harness for the
+// auto-scaling control loop. It models the failure classes a production
+// autoscaler meets at each boundary of the loop — the forecaster (errors,
+// NaN/Inf fans, quantile crossing, unbounded blow-ups, latency), the
+// telemetry pipeline (frozen sensors, dropout windows, duplicated
+// samples), the control plane (rejected, partially fulfilled, or timed-out
+// scaling actions), and the infrastructure itself (node kills) — as a
+// seeded, precomputed Schedule over virtual-time replay steps.
+//
+// Everything is deterministic: a Profile expands to the same Schedule for
+// the same seed, and injectors consult the schedule by step, so chaos runs
+// are exactly reproducible and comparable against their fault-free twins.
+// The package never touches wall-clock time.
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+
+	"robustscale/internal/obs"
+)
+
+// Class identifies one fault class of the taxonomy.
+type Class string
+
+// The fault taxonomy, grouped by the control-loop boundary it strikes.
+const (
+	// ForecastError makes the forecaster return an error.
+	ForecastError Class = "forecast-error"
+	// ForecastNaN poisons fan entries with NaN/Inf values.
+	ForecastNaN Class = "forecast-nan"
+	// ForecastCrossing reverses quantile rows so levels cross.
+	ForecastCrossing Class = "forecast-crossing"
+	// ForecastBlowup multiplies the fan by an unbounded factor.
+	ForecastBlowup Class = "forecast-blowup"
+	// ForecastLatency delays the forecast by Event.Value seconds.
+	ForecastLatency Class = "forecast-latency"
+
+	// TelemetryStale freezes the observed history tail at one value.
+	TelemetryStale Class = "telemetry-stale"
+	// TelemetryDropout replaces a window of observations with NaN.
+	TelemetryDropout Class = "telemetry-dropout"
+	// TelemetryDuplicate double-counts a window of observations.
+	TelemetryDuplicate Class = "telemetry-duplicate"
+
+	// ApplyReject makes the control plane refuse the scaling action.
+	ApplyReject Class = "apply-reject"
+	// ApplyPartial fulfils only part of the requested node delta.
+	ApplyPartial Class = "apply-partial"
+	// ApplyTimeout times the scaling action out with no effect.
+	ApplyTimeout Class = "apply-timeout"
+
+	// NodeKill abruptly removes Event.Size nodes.
+	NodeKill Class = "node-kill"
+)
+
+// Classes lists every fault class in taxonomy order.
+var Classes = []Class{
+	ForecastError, ForecastNaN, ForecastCrossing, ForecastBlowup, ForecastLatency,
+	TelemetryStale, TelemetryDropout, TelemetryDuplicate,
+	ApplyReject, ApplyPartial, ApplyTimeout,
+	NodeKill,
+}
+
+// injectedTotal counts faults that actually fired, by class; injectors
+// feed it so a chaos run's blast radius is visible on /metrics.
+var injectedTotal = obs.Default.CounterVec(
+	"robustscale_chaos_faults_injected_total",
+	"Chaos faults that fired during replay, by fault class.",
+	"class")
+
+// CountInjected records one fired fault of the given class.
+func CountInjected(c Class) { injectedTotal.With(string(c)).Inc() }
+
+// InjectedTotal returns how many faults have fired process-wide across
+// all classes, read back from the injection counters.
+func InjectedTotal() float64 {
+	total := 0.0
+	for _, c := range Classes {
+		total += injectedTotal.With(string(c)).Value()
+	}
+	return total
+}
+
+// Event is one scheduled fault: it is active over the step window
+// [Step, Step+max(Size,1)).
+type Event struct {
+	// Step is the replay step the fault starts at.
+	Step int
+	// Class is the fault class.
+	Class Class
+	// Size is the window length in steps (kill count for NodeKill).
+	Size int
+	// Value is a class-specific magnitude: the blow-up factor for
+	// ForecastBlowup, injected seconds for ForecastLatency/ApplyTimeout.
+	Value float64
+}
+
+// window returns the step span the event is active over.
+func (e Event) window() (from, to int) {
+	n := e.Size
+	if n < 1 {
+		n = 1
+	}
+	return e.Step, e.Step + n
+}
+
+// Schedule is a precomputed, immutable-after-build fault plan indexed by
+// replay step. The zero value is an empty schedule; a nil *Schedule is
+// also treated as empty by every method.
+type Schedule struct {
+	byClass map[Class][]Event // events per class, sorted by Step
+	total   int
+}
+
+// Add appends an event to the schedule, keeping per-class step order.
+func (s *Schedule) Add(e Event) {
+	if s.byClass == nil {
+		s.byClass = make(map[Class][]Event)
+	}
+	evs := append(s.byClass[e.Class], e)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Step < evs[j].Step })
+	s.byClass[e.Class] = evs
+	s.total++
+}
+
+// Len returns the number of scheduled events.
+func (s *Schedule) Len() int {
+	if s == nil {
+		return 0
+	}
+	return s.total
+}
+
+// Empty reports whether nothing is scheduled.
+func (s *Schedule) Empty() bool { return s.Len() == 0 }
+
+// Events returns every scheduled event, ordered by step then class.
+func (s *Schedule) Events() []Event {
+	if s == nil {
+		return nil
+	}
+	out := make([]Event, 0, s.total)
+	for _, evs := range s.byClass {
+		out = append(out, evs...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Step != out[j].Step {
+			return out[i].Step < out[j].Step
+		}
+		return out[i].Class < out[j].Class
+	})
+	return out
+}
+
+// ActiveAt returns the event of the given class whose window covers step,
+// if any. Overlapping windows resolve to the latest-starting event.
+func (s *Schedule) ActiveAt(step int, class Class) (Event, bool) {
+	if s == nil {
+		return Event{}, false
+	}
+	evs := s.byClass[class]
+	// Walk backwards: the latest-starting active window wins.
+	for i := len(evs) - 1; i >= 0; i-- {
+		from, to := evs[i].window()
+		if from > step {
+			continue
+		}
+		if step < to {
+			return evs[i], true
+		}
+	}
+	return Event{}, false
+}
+
+// ApplyFaultAt reports whether any control-plane fault class (rejection,
+// partial fulfilment, timeout) is active at the step — the condition
+// under which a failed scale action is an injected fault to hold through
+// rather than a real error to propagate.
+func (s *Schedule) ApplyFaultAt(step int) bool {
+	for _, class := range []Class{ApplyReject, ApplyPartial, ApplyTimeout} {
+		if _, ok := s.ActiveAt(step, class); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// KillsAt returns how many nodes the schedule kills at exactly this step.
+func (s *Schedule) KillsAt(step int) int {
+	if s == nil {
+		return 0
+	}
+	killed := 0
+	for _, e := range s.byClass[NodeKill] {
+		if e.Step == step {
+			n := e.Size
+			if n < 1 {
+				n = 1
+			}
+			killed += n
+		}
+	}
+	return killed
+}
+
+// Profile parameterizes deterministic schedule generation: per-class
+// per-step fault probabilities plus class magnitudes. Each class draws
+// from its own seed-derived RNG stream, so enabling one class never
+// perturbs another's event placement — a single-class run is the exact
+// restriction of the all-class run.
+type Profile struct {
+	// Name labels the profile in reports.
+	Name string
+	// Seed drives event placement; required when any rate is positive.
+	Seed int64
+	// Steps is the replay length the schedule covers.
+	Steps int
+	// Rates maps each class to its per-step fault probability.
+	Rates map[Class]float64
+	// KillSize is nodes killed per NodeKill event (default 1).
+	KillSize int
+	// WindowLen is the window length of telemetry and apply faults in
+	// steps (default 3).
+	WindowLen int
+	// BlowupFactor multiplies the fan under ForecastBlowup (default 1e6).
+	BlowupFactor float64
+	// LatencySeconds is injected per ForecastLatency/ApplyTimeout event
+	// (default 30).
+	LatencySeconds float64
+}
+
+// Validate reports configuration errors.
+func (p Profile) Validate() error {
+	if p.Steps < 0 {
+		return fmt.Errorf("chaos: negative profile steps %d", p.Steps)
+	}
+	if p.KillSize < 0 {
+		return fmt.Errorf("chaos: negative kill size %d", p.KillSize)
+	}
+	if p.WindowLen < 0 {
+		return fmt.Errorf("chaos: negative window length %d", p.WindowLen)
+	}
+	anyRate := false
+	for class, rate := range p.Rates {
+		if rate < 0 || rate > 1 {
+			return fmt.Errorf("chaos: %s rate %v outside [0, 1]", class, rate)
+		}
+		if rate > 0 {
+			anyRate = true
+		}
+		if !validClass(class) {
+			return fmt.Errorf("chaos: unknown fault class %q", class)
+		}
+	}
+	if anyRate && p.Seed == 0 {
+		return fmt.Errorf("chaos: profile %q needs an explicit non-zero seed for deterministic injection", p.Name)
+	}
+	return nil
+}
+
+func validClass(c Class) bool {
+	for _, known := range Classes {
+		if c == known {
+			return true
+		}
+	}
+	return false
+}
+
+// Only returns a copy of the profile with every class but the given one
+// disabled — the per-class cell of a resilience matrix.
+func (p Profile) Only(class Class) Profile {
+	out := p
+	out.Rates = map[Class]float64{class: p.Rates[class]}
+	return out
+}
+
+// ActiveClasses returns the classes with a positive rate, in taxonomy
+// order.
+func (p Profile) ActiveClasses() []Class {
+	var out []Class
+	for _, c := range Classes {
+		if p.Rates[c] > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// classSeed derives a per-class RNG seed so class streams are independent.
+func classSeed(seed int64, class Class) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(class))
+	derived := seed ^ int64(h.Sum64())
+	if derived == 0 {
+		derived = 1
+	}
+	return derived
+}
+
+// Build expands the profile into a concrete schedule.
+func (p Profile) Build() (*Schedule, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	killSize := p.KillSize
+	if killSize == 0 {
+		killSize = 1
+	}
+	window := p.WindowLen
+	if window == 0 {
+		window = 3
+	}
+	blowup := p.BlowupFactor
+	if blowup == 0 {
+		blowup = 1e6
+	}
+	latency := p.LatencySeconds
+	if latency == 0 {
+		latency = 30
+	}
+	sched := &Schedule{}
+	for _, class := range Classes {
+		rate := p.Rates[class]
+		if rate <= 0 {
+			continue
+		}
+		rng := rand.New(rand.NewSource(classSeed(p.Seed, class)))
+		for step := 0; step < p.Steps; step++ {
+			if rng.Float64() >= rate {
+				continue
+			}
+			e := Event{Step: step, Class: class}
+			switch class {
+			case NodeKill:
+				e.Size = killSize
+			case ForecastBlowup:
+				e.Value = blowup
+			case ForecastLatency, ApplyTimeout:
+				e.Size = window
+				e.Value = latency
+			default:
+				e.Size = window
+			}
+			sched.Add(e)
+		}
+	}
+	return sched, nil
+}
+
+// FromFaultConfig reproduces the legacy cluster.FaultConfig injection
+// stream as a schedule: one uniform draw per step against prob, killing
+// size nodes on a hit. The RNG consumption is bit-compatible with the
+// historical ReplayWithFaults implementation, so seeded runs replay
+// identically through the schedule path.
+func FromFaultConfig(prob float64, size int, seed int64, steps int) *Schedule {
+	sched := &Schedule{}
+	if prob <= 0 {
+		return sched
+	}
+	if size < 1 {
+		size = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for step := 0; step < steps; step++ {
+		if rng.Float64() < prob {
+			sched.Add(Event{Step: step, Class: NodeKill, Size: size})
+		}
+	}
+	return sched
+}
+
+// Preset returns a named chaos profile. Steps and Seed are left zero for
+// the caller to fill in.
+//
+//	none       no faults (the baseline twin of every chaos run)
+//	forecast   forecaster faults only
+//	telemetry  telemetry faults only
+//	apply      control-plane faults only
+//	node-kill  infrastructure faults only
+//	all        every class at moderate rates
+//	smoke      every class at aggressive rates, sized for short CI runs
+func Preset(name string) (Profile, error) {
+	switch name {
+	case "none":
+		return Profile{Name: name}, nil
+	case "forecast":
+		return Profile{Name: name, Rates: map[Class]float64{
+			ForecastError: 0.05, ForecastNaN: 0.05, ForecastCrossing: 0.04,
+			ForecastBlowup: 0.03, ForecastLatency: 0.03,
+		}}, nil
+	case "telemetry":
+		return Profile{Name: name, Rates: map[Class]float64{
+			TelemetryStale: 0.05, TelemetryDropout: 0.03, TelemetryDuplicate: 0.03,
+		}}, nil
+	case "apply":
+		return Profile{Name: name, Rates: map[Class]float64{
+			ApplyReject: 0.06, ApplyPartial: 0.04, ApplyTimeout: 0.04,
+		}}, nil
+	case "node-kill":
+		return Profile{Name: name, Rates: map[Class]float64{NodeKill: 0.04}}, nil
+	case "all":
+		return Profile{Name: name, Rates: map[Class]float64{
+			ForecastError: 0.03, ForecastNaN: 0.03, ForecastCrossing: 0.02,
+			ForecastBlowup: 0.02, ForecastLatency: 0.02,
+			TelemetryStale: 0.03, TelemetryDropout: 0.02, TelemetryDuplicate: 0.02,
+			ApplyReject: 0.04, ApplyPartial: 0.03, ApplyTimeout: 0.03,
+			NodeKill: 0.03,
+		}}, nil
+	case "smoke":
+		return Profile{Name: name, Rates: map[Class]float64{
+			ForecastError: 0.25, ForecastNaN: 0.25, ForecastCrossing: 0.2,
+			ForecastBlowup: 0.15, ForecastLatency: 0.1,
+			TelemetryStale: 0.2, TelemetryDropout: 0.15, TelemetryDuplicate: 0.15,
+			ApplyReject: 0.25, ApplyPartial: 0.15, ApplyTimeout: 0.15,
+			NodeKill: 0.15,
+		}}, nil
+	default:
+		return Profile{}, fmt.Errorf("chaos: unknown profile %q (want none|forecast|telemetry|apply|node-kill|all|smoke)", name)
+	}
+}

@@ -2,11 +2,19 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"sync"
 
 	"robustscale/internal/obs"
 )
+
+// calibrationSkipped counts observations the tracker refused: one NaN
+// actual would otherwise poison every rolling sum in the window for a
+// full window length.
+var calibrationSkipped = obs.Default.Counter(
+	"robustscale_forecast_calibration_skipped_total",
+	"Calibration observations skipped because the actual or a quantile value was not finite.")
 
 // Calibration grades quantile forecasts against realized workloads online
 // over a rolling window, the monitoring loop the paper argues production
@@ -36,6 +44,7 @@ type Calibration struct {
 	covered   []int     // per level: covered steps currently in window
 	pinball   []float64 // per level: pinball-loss sum over window
 	actualSum float64
+	skipped   uint64 // non-finite observations refused
 
 	coverage []*obs.Gauge
 	covError []*obs.Gauge
@@ -53,6 +62,8 @@ type CalibrationSnapshot struct {
 	WQL float64
 	// Steps is how many observations the window currently holds.
 	Steps int
+	// Skipped is how many observations were refused as non-finite.
+	Skipped uint64
 }
 
 // NewCalibration builds a tracker for the given quantile levels over a
@@ -110,13 +121,27 @@ func (c *Calibration) Levels() []float64 { return append([]float64(nil), c.level
 
 // Observe feeds one realized workload and the quantile row that was
 // forecast for its step (values aligned with the tracker's levels), then
-// refreshes the exported gauges.
+// refreshes the exported gauges. A non-finite actual or quantile value is
+// skipped and counted rather than admitted: a single NaN in a rolling sum
+// would poison coverage and wQL for a full window length.
 func (c *Calibration) Observe(actual float64, quantiles []float64) error {
 	if len(quantiles) != len(c.levels) {
 		return fmt.Errorf("cluster: %d quantile values for %d calibration levels", len(quantiles), len(c.levels))
 	}
+	finite := !math.IsNaN(actual) && !math.IsInf(actual, 0)
+	for _, q := range quantiles {
+		if math.IsNaN(q) || math.IsInf(q, 0) {
+			finite = false
+			break
+		}
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if !finite {
+		c.skipped++
+		calibrationSkipped.Inc()
+		return nil
+	}
 
 	if c.count == c.window {
 		// Evict the oldest observation from the running sums.
@@ -176,6 +201,7 @@ func (c *Calibration) Snapshot() CalibrationSnapshot {
 		Coverage: make([]float64, len(c.levels)),
 		WQL:      c.rollingWQL(),
 		Steps:    c.count,
+		Skipped:  c.skipped,
 	}
 	if c.count > 0 {
 		for i := range c.levels {
@@ -183,6 +209,30 @@ func (c *Calibration) Snapshot() CalibrationSnapshot {
 		}
 	}
 	return snap
+}
+
+// HealthCheck returns a hook for scaler.Guard's Health field: it reports
+// unhealthy when any level's observed rolling coverage falls more than
+// slack below its nominal level, or (when maxWQL > 0) the rolling wQL
+// exceeds maxWQL. The verdict withholds judgment — stays healthy — until
+// the window holds at least minSteps observations.
+func (c *Calibration) HealthCheck(slack, maxWQL float64, minSteps int) func() (bool, string) {
+	return func() (bool, string) {
+		snap := c.Snapshot()
+		if snap.Steps < minSteps {
+			return true, ""
+		}
+		for i, tau := range snap.Levels {
+			if snap.Coverage[i] < tau-slack {
+				return false, fmt.Sprintf("rolling coverage of q%g is %.3f, below %.3f (nominal - slack)",
+					tau, snap.Coverage[i], tau-slack)
+			}
+		}
+		if maxWQL > 0 && snap.WQL > maxWQL {
+			return false, fmt.Sprintf("rolling wQL %.4f above limit %.4f", snap.WQL, maxWQL)
+		}
+		return true, ""
+	}
 }
 
 // pinballLoss is the quantile (pinball) loss rho_tau of prediction yhat

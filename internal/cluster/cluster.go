@@ -12,9 +12,9 @@ package cluster
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
+	"robustscale/internal/chaos"
 	"robustscale/internal/obs"
 	"robustscale/internal/timeseries"
 )
@@ -220,9 +220,17 @@ type ReplayReport struct {
 	ScaleOuts     int
 	ScaleIns      int
 	Failures      int
+	// Holds counts steps whose scale action failed under an injected
+	// control-plane fault, leaving the previous fleet size in place.
+	Holds int
 }
 
 // FaultConfig injects node failures into a replay.
+//
+// Deprecated: FaultConfig expresses only the node-kill fault class. New
+// code should build a chaos.Profile (or chaos.Schedule) covering the full
+// taxonomy and call ReplayWithSchedule; ReplayWithFaults remains as a
+// stream-compatible shim over chaos.FromFaultConfig.
 type FaultConfig struct {
 	// FailureProb is the per-step probability that a failure event
 	// strikes.
@@ -233,46 +241,77 @@ type FaultConfig struct {
 	Seed int64
 }
 
+// Validate rejects probabilities outside [0, 1], negative failure sizes,
+// and non-reproducible configurations (a positive probability without a
+// seed).
+func (f FaultConfig) Validate() error {
+	if f.FailureProb < 0 || f.FailureProb > 1 {
+		return fmt.Errorf("cluster: failure probability %v outside [0, 1]", f.FailureProb)
+	}
+	if f.FailureSize < 0 {
+		return fmt.Errorf("cluster: negative failure size %d", f.FailureSize)
+	}
+	if f.FailureProb > 0 && f.Seed == 0 {
+		return fmt.Errorf("cluster: fault injection with probability %v needs an explicit seed", f.FailureProb)
+	}
+	return nil
+}
+
 // Replay drives the cluster with per-step allocations against the realized
 // workload, judging utilization against theta. It is the end-to-end check
 // that a plan that looks good on paper also works once warm-up is modeled.
 func (c *Cluster) Replay(workload *timeseries.Series, allocations []int, theta float64) (*ReplayReport, error) {
-	return c.ReplayWithFaults(workload, allocations, theta, FaultConfig{})
+	return c.ReplayWithSchedule(workload, allocations, theta, nil)
 }
 
-// ReplayWithFaults is Replay with failure injection: before each step's
-// scaling action, a failure event may kill nodes; the allocation then
-// replaces them, paying warm-up. It measures how much headroom a scaling
-// policy leaves for infrastructure faults.
+// ReplayWithFaults is Replay with node-failure injection.
+//
+// Deprecated: use ReplayWithSchedule with a chaos.Schedule. This shim
+// reproduces the historical RNG stream exactly (one draw per step), so
+// seeded runs keep their fault sequences.
 func (c *Cluster) ReplayWithFaults(workload *timeseries.Series, allocations []int, theta float64, faults FaultConfig) (*ReplayReport, error) {
+	if err := faults.Validate(); err != nil {
+		return nil, err
+	}
+	sched := chaos.FromFaultConfig(faults.FailureProb, faults.FailureSize, faults.Seed, workload.Len())
+	return c.ReplayWithSchedule(workload, allocations, theta, sched)
+}
+
+// ReplayWithSchedule is Replay under a chaos schedule: before each step's
+// scaling action, scheduled node kills strike; the scale action itself
+// runs through the schedule's control-plane faults (rejections, partial
+// fulfilment, timeouts), and a step whose action fails holds the previous
+// fleet size — the safe degraded behavior — rather than aborting the
+// replay. It measures how much headroom a scaling policy leaves for
+// infrastructure faults. A nil or empty schedule is a plain Replay.
+func (c *Cluster) ReplayWithSchedule(workload *timeseries.Series, allocations []int, theta float64, sched *chaos.Schedule) (*ReplayReport, error) {
 	if workload.Len() != len(allocations) {
 		return nil, fmt.Errorf("cluster: %d workload steps vs %d allocations", workload.Len(), len(allocations))
 	}
 	if theta <= 0 {
 		return nil, fmt.Errorf("cluster: non-positive threshold %v", theta)
 	}
-	if faults.FailureProb < 0 || faults.FailureProb > 1 {
-		return nil, fmt.Errorf("cluster: failure probability %v outside [0, 1]", faults.FailureProb)
-	}
-	var rng *rand.Rand
-	if faults.FailureProb > 0 {
-		rng = rand.New(rand.NewSource(faults.Seed))
-	}
+	cur := &chaos.Cursor{}
+	apply := chaos.WrapApply(c.ScaleTo, c.Size, sched, cur)
 	report := &ReplayReport{Steps: make([]StepStat, workload.Len())}
 	for i := 0; i < workload.Len(); i++ {
-		if rng != nil && rng.Float64() < faults.FailureProb {
-			size := faults.FailureSize
-			if size < 1 {
-				size = 1
-			}
-			if killed := c.Kill(size); killed > 0 {
+		cur.Set(i)
+		if kills := sched.KillsAt(i); kills > 0 {
+			chaos.CountInjected(chaos.NodeKill)
+			if killed := c.Kill(kills); killed > 0 {
 				obs.DefaultJournal.RecordAt(c.now, "fault",
 					fmt.Sprintf("failure event killed %d node(s)", killed),
 					map[string]float64{"killed": float64(killed), "nodes": float64(len(c.nodes))})
 			}
 		}
-		if err := c.ScaleTo(allocations[i]); err != nil {
-			return nil, fmt.Errorf("cluster: step %d: %w", i, err)
+		if err := apply(allocations[i]); err != nil {
+			if !sched.ApplyFaultAt(i) {
+				return nil, fmt.Errorf("cluster: step %d: %w", i, err)
+			}
+			report.Holds++
+			obs.DefaultJournal.RecordAt(c.now, "fault",
+				fmt.Sprintf("scale to %d held at %d: %v", allocations[i], c.Size(), err),
+				map[string]float64{"target": float64(allocations[i]), "nodes": float64(c.Size())})
 		}
 		capacity := c.EffectiveCapacity(workload.Step)
 		if capacity < 1e-9 {

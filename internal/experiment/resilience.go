@@ -1,0 +1,266 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"robustscale/internal/chaos"
+	"robustscale/internal/cluster"
+	"robustscale/internal/forecast"
+	"robustscale/internal/obs"
+	"robustscale/internal/scaler"
+)
+
+// ResilienceRow is one (fault profile, strategy) cell of the resilience
+// matrix: the guarded control loop's outcome under injected faults, with
+// deltas against the same strategy's fault-free run.
+type ResilienceRow struct {
+	Profile  string `json:"profile"`
+	Strategy string `json:"strategy"`
+	// ViolationRate is the fraction of steps whose utilization breached
+	// theta once warm-up and faults are modeled.
+	ViolationRate float64 `json:"violation_rate"`
+	// AvgNodes is the mean fleet size, the cost proxy.
+	AvgNodes float64 `json:"avg_nodes"`
+	// ViolationDelta and CostDelta are this cell minus the strategy's
+	// fault-free baseline.
+	ViolationDelta float64 `json:"violation_delta"`
+	CostDelta      float64 `json:"cost_delta"`
+	// DegradedRounds counts planning rounds the guard spent off the
+	// normal rung; Holds counts steps that kept the previous fleet size
+	// because the apply path failed.
+	DegradedRounds int `json:"degraded_rounds"`
+	Holds          int `json:"holds"`
+	// Failures is how many nodes the schedule killed.
+	Failures int `json:"failures"`
+}
+
+// ResilienceReport is the full matrix plus the aggregate evidence the CI
+// smoke job asserts on: faults fired, fallbacks engaged, and degraded
+// decision records captured.
+type ResilienceReport struct {
+	Profile string          `json:"profile"`
+	Rows    []ResilienceRow `json:"rows"`
+	// FaultsInjected is the process-wide chaos injection count after the
+	// run (nonzero iff faults actually fired).
+	FaultsInjected float64 `json:"faults_injected"`
+	// DegradedRoundsTotal and HoldsTotal aggregate the matrix columns.
+	DegradedRoundsTotal int `json:"degraded_rounds_total"`
+	HoldsTotal          int `json:"holds_total"`
+	// DegradedDecisions counts retained decision records annotated with a
+	// degradation mode.
+	DegradedDecisions int `json:"degraded_decisions"`
+}
+
+// resilienceSpec is one strategy column of the matrix. Strategies are
+// rebuilt per cell so chaos wrappers and guard state never leak between
+// cells; the forecaster-backed ones use the training-free seasonal-naive
+// model, keeping the matrix fast enough for CI.
+type resilienceSpec struct {
+	name    string
+	horizon int
+	build   func(theta float64, wrap func(forecast.QuantileForecaster) forecast.QuantileForecaster) (scaler.Strategy, error)
+}
+
+func resilienceSpecs(d *Dataset, horizon int) []resilienceSpec {
+	season := 144 // one day at 10-minute steps
+	newSeasonal := func() (forecast.QuantileForecaster, error) {
+		m := forecast.NewSeasonalNaive(season)
+		if err := m.Fit(d.Train()); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+	return []resilienceSpec{
+		{
+			name: "reactive-max", horizon: 1,
+			build: func(theta float64, _ func(forecast.QuantileForecaster) forecast.QuantileForecaster) (scaler.Strategy, error) {
+				return &scaler.ReactiveMax{Window: 6, Theta: theta}, nil
+			},
+		},
+		{
+			name: "robust-0.9", horizon: horizon,
+			build: func(theta float64, wrap func(forecast.QuantileForecaster) forecast.QuantileForecaster) (scaler.Strategy, error) {
+				qf, err := newSeasonal()
+				if err != nil {
+					return nil, err
+				}
+				return &scaler.Robust{Forecaster: wrap(qf), Tau: 0.9, Theta: theta}, nil
+			},
+		},
+		{
+			name: "predictive", horizon: horizon,
+			build: func(theta float64, wrap func(forecast.QuantileForecaster) forecast.QuantileForecaster) (scaler.Strategy, error) {
+				qf, err := newSeasonal()
+				if err != nil {
+					return nil, err
+				}
+				return &scaler.Predictive{Forecaster: wrap(qf), Theta: theta}, nil
+			},
+		},
+	}
+}
+
+// ResilienceProfiles are the fault-class rows of the matrix, each a
+// preset restricted to one boundary, plus the all-class storm.
+var ResilienceProfiles = []string{"forecast", "telemetry", "apply", "node-kill", "all"}
+
+// Resilience runs the resilience matrix on one dataset: every fault-class
+// profile against every guarded strategy, reporting violation-rate and
+// cost deltas versus each strategy's fault-free baseline. The profile
+// argument selects a single preset ("smoke" for CI, one of the class
+// presets for focused runs) or "matrix" for the full sweep.
+func Resilience(z *Zoo, ds DatasetName, profile string) (*ResilienceReport, error) {
+	d, err := z.Dataset(ds)
+	if err != nil {
+		return nil, err
+	}
+	cfg := z.Config()
+	profiles := []string{profile}
+	if profile == "matrix" {
+		profiles = ResilienceProfiles
+	}
+	report := &ResilienceReport{Profile: profile}
+	for _, spec := range resilienceSpecs(d, cfg.Horizon) {
+		base, err := runResilienceCell(d, cfg, spec, chaos.Profile{Name: "none"})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: resilience baseline %s: %w", spec.name, err)
+		}
+		for _, name := range profiles {
+			p, err := chaos.Preset(name)
+			if err != nil {
+				return nil, err
+			}
+			p.Seed = cfg.Seed
+			cell, err := runResilienceCell(d, cfg, spec, p)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: resilience %s/%s: %w", name, spec.name, err)
+			}
+			cell.ViolationDelta = cell.ViolationRate - base.ViolationRate
+			cell.CostDelta = cell.AvgNodes - base.AvgNodes
+			report.Rows = append(report.Rows, cell)
+			report.DegradedRoundsTotal += cell.DegradedRounds
+			report.HoldsTotal += cell.Holds
+		}
+	}
+	report.FaultsInjected = chaos.InjectedTotal()
+	for _, dec := range obs.DefaultDecisions.Decisions() {
+		if dec.Degraded != "" {
+			report.DegradedDecisions++
+		}
+	}
+	return report, nil
+}
+
+// runResilienceCell drives one guarded closed-loop replay: chaos wraps
+// every boundary (forecaster, telemetry, apply), the guard wraps the
+// strategy, and the applier holds the current fleet when the control
+// plane fails. The acceptance invariant — no panic, no NaN allocation —
+// is enforced by construction; violations and cost are measured against
+// the warm-up-adjusted cluster.
+func runResilienceCell(d *Dataset, cfg Config, spec resilienceSpec, prof chaos.Profile) (ResilienceRow, error) {
+	row := ResilienceRow{Profile: prof.Name, Strategy: spec.name}
+	evalLen := d.Series.Len() - d.EvalStart
+	if evalLen <= 0 {
+		return row, fmt.Errorf("empty evaluation span")
+	}
+	prof.Steps = evalLen
+	sched, err := prof.Build()
+	if err != nil {
+		return row, err
+	}
+	cur := &chaos.Cursor{}
+	wrap := func(qf forecast.QuantileForecaster) forecast.QuantileForecaster {
+		return &chaos.Forecaster{Inner: qf, Schedule: sched, Cursor: cur}
+	}
+	inner, err := spec.build(cfg.Theta, wrap)
+	if err != nil {
+		return row, err
+	}
+
+	c, err := cluster.New(cluster.DefaultConfig(), d.Series.TimeAt(d.EvalStart), 1)
+	if err != nil {
+		return row, err
+	}
+	guard := &scaler.Guard{
+		Inner:  inner,
+		Config: scaler.GuardConfig{Theta: cfg.Theta, Tau: 0.9},
+		Clock:  c.Now,
+	}
+	applier := &scaler.Applier{
+		Apply:   chaos.WrapApply(c.ScaleTo, c.Size, sched, cur),
+		Breaker: &scaler.Breaker{Threshold: 3, Cooldown: 3 * d.Series.Step},
+		Clock:   c.Now,
+	}
+
+	var plan []int
+	offset := 0
+	nodeSteps := 0
+	violations := 0
+	for i := 0; i < evalLen; i++ {
+		cur.Set(i)
+		step := d.EvalStart + i
+		if kills := sched.KillsAt(i); kills > 0 {
+			chaos.CountInjected(chaos.NodeKill)
+			c.Kill(kills)
+		}
+		if len(plan) == 0 || offset >= len(plan) {
+			hist := chaos.CorruptTelemetry(d.Series.Slice(0, step), sched, i)
+			prev := c.Size()
+			p, err := guard.Plan(hist, spec.horizon)
+			if err != nil {
+				// The ladder is exhausted only in pathological setups; the
+				// safe behavior is to hold the current fleet for a round.
+				p = []int{prev}
+			}
+			plan, offset = p, 0
+			scaler.RecordDecision(guard, step, c.Now(), prev, plan)
+		}
+		target := plan[offset]
+		offset++
+		if err := applier.ScaleTo(target); err != nil {
+			row.Holds++ // fleet stays where it is
+		}
+		capacity := c.EffectiveCapacity(d.Series.Step)
+		if capacity < 1e-9 {
+			capacity = 1e-9
+		}
+		if d.Series.At(step)/capacity > cfg.Theta {
+			violations++
+		}
+		nodeSteps += c.Size()
+		c.Advance(d.Series.Step)
+	}
+	row.ViolationRate = float64(violations) / float64(evalLen)
+	row.AvgNodes = float64(nodeSteps) / float64(evalLen)
+	row.DegradedRounds = guard.DegradedRounds()
+	row.Failures = c.Failures
+	return row, nil
+}
+
+// RenderResilience writes the matrix as a table.
+func RenderResilience(w io.Writer, rep *ResilienceReport) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "profile\tstrategy\tviolation\tΔviolation\tavg nodes\tΔcost\tdegraded\tholds\tkilled")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.4f\t%+.4f\t%.2f\t%+.2f\t%d\t%d\t%d\n",
+			r.Profile, r.Strategy, r.ViolationRate, r.ViolationDelta,
+			r.AvgNodes, r.CostDelta, r.DegradedRounds, r.Holds, r.Failures)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "faults injected: %.0f, degraded rounds: %d, holds: %d, degraded decisions: %d\n",
+		rep.FaultsInjected, rep.DegradedRoundsTotal, rep.HoldsTotal, rep.DegradedDecisions)
+	return err
+}
+
+// WriteResilienceJSON writes the report for machine consumption (the CI
+// chaos smoke job asserts on these fields with jq).
+func WriteResilienceJSON(w io.Writer, rep *ResilienceReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -69,6 +69,12 @@ type Decision struct {
 	Quantile []float64 `json:"quantile,omitempty"`
 	// Binding is the per-step binding constraint (Binding* labels).
 	Binding []string `json:"binding,omitempty"`
+	// Degraded names the guard degradation mode that produced this plan
+	// ("repair", "last-known-good", "reactive"); empty for a normal round.
+	Degraded string `json:"degraded,omitempty"`
+	// DegradedReason says why the guard left normal mode, e.g. the
+	// forecaster error or calibration breach that triggered the fallback.
+	DegradedReason string `json:"degraded_reason,omitempty"`
 }
 
 // Covers reports whether the round planned the given series step.
@@ -119,6 +125,13 @@ func (d *Decision) Explain(step int) string {
 	}
 	if i < len(d.Binding) && d.Binding[i] != BindingDemand {
 		fmt.Fprintf(&b, " [binding: %s]", d.Binding[i])
+	}
+	if d.Degraded != "" {
+		fmt.Fprintf(&b, " [degraded: %s", d.Degraded)
+		if d.DegradedReason != "" {
+			fmt.Fprintf(&b, " — %s", d.DegradedReason)
+		}
+		b.WriteString("]")
 	}
 	return b.String()
 }

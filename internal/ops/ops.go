@@ -69,6 +69,16 @@ type Status struct {
 	ScaleIns  int `json:"scale_ins"`
 	// Plan is the remainder of the current scaling plan.
 	Plan []int `json:"plan,omitempty"`
+	// DegradationMode is the guard's current rung on the degradation
+	// ladder ("normal", "repair", "last-known-good", "reactive").
+	DegradationMode string `json:"degradation_mode,omitempty"`
+	// DegradationReason says why the guard left normal mode.
+	DegradationReason string `json:"degradation_reason,omitempty"`
+	// DegradedRounds counts planning rounds that engaged any fallback.
+	DegradedRounds int `json:"degraded_rounds,omitempty"`
+	// ApplyHolds counts rounds that held the current allocation because
+	// the apply path was unavailable.
+	ApplyHolds int `json:"apply_holds,omitempty"`
 }
 
 // Registry holds the latest status for concurrent readers.

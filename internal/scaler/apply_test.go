@@ -1,0 +1,180 @@
+package scaler
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBackoffDelay(t *testing.T) {
+	c := BackoffConfig{Base: time.Second, Multiplier: 2, Max: 5 * time.Second}
+	cases := map[int]time.Duration{
+		1: time.Second,
+		2: 2 * time.Second,
+		3: 4 * time.Second,
+		4: 5 * time.Second, // capped
+		9: 5 * time.Second,
+	}
+	for retry, want := range cases {
+		if got := c.Delay(retry); got != want {
+			t.Errorf("Delay(%d) = %v, want %v", retry, got, want)
+		}
+	}
+}
+
+func TestApplierRetriesThenSucceeds(t *testing.T) {
+	calls := 0
+	a := &Applier{
+		Apply: func(n int) error {
+			calls++
+			if calls < 3 {
+				return errors.New("transient")
+			}
+			return nil
+		},
+		Backoff: BackoffConfig{MaxAttempts: 3, Base: time.Millisecond},
+	}
+	if err := a.ScaleTo(4); err != nil {
+		t.Fatalf("retry path should succeed: %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+}
+
+func TestApplierExhaustsAndBreakerOpens(t *testing.T) {
+	now := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+	br := &Breaker{Threshold: 2, Cooldown: time.Hour}
+	calls := 0
+	a := &Applier{
+		Apply:   func(int) error { calls++; return errors.New("down") },
+		Backoff: BackoffConfig{MaxAttempts: 2, Base: time.Millisecond},
+		Breaker: br,
+		Clock:   clock,
+	}
+	if err := a.ScaleTo(3); err == nil {
+		t.Fatal("exhausted retries should error")
+	}
+	if br.State() != BreakerClosed {
+		t.Fatalf("one failed round, breaker = %v", br.State())
+	}
+	if err := a.ScaleTo(3); err == nil {
+		t.Fatal("second round should also fail")
+	}
+	if br.State() != BreakerOpen {
+		t.Fatalf("threshold reached, breaker = %v", br.State())
+	}
+
+	// Open breaker: the round is refused before touching the control plane.
+	before := calls
+	err := a.ScaleTo(3)
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen", err)
+	}
+	if calls != before {
+		t.Error("open breaker still called apply")
+	}
+
+	// After the cooldown a half-open probe goes through; success closes.
+	now = now.Add(2 * time.Hour)
+	a.Apply = func(int) error { calls++; return nil }
+	if err := a.ScaleTo(3); err != nil {
+		t.Fatalf("half-open probe should succeed: %v", err)
+	}
+	if br.State() != BreakerClosed {
+		t.Errorf("successful probe should close, state = %v", br.State())
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	t0 := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	br := &Breaker{Threshold: 1, Cooldown: time.Minute}
+	br.Failure(t0)
+	if br.State() != BreakerOpen {
+		t.Fatalf("state = %v", br.State())
+	}
+	if br.Allow(t0.Add(time.Second)) {
+		t.Error("open breaker inside cooldown should refuse")
+	}
+	if !br.Allow(t0.Add(2 * time.Minute)) {
+		t.Fatal("cooldown elapsed, probe should be allowed")
+	}
+	if br.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", br.State())
+	}
+	br.Failure(t0.Add(2 * time.Minute))
+	if br.State() != BreakerOpen {
+		t.Errorf("failed probe should reopen, state = %v", br.State())
+	}
+}
+
+// TestBreakerConcurrent hammers one breaker from many goroutines; run
+// under -race it proves the state machine is data-race free, and the
+// final state must still be a valid one.
+func TestBreakerConcurrent(t *testing.T) {
+	br := &Breaker{Threshold: 3, Cooldown: time.Microsecond}
+	base := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				now := base.Add(time.Duration(g*200+i) * time.Millisecond)
+				if br.Allow(now) {
+					if (g+i)%3 == 0 {
+						br.Failure(now)
+					} else {
+						br.Success()
+					}
+				}
+				_ = br.State()
+			}
+		}(g)
+	}
+	wg.Wait()
+	switch br.State() {
+	case BreakerClosed, BreakerOpen, BreakerHalfOpen:
+	default:
+		t.Errorf("invalid final state %v", br.State())
+	}
+}
+
+// TestApplierConcurrent drives one Applier+Breaker from many goroutines,
+// as a daemon with overlapping apply paths would; -race is the assertion.
+func TestApplierConcurrent(t *testing.T) {
+	var mu sync.Mutex
+	fleet := 1
+	a := &Applier{
+		Apply: func(n int) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if n%5 == 0 {
+				return fmt.Errorf("rejected %d", n)
+			}
+			fleet = n
+			return nil
+		},
+		Backoff: BackoffConfig{MaxAttempts: 2, Base: time.Millisecond},
+		Breaker: &Breaker{Threshold: 4, Cooldown: time.Microsecond},
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 1; i <= 100; i++ {
+				_ = a.ScaleTo(g + i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if fleet < 1 {
+		t.Errorf("fleet = %d", fleet)
+	}
+}
