@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race cover bench bench-compile ci experiments examples clean
+.PHONY: all build test vet race cover bench bench-compile fuzz ci experiments examples clean
 
 all: build vet test
 
@@ -16,7 +16,7 @@ vet:
 # gradient replicas, the shared model zoo, the circuit breaker and the
 # chaos cursor); the default test target runs them under the race
 # detector on top of the plain suite.
-RACE_PKGS = ./internal/parallel/... ./internal/nn/... ./internal/forecast/... ./internal/experiment/... ./internal/obs/... ./internal/scaler/... ./internal/chaos/... ./internal/cluster/...
+RACE_PKGS = ./internal/parallel/... ./internal/nn/... ./internal/forecast/... ./internal/experiment/... ./internal/obs/... ./internal/scaler/... ./internal/chaos/... ./internal/cluster/... ./internal/persist/...
 
 test:
 	$(GO) test ./...
@@ -35,6 +35,11 @@ bench:
 # Compile and once-run every benchmark so they cannot rot.
 bench-compile:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Short fuzz pass over the checkpoint decoder: arbitrary bytes must
+# error cleanly, never panic or over-allocate.
+fuzz:
+	$(GO) test -fuzz=FuzzLoadCheckpoint -fuzztime=10s ./internal/persist
 
 # Everything the CI workflow checks, runnable locally in one shot.
 ci: build vet

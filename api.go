@@ -8,6 +8,7 @@ import (
 	"robustscale/internal/metrics"
 	"robustscale/internal/obs"
 	"robustscale/internal/optimize"
+	"robustscale/internal/persist"
 	"robustscale/internal/qos"
 	"robustscale/internal/scaler"
 	"robustscale/internal/timeseries"
@@ -365,3 +366,54 @@ var (
 	// control-plane faults during a replay.
 	ChaosPreset = chaos.Preset
 )
+
+// Durability: checkpointed warm restart of the control plane.
+type (
+	// CheckpointManager writes, retains, and recovers versioned
+	// CRC-framed control-plane snapshots in a state directory.
+	CheckpointManager = persist.Manager
+	// CheckpointState is the full control-plane state one snapshot holds.
+	CheckpointState = persist.State
+	// CheckpointFingerprint identifies the run configuration a snapshot
+	// came from; recovery refuses to resume across a mismatch.
+	CheckpointFingerprint = persist.Fingerprint
+	// RecoverInfo reports which snapshot recovery used and which files it
+	// rejected on the way.
+	RecoverInfo = persist.RecoverInfo
+	// Snapshotter is implemented by every forecaster that can serialize
+	// its trained state and restore it without retraining.
+	Snapshotter = forecast.Snapshotter
+	// Calibration is the rolling forecast-calibration window; it survives
+	// restarts via Save and LoadCalibration.
+	Calibration = cluster.Calibration
+
+	// RestartableLoopConfig and RestartableLoopResult drive the chaos
+	// harness that crash-restarts an in-process control loop against its
+	// checkpoint directory.
+	RestartableLoopConfig = chaos.LoopConfig
+	RestartableLoopResult = chaos.LoopResult
+)
+
+// Durability entry points.
+var (
+	// NewCheckpointManager opens (creating it if needed) a checkpoint
+	// directory with the given retention.
+	NewCheckpointManager = persist.NewManager
+	// LoadCalibration restores a calibration window saved with
+	// Calibration.Save.
+	LoadCalibration = cluster.LoadCalibration
+	// RunRestartableLoop replays a control loop through scheduled
+	// crash-restart faults, recovering from checkpoints after each one.
+	RunRestartableLoop = chaos.RunRestartable
+
+	// ErrCheckpointCorrupt reports a snapshot that failed CRC or framing
+	// validation; ErrCheckpointVersionSkew one written by an incompatible
+	// format version; ErrNoCheckpoint a recovery with nothing usable.
+	ErrCheckpointCorrupt     = persist.ErrCorrupt
+	ErrCheckpointVersionSkew = persist.ErrVersionSkew
+	ErrNoCheckpoint          = persist.ErrNoCheckpoint
+)
+
+// ChaosCrashRestart is the crash-restart fault class consumed by the
+// restartable loop harness.
+const ChaosCrashRestart = chaos.CrashRestart

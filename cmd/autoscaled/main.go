@@ -31,16 +31,32 @@
 // -trace-out additionally writes the Chrome trace to a file when the
 // replay ends, and -explain prints the decision explanation for a
 // series step (or "latest") after the run.
+//
+// With -state-dir set, the daemon is durable: the full control-plane
+// state — forecaster weights, calibration window, guard and breaker
+// state, journal and decision rings, the current allocation — is
+// checkpointed atomically every -checkpoint-interval rounds and on
+// shutdown. A restarted daemon warm-starts from the newest valid
+// snapshot (falling back past corrupt ones, then to a cold start) and
+// resumes the replay where it left off without retraining. SIGINT and
+// SIGTERM stop the loop at a round boundary, write a final checkpoint,
+// and drain the observability endpoint before exiting.
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 	"time"
 
 	"robustscale"
@@ -49,6 +65,7 @@ import (
 	"robustscale/internal/forecast"
 	"robustscale/internal/obs"
 	"robustscale/internal/ops"
+	"robustscale/internal/persist"
 	"robustscale/internal/scaler"
 )
 
@@ -82,8 +99,19 @@ func main() {
 
 		chaosProf = flag.String("chaos", "", "inject deterministic faults from this preset during the replay (forecast|telemetry|apply|node-kill|all|smoke)")
 		chaosSeed = flag.Int64("chaos-seed", 0, "chaos schedule seed (0 = use -seed)")
+
+		stateDir     = flag.String("state-dir", "", "checkpoint directory for durable warm restarts (empty disables durability)")
+		stateRetain  = flag.Int("state-retain", persist.DefaultRetain, "checkpoint snapshots to retain in -state-dir")
+		ckptInterval = flag.Int("checkpoint-interval", 1, "write a checkpoint every N planning rounds (with -state-dir)")
+		roundDelay   = flag.Duration("round-delay", 0, "wall-clock pause after each planning round (paces the replay for live observation and kill/restart drills)")
 	)
 	flag.Parse()
+
+	// A signal turns into context cancellation: the replay loop checks it
+	// at round boundaries, writes a final checkpoint, and drains the
+	// observability endpoint instead of dying mid-write.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	// The journal is sized before anything records into it; the tracer is
 	// enabled only when someone can observe it (-trace-out or -listen),
@@ -106,6 +134,7 @@ func main() {
 	// without its observability surface is worse than one that refuses
 	// to start — and operators can probe /status while training runs.
 	registry := ops.NewRegistry(*strategy, *theta)
+	var httpSrv *http.Server
 	if *listen != "" {
 		ln, err := net.Listen("tcp", *listen)
 		if err != nil {
@@ -122,9 +151,10 @@ func main() {
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		httpSrv = &http.Server{Handler: mux}
 		go func() {
 			log.Printf("autoscaled: observability endpoint on http://%s (/status /metrics /journal /trace /decisions /debug/pprof)", ln.Addr())
-			if err := http.Serve(ln, mux); err != nil {
+			if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 				log.Printf("autoscaled: observability endpoint: %v", err)
 			}
 		}()
@@ -182,17 +212,81 @@ func main() {
 		return &chaos.Forecaster{Inner: qf, Schedule: sched, Cursor: cur}
 	}
 
-	strat, err := buildStrategy(*strategy, cpu.Slice(0, trainEnd), *tau, *tau2, *rho, *theta, *horizon, *epochs, wrap)
-	if err != nil {
-		log.Fatal(err)
-	}
-
 	planHorizon := *horizon
 	if *strategy == "reactive-max" || *strategy == "reactive-avg" {
 		planHorizon = 1
 	}
 
-	c, err := robustscale.NewCluster(robustscale.DefaultClusterConfig(), cpu.TimeAt(trainEnd), 1)
+	// Durable control plane: recover the newest valid checkpoint before
+	// building the strategy, so a warm start restores trained weights
+	// instead of retraining. A checkpoint is resumable only if it came
+	// from an identical run configuration and its origin lands on a round
+	// boundary of this replay.
+	fp := persist.Fingerprint{
+		Strategy: *strategy, Dataset: *dataset, Seed: *seed,
+		Theta: *theta, Horizon: *horizon, Tau: *tau, Tau2: *tau2,
+	}
+	var mgr *persist.Manager
+	var recovered *persist.State
+	if *stateDir != "" {
+		if mgr, err = persist.NewManager(*stateDir, *stateRetain); err != nil {
+			log.Fatalf("autoscaled: opening state dir: %v", err)
+		}
+		st, info, rerr := mgr.Recover()
+		for _, p := range info.Rejected {
+			log.Printf("autoscaled: rejected corrupt or unreadable checkpoint %s", p)
+		}
+		switch {
+		case rerr != nil:
+			log.Printf("autoscaled: no usable checkpoint in %s (%v); cold start", *stateDir, rerr)
+		case st == nil:
+			// Empty state dir: first run, plain cold start.
+		case st.Fingerprint != fp:
+			log.Printf("autoscaled: checkpoint %s is from a different run configuration; cold start", info.Path)
+		case st.Origin < trainEnd || st.Origin > cpu.Len() || (st.Origin-trainEnd)%planHorizon != 0:
+			log.Printf("autoscaled: checkpoint origin %d incompatible with replay [%d, %d); cold start",
+				st.Origin, trainEnd, cpu.Len())
+		default:
+			recovered = st
+			log.Printf("autoscaled: recovered checkpoint %s (origin %d, %d nodes, %d steps already replayed)",
+				info.Path, st.Origin, st.PrevAlloc, st.Steps)
+		}
+	}
+
+	effRho := *rho
+	var model []byte
+	if recovered != nil {
+		model = recovered.Forecaster
+		if effRho <= 0 && recovered.Rho > 0 {
+			// Reuse the rho calibrated at the original cold start instead of
+			// recalibrating, so warm-started planning is bit-identical.
+			effRho = recovered.Rho
+		}
+	}
+	strat, snapper, rhoUsed, err := buildStrategy(*strategy, cpu.Slice(0, trainEnd), model, *tau, *tau2, effRho, *theta, *horizon, *epochs, wrap)
+	if err != nil && model != nil {
+		log.Printf("autoscaled: restoring forecaster from checkpoint failed (%v); cold start", err)
+		recovered, model = nil, nil
+		strat, snapper, rhoUsed, err = buildStrategy(*strategy, cpu.Slice(0, trainEnd), nil, *tau, *tau2, *rho, *theta, *horizon, *epochs, wrap)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	warm := recovered != nil
+	if warm {
+		log.Printf("autoscaled: warm start: resuming at replay step %d/%d with restored state (no retraining)",
+			recovered.Origin-trainEnd, replaySteps)
+	}
+
+	startOrigin, initialAlloc := trainEnd, 1
+	if recovered != nil {
+		startOrigin = recovered.Origin
+		if recovered.PrevAlloc > 0 {
+			initialAlloc = recovered.PrevAlloc
+		}
+	}
+
+	c, err := robustscale.NewCluster(robustscale.DefaultClusterConfig(), cpu.TimeAt(startOrigin), initialAlloc)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -238,16 +332,110 @@ func main() {
 
 	// The built strategy may carry a more specific name than the flag
 	// (e.g. "tft-0.9" for "robust").
-	registry.Update(func(s *ops.Status) { s.Strategy = planner.Name() })
+	registry.Update(func(s *ops.Status) { s.Strategy = planner.Name(); s.WarmStart = warm })
 
 	// Quantile strategies retain the fan behind each plan; grade its
 	// calibration online over a one-day rolling window.
 	var cal *cluster.Calibration
 	fanProvider, _ := planner.(scaler.FanProvider)
 
+	// A warm start restores the rest of the control-plane state. Any
+	// single component failing to load degrades to fresh state for that
+	// component rather than aborting the recovery.
+	if recovered != nil {
+		restore := func(name string, blob []byte, load func(io.Reader) error) {
+			if len(blob) == 0 {
+				return
+			}
+			if err := load(bytes.NewReader(blob)); err != nil {
+				log.Printf("autoscaled: restoring %s state: %v (continuing fresh)", name, err)
+			}
+		}
+		if guard != nil {
+			restore("guard", recovered.Guard, guard.Load)
+		}
+		restore("breaker", recovered.Breaker, applier.Breaker.Load)
+		restore("journal", recovered.Journal, obs.DefaultJournal.Load)
+		restore("decisions", recovered.Decisions, obs.DefaultDecisions.Load)
+		if len(recovered.Calibration) > 0 {
+			if loaded, cerr := cluster.LoadCalibration(bytes.NewReader(recovered.Calibration)); cerr != nil {
+				log.Printf("autoscaled: restoring calibration state: %v (continuing fresh)", cerr)
+			} else {
+				cal = loaded
+				calCheck = cal.HealthCheck(*guardSlack, *guardMaxWQL, stepsPerDay/4)
+			}
+		}
+	}
+
 	violations, steps, holds := 0, 0, 0
-	prevAlloc := 1
-	for origin := trainEnd; origin+planHorizon <= cpu.Len(); origin += planHorizon {
+	prevAlloc := initialAlloc
+	if recovered != nil {
+		violations, steps, holds = recovered.Violations, recovered.Steps, recovered.Holds
+		registry.Update(func(s *ops.Status) {
+			s.VirtualTime = c.Now()
+			s.Nodes = prevAlloc
+			s.Steps = steps
+			s.Violations = violations
+			s.ApplyHolds = holds
+		})
+	}
+
+	// writeCheckpoint snapshots the full control plane as of the given
+	// next planning origin. It runs at round boundaries only — never
+	// inside the per-step hot path — and a failed write logs and keeps
+	// flying: durability must not take down the control loop it protects.
+	lastCkpt := -1
+	writeCheckpoint := func(nextOrigin int) {
+		if mgr == nil {
+			return
+		}
+		blob := func(name string, save func(io.Writer) error) []byte {
+			var b bytes.Buffer
+			if err := save(&b); err != nil {
+				log.Printf("autoscaled: checkpoint: snapshotting %s failed: %v", name, err)
+				return nil
+			}
+			return b.Bytes()
+		}
+		st := &persist.State{
+			SavedAt:     c.Now(),
+			Fingerprint: fp,
+			Origin:      nextOrigin,
+			PrevAlloc:   prevAlloc,
+			Steps:       steps,
+			Violations:  violations,
+			Holds:       holds,
+			Rho:         rhoUsed,
+		}
+		if snapper != nil {
+			st.ForecasterKind = "tft"
+			if st.Forecaster = blob("forecaster", snapper.Save); st.Forecaster == nil {
+				return // a snapshot without the model would warm-start wrong
+			}
+		}
+		if cal != nil {
+			st.Calibration = blob("calibration", cal.Save)
+		}
+		if guard != nil {
+			st.Guard = blob("guard", guard.Save)
+		}
+		st.Breaker = blob("breaker", applier.Breaker.Save)
+		st.Journal = blob("journal", obs.DefaultJournal.Save)
+		st.Decisions = blob("decisions", obs.DefaultDecisions.Save)
+		if _, err := mgr.Write(st); err != nil {
+			log.Printf("autoscaled: checkpoint at origin %d failed: %v", nextOrigin, err)
+			return
+		}
+		lastCkpt = nextOrigin
+		registry.Update(func(s *ops.Status) { s.CheckpointWrites = int(persist.CheckpointWrites()) })
+	}
+
+	nextOrigin, rounds := startOrigin, 0
+	for origin := startOrigin; origin+planHorizon <= cpu.Len(); origin += planHorizon {
+		if ctx.Err() != nil {
+			log.Printf("autoscaled: shutdown requested; stopping at round boundary (replay step %d)", origin-trainEnd)
+			break
+		}
 		cur.Set(origin - trainEnd)
 		hist := cpu.Slice(0, origin)
 		if sched != nil {
@@ -363,6 +551,23 @@ func main() {
 				cpu.TimeAt(origin).Format("Jan 02"), steps, replaySteps,
 				violations, 100*float64(violations)/float64(steps), c.ScaleOuts, c.ScaleIns)
 		}
+		nextOrigin = origin + planHorizon
+		rounds++
+		if mgr != nil && (*ckptInterval <= 1 || rounds%*ckptInterval == 0) {
+			writeCheckpoint(nextOrigin)
+		}
+		if *roundDelay > 0 {
+			select {
+			case <-ctx.Done():
+			case <-time.After(*roundDelay):
+			}
+		}
+	}
+	// Final checkpoint: on shutdown between checkpoints (or with a sparse
+	// cadence) this bounds lost progress to zero rounds.
+	if mgr != nil && nextOrigin != lastCkpt {
+		writeCheckpoint(nextOrigin)
+		log.Printf("autoscaled: final checkpoint written (replay step %d)", nextOrigin-trainEnd)
 	}
 	fmt.Printf("\nfinal: %d steps, %d violations (%.2f%%), %d scale-outs, %d scale-ins\n",
 		steps, violations, 100*float64(violations)/float64(steps), c.ScaleOuts, c.ScaleIns)
@@ -390,12 +595,20 @@ func main() {
 			log.Fatalf("autoscaled: %v", err)
 		}
 	}
-	if *listen != "" {
+	if *listen != "" && ctx.Err() == nil {
 		// A daemon asked to expose its observability surface keeps
 		// serving it after the replay — postmortem tooling can query
-		// /decisions, /trace and /journal at leisure; ^C ends it.
+		// /decisions, /trace and /journal at leisure; ^C or SIGTERM
+		// ends it gracefully.
 		log.Printf("autoscaled: replay complete; serving observability surface until interrupted")
-		select {}
+		<-ctx.Done()
+	}
+	if httpSrv != nil {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			log.Printf("autoscaled: draining observability endpoint: %v", err)
+		}
 	}
 }
 
@@ -431,16 +644,20 @@ func abs(v float64) float64 {
 	return v
 }
 
-// buildStrategy trains (when needed) and assembles the requested
-// strategy. wrap is applied to the trained forecaster before it is
-// handed to a strategy — the chaos injector hooks in there — but never
-// to the calibration pass, which must see the genuine model.
-func buildStrategy(name string, train *robustscale.Series, tau, tau2, rho, theta float64, horizon, epochs int, wrap func(forecast.QuantileForecaster) forecast.QuantileForecaster) (robustscale.Strategy, error) {
+// buildStrategy trains (cold start) or restores (model != nil, warm
+// start — zero training epochs) the forecaster and assembles the
+// requested strategy. It returns the forecaster's snapshotter for
+// checkpointing (nil for the model-free reactive strategies) and the
+// uncertainty threshold in effect. wrap is applied to the forecaster
+// before it is handed to a strategy — the chaos injector hooks in
+// there — but never to the calibration pass, which must see the
+// genuine model.
+func buildStrategy(name string, train *robustscale.Series, model []byte, tau, tau2, rho, theta float64, horizon, epochs int, wrap func(forecast.QuantileForecaster) forecast.QuantileForecaster) (robustscale.Strategy, forecast.Snapshotter, float64, error) {
 	switch name {
 	case "reactive-max":
-		return &robustscale.ReactiveMax{Window: 6, Theta: theta}, nil
+		return &robustscale.ReactiveMax{Window: 6, Theta: theta}, nil, 0, nil
 	case "reactive-avg":
-		return &robustscale.ReactiveAvg{Window: 6, HalfLife: 6, Theta: theta}, nil
+		return &robustscale.ReactiveAvg{Window: 6, HalfLife: 6, Theta: theta}, nil, 0, nil
 	case "robust", "adaptive":
 		cfg := robustscale.DefaultTFTConfig()
 		cfg.Epochs = epochs
@@ -449,30 +666,36 @@ func buildStrategy(name string, train *robustscale.Series, tau, tau2, rho, theta
 		cfg.TrainHorizon = horizon
 		cfg.Levels = robustscale.ScalingLevels
 		tft := robustscale.NewTFT(cfg)
-		log.Printf("autoscaled: training %s on %d steps...", tft.Name(), train.Len())
-		if err := tft.Fit(train); err != nil {
-			return nil, err
+		if model != nil {
+			if err := tft.Load(bytes.NewReader(model)); err != nil {
+				return nil, nil, 0, fmt.Errorf("restoring %s from checkpoint: %w", tft.Name(), err)
+			}
+		} else {
+			log.Printf("autoscaled: training %s on %d steps...", tft.Name(), train.Len())
+			if err := tft.Fit(train); err != nil {
+				return nil, nil, 0, err
+			}
 		}
 		if name == "robust" {
-			return &robustscale.Robust{Forecaster: wrap(tft), Tau: tau, Theta: theta}, nil
+			return &robustscale.Robust{Forecaster: wrap(tft), Tau: tau, Theta: theta}, tft, 0, nil
 		}
 		if rho <= 0 {
 			// Calibrate rho as the median uncertainty of a forecast made
 			// at the end of training.
 			fan, err := tft.PredictQuantiles(train, horizon, robustscale.ScalingLevels)
 			if err != nil {
-				return nil, err
+				return nil, nil, 0, err
 			}
 			us, err := robustscale.ForecastUncertainties(fan)
 			if err != nil {
-				return nil, err
+				return nil, nil, 0, err
 			}
 			s := robustscale.NewSeries("u", train.Start, train.Step, us)
 			rho = s.Quantile(0.5)
 			log.Printf("autoscaled: calibrated rho = %.2f", rho)
 		}
-		return &robustscale.Adaptive{Forecaster: wrap(tft), Tau1: tau, Tau2: tau2, Rho: rho, Theta: theta}, nil
+		return &robustscale.Adaptive{Forecaster: wrap(tft), Tau1: tau, Tau2: tau2, Rho: rho, Theta: theta}, tft, rho, nil
 	default:
-		return nil, fmt.Errorf("autoscaled: unknown strategy %q", name)
+		return nil, nil, 0, fmt.Errorf("autoscaled: unknown strategy %q", name)
 	}
 }

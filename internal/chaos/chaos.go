@@ -54,6 +54,13 @@ const (
 
 	// NodeKill abruptly removes Event.Size nodes.
 	NodeKill Class = "node-kill"
+
+	// CrashRestart kills the control loop itself at the step, forcing a
+	// restart that must recover from its last checkpoint. Unlike the
+	// other classes it is not injected by a wrapper mid-replay — the
+	// restartable harness (RunRestartable) consumes it by tearing the
+	// loop down and recovering from disk.
+	CrashRestart Class = "crash-restart"
 )
 
 // Classes lists every fault class in taxonomy order.
@@ -62,6 +69,7 @@ var Classes = []Class{
 	TelemetryStale, TelemetryDropout, TelemetryDuplicate,
 	ApplyReject, ApplyPartial, ApplyTimeout,
 	NodeKill,
+	CrashRestart,
 }
 
 // injectedTotal counts faults that actually fired, by class; injectors
@@ -337,6 +345,8 @@ func (p Profile) Build() (*Schedule, error) {
 			switch class {
 			case NodeKill:
 				e.Size = killSize
+			case CrashRestart:
+				e.Size = 1 // a crash strikes one step, not a window
 			case ForecastBlowup:
 				e.Value = blowup
 			case ForecastLatency, ApplyTimeout:

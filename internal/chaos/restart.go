@@ -1,0 +1,221 @@
+package chaos
+
+import (
+	"fmt"
+
+	"robustscale/internal/persist"
+	"robustscale/internal/scaler"
+	"robustscale/internal/timeseries"
+)
+
+// The restartable control-loop harness: an in-process model of a daemon
+// that can be killed at any step and must recover from its checkpoint
+// directory. It exists to prove the durability contract — a crashed and
+// warm-restarted run produces exactly the allocations of an
+// uninterrupted one, with zero retraining — under the same deterministic
+// scheduling discipline as the rest of the chaos harness.
+
+// LoopConfig configures one restartable control-loop run.
+type LoopConfig struct {
+	// Workload is the replayed series; planning covers
+	// [Start, Workload.Len()) in Horizon-step rounds.
+	Workload *timeseries.Series
+	// Start is the first planning origin (typically the train/replay
+	// split point).
+	Start int
+	// Horizon is the steps planned per round.
+	Horizon int
+	// Theta is the per-node workload threshold for violation accounting.
+	Theta float64
+	// Initial is the allocation in effect before the first round
+	// (default 1).
+	Initial int
+
+	// Dir is the checkpoint directory; required.
+	Dir string
+	// Retain bounds retained snapshots (persist.DefaultRetain when 0).
+	Retain int
+	// CheckpointEvery checkpoints every N completed rounds (default 1).
+	// Crashes between checkpoints lose at most N rounds of progress,
+	// which recovery re-plans deterministically.
+	CheckpointEvery int
+
+	// Crashes schedules CrashRestart events; each is consumed once —
+	// the loop dies at that step on first reaching it, then restarts.
+	Crashes *Schedule
+	// MaxRestarts bounds recoveries before the run is declared wedged
+	// (default 100).
+	MaxRestarts int
+
+	// Build constructs the strategy for one loop lifetime. A nil model
+	// means cold start (train from scratch); otherwise model holds the
+	// forecaster snapshot from the recovered checkpoint and Build must
+	// restore it WITHOUT training. Required.
+	Build func(model []byte) (scaler.Strategy, error)
+	// Snapshot serializes the strategy's forecaster for the checkpoint;
+	// nil means the strategy is model-free and nothing is persisted.
+	Snapshot func(strat scaler.Strategy) ([]byte, error)
+}
+
+// LoopResult reports one restartable run.
+type LoopResult struct {
+	// Allocations holds the final per-step allocation for every planned
+	// step, indexed from Start. Steps re-planned after a crash are
+	// overwritten, so the slice reflects what a continuously observed
+	// fleet would have seen.
+	Allocations []int
+	// Violations counts steps whose workload exceeded Theta times the
+	// allocation, over the final Allocations.
+	Violations int
+	// Rounds counts planning rounds executed, re-planned rounds after a
+	// crash included.
+	Rounds int
+	// Crashes counts consumed CrashRestart events.
+	Crashes int
+	// WarmStarts counts lifetimes that recovered from a checkpoint;
+	// ColdStarts counts lifetimes that began with nothing usable on disk.
+	WarmStarts, ColdStarts int
+}
+
+// RunRestartable drives the control loop to completion through every
+// scheduled crash: each CrashRestart event tears the loop down
+// mid-round, and the next lifetime recovers from the checkpoint
+// directory and resumes planning. The harness is fully deterministic
+// for a deterministic Build.
+func RunRestartable(cfg LoopConfig) (*LoopResult, error) {
+	if cfg.Workload == nil {
+		return nil, fmt.Errorf("chaos: restartable loop needs a workload")
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("chaos: non-positive horizon %d", cfg.Horizon)
+	}
+	if cfg.Theta <= 0 {
+		return nil, fmt.Errorf("chaos: non-positive theta %v", cfg.Theta)
+	}
+	if cfg.Build == nil {
+		return nil, fmt.Errorf("chaos: restartable loop needs a Build hook")
+	}
+	if cfg.Start < 0 || cfg.Start+cfg.Horizon > cfg.Workload.Len() {
+		return nil, fmt.Errorf("chaos: start %d leaves no plannable round in %d steps", cfg.Start, cfg.Workload.Len())
+	}
+	if cfg.Initial <= 0 {
+		cfg.Initial = 1
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 1
+	}
+	maxRestarts := cfg.MaxRestarts
+	if maxRestarts <= 0 {
+		maxRestarts = 100
+	}
+
+	// Covered steps: whole rounds only, as in the daemon's replay loop.
+	covered := ((cfg.Workload.Len() - cfg.Start) / cfg.Horizon) * cfg.Horizon
+	res := &LoopResult{Allocations: make([]int, covered)}
+	consumed := make(map[int]bool)
+
+	for {
+		crashed, err := runLifetime(cfg, res, consumed)
+		if err != nil {
+			return nil, err
+		}
+		if !crashed {
+			break
+		}
+		res.Crashes++
+		if res.Crashes > maxRestarts {
+			return nil, fmt.Errorf("chaos: loop wedged after %d restarts", res.Crashes)
+		}
+	}
+
+	// Violations are judged once, over the final allocation sequence: a
+	// step re-planned after recovery counts exactly once.
+	res.Violations = 0
+	for i, alloc := range res.Allocations {
+		if cfg.Workload.At(cfg.Start+i) > cfg.Theta*float64(alloc) {
+			res.Violations++
+		}
+	}
+	return res, nil
+}
+
+// runLifetime is one process lifetime: recover (or cold start), then
+// plan rounds until completion or the next scheduled crash. It returns
+// crashed=true when a CrashRestart event fired.
+func runLifetime(cfg LoopConfig, res *LoopResult, consumed map[int]bool) (crashed bool, err error) {
+	mgr, err := persist.NewManager(cfg.Dir, cfg.Retain)
+	if err != nil {
+		return false, err
+	}
+
+	origin, prevAlloc := cfg.Start, cfg.Initial
+	var model []byte
+	st, _, rerr := mgr.Recover()
+	switch {
+	case rerr != nil:
+		// Every snapshot was rejected: cold start rather than wedge.
+		st = nil
+	case st != nil:
+		if st.Fingerprint.Theta != cfg.Theta || st.Fingerprint.Horizon != cfg.Horizon {
+			// A checkpoint from a different run configuration is not
+			// safe to resume from.
+			st = nil
+		}
+	}
+	if st != nil {
+		origin, prevAlloc, model = st.Origin, st.PrevAlloc, st.Forecaster
+		res.WarmStarts++
+	} else {
+		res.ColdStarts++
+	}
+
+	strat, err := cfg.Build(model)
+	if err != nil {
+		return false, fmt.Errorf("chaos: building strategy (warm=%v): %w", st != nil, err)
+	}
+
+	h := cfg.Horizon
+	roundsSinceCheckpoint := 0
+	for ; origin+h <= cfg.Workload.Len(); origin += h {
+		plan, err := strat.Plan(cfg.Workload.Slice(0, origin), h)
+		if err != nil {
+			return false, fmt.Errorf("chaos: planning at origin %d: %w", origin, err)
+		}
+		res.Rounds++
+		for k := 0; k < h; k++ {
+			step := origin + k
+			res.Allocations[step-cfg.Start] = plan[k]
+			prevAlloc = plan[k]
+			if ev, ok := cfg.Crashes.ActiveAt(step, CrashRestart); ok && ev.Step == step && !consumed[step] {
+				// The loop dies here, mid-round: the last checkpoint is
+				// at an earlier round boundary, so recovery re-plans
+				// this round from identical inputs.
+				consumed[step] = true
+				CountInjected(CrashRestart)
+				return true, nil
+			}
+		}
+		roundsSinceCheckpoint++
+		if roundsSinceCheckpoint >= cfg.CheckpointEvery {
+			roundsSinceCheckpoint = 0
+			var snap []byte
+			if cfg.Snapshot != nil {
+				if snap, err = cfg.Snapshot(strat); err != nil {
+					return false, fmt.Errorf("chaos: snapshotting strategy: %w", err)
+				}
+			}
+			ckpt := &persist.State{
+				SavedAt:     cfg.Workload.TimeAt(origin + h - 1),
+				Fingerprint: persist.Fingerprint{Strategy: strat.Name(), Theta: cfg.Theta, Horizon: cfg.Horizon},
+				Origin:      origin + h,
+				PrevAlloc:   prevAlloc,
+				Steps:       origin + h - cfg.Start,
+				Forecaster:  snap,
+			}
+			if _, err := mgr.Write(ckpt); err != nil {
+				return false, fmt.Errorf("chaos: checkpointing at origin %d: %w", origin+h, err)
+			}
+		}
+	}
+	return false, nil
+}

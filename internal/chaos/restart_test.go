@@ -1,0 +1,265 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"robustscale/internal/forecast"
+	"robustscale/internal/obs"
+	"robustscale/internal/scaler"
+	"robustscale/internal/timeseries"
+)
+
+// restartWorkload is a deterministic daily-cycle series, sized so TFT
+// trains in well under a second.
+func restartWorkload(n int) *timeseries.Series {
+	values := make([]float64, n)
+	for i := range values {
+		phase := 2 * math.Pi * float64(i) / 48
+		values[i] = 50 + 12*math.Sin(phase) + 3*math.Sin(7*phase)
+	}
+	return timeseries.New("restart-test", time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC), 10*time.Minute, values)
+}
+
+// tftEpochs reads the process-wide TFT training-epoch counter — the
+// instrument the zero-retraining assertion is made against.
+func tftEpochs() float64 {
+	return obs.Default.CounterVec(
+		"robustscale_forecast_train_epochs_total",
+		"Training epochs completed, by model.",
+		"model").With("tft").Value()
+}
+
+// restartLoopConfig wires a robust-on-TFT control loop whose Build hook
+// trains only on a cold start and restores weights on a warm start.
+func restartLoopConfig(t *testing.T, workload *timeseries.Series, trainEnd int, dir string) LoopConfig {
+	t.Helper()
+	tftCfg := forecast.TFTConfig{
+		Context: 24, Hidden: 8, Epochs: 2, Seed: 7, MaxWindows: 32,
+		Levels: []float64{0.5, 0.9}, TrainHorizon: 6,
+	}
+	const theta = 12.0
+	return LoopConfig{
+		Workload: workload,
+		Start:    trainEnd,
+		Horizon:  6,
+		Theta:    theta,
+		Dir:      dir,
+		Build: func(model []byte) (scaler.Strategy, error) {
+			m := forecast.NewTFT(tftCfg)
+			if model != nil {
+				if err := m.Load(bytes.NewReader(model)); err != nil {
+					return nil, err
+				}
+			} else if err := m.Fit(workload.Slice(0, trainEnd)); err != nil {
+				return nil, err
+			}
+			return &scaler.Robust{Forecaster: m, Tau: 0.9, Theta: theta}, nil
+		},
+		Snapshot: func(strat scaler.Strategy) ([]byte, error) {
+			var buf bytes.Buffer
+			err := strat.(*scaler.Robust).Forecaster.(*forecast.TFT).Save(&buf)
+			return buf.Bytes(), err
+		},
+	}
+}
+
+// TestRunRestartableMatchesUninterrupted is the durability contract's
+// chaos test: a run crashed mid-round three times and warm-restarted
+// from its checkpoints must produce the bit-identical allocation
+// sequence of an uninterrupted run, perform zero training epochs across
+// every recovery, and introduce no SLO violations the uninterrupted run
+// did not have.
+func TestRunRestartableMatchesUninterrupted(t *testing.T) {
+	workload := restartWorkload(400)
+	const trainEnd = 360
+
+	baseCfg := restartLoopConfig(t, workload, trainEnd, t.TempDir())
+	e0 := tftEpochs()
+	base, err := RunRestartable(baseCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainedEpochs := tftEpochs() - e0
+	if trainedEpochs <= 0 {
+		t.Fatalf("baseline cold start trained %v epochs, expected > 0", trainedEpochs)
+	}
+	if base.Crashes != 0 || base.WarmStarts != 0 || base.ColdStarts != 1 {
+		t.Fatalf("baseline lifecycle: %+v", base)
+	}
+
+	// Crash the loop mid-round, once per lifetime, all after the first
+	// checkpoint exists so every restart recovers warm.
+	crashes := &Schedule{}
+	for _, step := range []int{368, 385, 391} {
+		crashes.Add(Event{Step: step, Class: CrashRestart, Size: 1})
+	}
+	crashedCfg := restartLoopConfig(t, workload, trainEnd, t.TempDir())
+	crashedCfg.Crashes = crashes
+
+	e1 := tftEpochs()
+	crashed, err := RunRestartable(crashedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashedEpochs := tftEpochs() - e1
+
+	if crashed.Crashes != 3 {
+		t.Fatalf("crashes consumed = %d, want 3", crashed.Crashes)
+	}
+	if crashed.WarmStarts != 3 || crashed.ColdStarts != 1 {
+		t.Fatalf("lifecycle: %d warm / %d cold starts, want 3/1", crashed.WarmStarts, crashed.ColdStarts)
+	}
+	// Zero warm-start training: the crashed run trained exactly as much
+	// as the uninterrupted one — its single cold start — despite living
+	// four process lifetimes.
+	if crashedEpochs != trainedEpochs {
+		t.Fatalf("crashed run trained %v epochs vs baseline %v: warm starts retrained", crashedEpochs, trainedEpochs)
+	}
+	// Bit-identical allocations.
+	if len(crashed.Allocations) != len(base.Allocations) {
+		t.Fatalf("allocation lengths: %d vs %d", len(crashed.Allocations), len(base.Allocations))
+	}
+	for i := range base.Allocations {
+		if crashed.Allocations[i] != base.Allocations[i] {
+			t.Fatalf("allocation diverged at step %d: crashed %d, uninterrupted %d",
+				trainEnd+i, crashed.Allocations[i], base.Allocations[i])
+		}
+	}
+	// Recovery never violated SLOs the uninterrupted run did not: with
+	// identical allocations the violation counts must agree exactly.
+	if crashed.Violations != base.Violations {
+		t.Fatalf("violations: crashed %d, uninterrupted %d", crashed.Violations, base.Violations)
+	}
+	// More rounds executed (re-planned after each crash), same coverage.
+	if crashed.Rounds <= base.Rounds {
+		t.Fatalf("crashed run executed %d rounds, baseline %d: crashes did not force re-planning", crashed.Rounds, base.Rounds)
+	}
+}
+
+// TestRunRestartableCrashBeforeFirstCheckpoint covers the worst case:
+// dying before anything is on disk forces a second cold start, which —
+// with a deterministic Build — still reproduces the baseline exactly.
+func TestRunRestartableCrashBeforeFirstCheckpoint(t *testing.T) {
+	workload := restartWorkload(400)
+	const trainEnd = 360
+
+	base, err := RunRestartable(restartLoopConfig(t, workload, trainEnd, t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	crashes := &Schedule{}
+	crashes.Add(Event{Step: 362, Class: CrashRestart, Size: 1}) // inside round one
+	cfg := restartLoopConfig(t, workload, trainEnd, t.TempDir())
+	cfg.Crashes = crashes
+	crashed, err := RunRestartable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crashed.ColdStarts != 2 || crashed.WarmStarts != 0 {
+		t.Fatalf("lifecycle: %d cold / %d warm starts, want 2/0", crashed.ColdStarts, crashed.WarmStarts)
+	}
+	for i := range base.Allocations {
+		if crashed.Allocations[i] != base.Allocations[i] {
+			t.Fatalf("allocation diverged at step %d", trainEnd+i)
+		}
+	}
+}
+
+// TestRunRestartableCheckpointCadence verifies CheckpointEvery > 1
+// loses at most that many rounds: a crash after the second round with a
+// two-round cadence recovers from the round-two checkpoint.
+func TestRunRestartableCheckpointCadence(t *testing.T) {
+	workload := restartWorkload(400)
+	const trainEnd = 360
+
+	crashes := &Schedule{}
+	crashes.Add(Event{Step: 379, Class: CrashRestart, Size: 1}) // round 4
+	cfg := restartLoopConfig(t, workload, trainEnd, t.TempDir())
+	cfg.Crashes = crashes
+	cfg.CheckpointEvery = 2
+	crashed, err := RunRestartable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crashed.WarmStarts != 1 {
+		t.Fatalf("warm starts = %d, want 1", crashed.WarmStarts)
+	}
+	base, err := RunRestartable(restartLoopConfig(t, workload, trainEnd, t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.Allocations {
+		if crashed.Allocations[i] != base.Allocations[i] {
+			t.Fatalf("allocation diverged at step %d", trainEnd+i)
+		}
+	}
+}
+
+func TestRunRestartableValidation(t *testing.T) {
+	workload := restartWorkload(100)
+	cases := []LoopConfig{
+		{},
+		{Workload: workload},
+		{Workload: workload, Horizon: 6},
+		{Workload: workload, Horizon: 6, Theta: 5},
+		{Workload: workload, Horizon: 6, Theta: 5, Build: func([]byte) (scaler.Strategy, error) { return nil, nil }, Start: 99},
+	}
+	for i, cfg := range cases {
+		if cfg.Dir == "" {
+			cfg.Dir = t.TempDir()
+		}
+		if _, err := RunRestartable(cfg); err == nil {
+			t.Errorf("case %d: config %+v should be rejected", i, cfg)
+		}
+	}
+}
+
+// TestCrashRestartClassInTaxonomy pins the new class into the taxonomy
+// and the profile builder.
+func TestCrashRestartClassInTaxonomy(t *testing.T) {
+	if !validClass(CrashRestart) {
+		t.Fatal("crash-restart missing from Classes")
+	}
+	p := Profile{Name: "crash", Seed: 11, Steps: 500, Rates: map[Class]float64{CrashRestart: 0.05}}
+	sched, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Empty() {
+		t.Fatal("crash-restart profile produced no events")
+	}
+	for _, e := range sched.Events() {
+		if e.Class != CrashRestart || e.Size != 1 {
+			t.Fatalf("unexpected event %+v", e)
+		}
+	}
+	// Enabling crash-restart must not perturb any other class's stream:
+	// per-class seeding makes the all-class schedule a superset.
+	all, err := Profile{Name: "all", Seed: 11, Steps: 500, Rates: map[Class]float64{
+		NodeKill: 0.05, CrashRestart: 0.05,
+	}}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	only, err := Profile{Name: "only", Seed: 11, Steps: 500, Rates: map[Class]float64{
+		NodeKill: 0.05,
+	}}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var allKills, onlyKills []Event
+	for _, e := range all.Events() {
+		if e.Class == NodeKill {
+			allKills = append(allKills, e)
+		}
+	}
+	onlyKills = only.Events()
+	if fmt.Sprint(allKills) != fmt.Sprint(onlyKills) {
+		t.Fatalf("node-kill stream perturbed by crash-restart:\n %v\nvs %v", allKills, onlyKills)
+	}
+}

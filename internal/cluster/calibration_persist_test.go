@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestCalibrationSaveLoadRoundTrip(t *testing.T) {
+	c, err := NewCalibration([]float64{0.5, 0.9}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill past the window so eviction state is exercised, plus one
+	// skipped non-finite observation.
+	for i := 0; i < 12; i++ {
+		v := 10 + float64(i)
+		if err := c.Observe(v, []float64{v - 1, v + 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Observe(math.NaN(), []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := LoadCalibration(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := c.Snapshot(), c2.Snapshot()
+	if got.Steps != want.Steps || got.Skipped != want.Skipped {
+		t.Fatalf("steps/skipped: got (%d, %d), want (%d, %d)", got.Steps, got.Skipped, want.Steps, want.Skipped)
+	}
+	if got.WQL != want.WQL {
+		t.Fatalf("wQL: got %v, want %v", got.WQL, want.WQL)
+	}
+	for i := range want.Coverage {
+		if got.Coverage[i] != want.Coverage[i] {
+			t.Fatalf("coverage[%d]: got %v, want %v", i, got.Coverage[i], want.Coverage[i])
+		}
+	}
+	// The restored tracker keeps rolling correctly: both see the same
+	// statistics after further identical observations.
+	for i := 0; i < 5; i++ {
+		v := 30 + float64(i)
+		if err := c.Observe(v, []float64{v, v + 1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c2.Observe(v, []float64{v, v + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, got = c.Snapshot(), c2.Snapshot()
+	if got.WQL != want.WQL || got.Steps != want.Steps {
+		t.Fatalf("post-restore divergence: got (%v, %d), want (%v, %d)", got.WQL, got.Steps, want.WQL, want.Steps)
+	}
+}
+
+func TestLoadCalibrationRejectsGarbage(t *testing.T) {
+	if _, err := LoadCalibration(bytes.NewBufferString("junk")); err == nil {
+		t.Error("garbage should fail")
+	}
+}

@@ -18,34 +18,51 @@ func steadySeries(n int, v float64) (*timeseries.Series, []int) {
 	return timeseries.New("w", t0, timeseries.DefaultStep, vals), allocs
 }
 
-func TestFaultConfigValidate(t *testing.T) {
-	cases := []FaultConfig{
+// TestDeprecatedReplayWithFaultsShim is the single remaining test of the
+// deprecated FaultConfig/ReplayWithFaults path: it pins validation and
+// the shim's equivalence to ReplayWithSchedule over the legacy fault
+// stream. All other coverage uses ReplayWithSchedule directly.
+func TestDeprecatedReplayWithFaultsShim(t *testing.T) {
+	s, allocs := steadySeries(50, 20)
+
+	bad := []FaultConfig{
 		{FailureProb: -0.1},
 		{FailureProb: 1.5},
 		{FailureProb: 0.1, FailureSize: -1, Seed: 1},
 		{FailureProb: 0.1}, // positive probability without a seed
 	}
-	for i, f := range cases {
+	c := mustNew(t, DefaultConfig(), 3)
+	for i, f := range bad {
 		if err := f.Validate(); err == nil {
 			t.Errorf("case %d (%+v): expected validation error", i, f)
+		}
+		if _, err := c.ReplayWithFaults(s, allocs, 10, f); err == nil {
+			t.Errorf("case %d (%+v): replay accepted invalid config", i, f)
 		}
 	}
 	if err := (FaultConfig{}).Validate(); err != nil {
 		t.Errorf("zero config rejected: %v", err)
 	}
-	if err := (FaultConfig{FailureProb: 0.1, Seed: 7}).Validate(); err != nil {
-		t.Errorf("valid config rejected: %v", err)
-	}
-}
 
-func TestReplayWithFaultsRejectsInvalidConfig(t *testing.T) {
-	s, allocs := steadySeries(5, 20)
-	c := mustNew(t, DefaultConfig(), 3)
-	if _, err := c.ReplayWithFaults(s, allocs, 10, FaultConfig{FailureProb: 0.5}); err == nil {
-		t.Error("seedless fault injection accepted")
+	// The shim must report exactly what ReplayWithSchedule reports over
+	// the schedule FromFaultConfig derives from the same knobs.
+	cfg := FaultConfig{FailureProb: 0.2, FailureSize: 1, Seed: 9}
+	legacy := mustNew(t, DefaultConfig(), 3)
+	lr, err := legacy.ReplayWithFaults(s, allocs, 10, cfg)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, err := c.ReplayWithFaults(s, allocs, 10, FaultConfig{FailureProb: 0.5, FailureSize: -2, Seed: 1}); err == nil {
-		t.Error("negative failure size accepted")
+	direct := mustNew(t, DefaultConfig(), 3)
+	dr, err := direct.ReplayWithSchedule(s, allocs, 10,
+		chaos.FromFaultConfig(cfg.FailureProb, cfg.FailureSize, cfg.Seed, s.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.Failures != dr.Failures || lr.ViolationRate != dr.ViolationRate || lr.ScaleOuts != dr.ScaleOuts {
+		t.Errorf("shim diverged from schedule replay: %+v vs %+v", lr, dr)
+	}
+	if lr.Failures == 0 {
+		t.Error("seeded 20%% failure rate injected nothing over 50 steps")
 	}
 }
 

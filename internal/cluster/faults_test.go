@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"robustscale/internal/chaos"
 	"robustscale/internal/timeseries"
 )
 
@@ -47,7 +48,7 @@ func TestKillThenScaleToReplacesWithWarmup(t *testing.T) {
 	}
 }
 
-func TestReplayWithFaultsInjectsAndRecovers(t *testing.T) {
+func TestReplayWithScheduleInjectsAndRecovers(t *testing.T) {
 	// A long steady workload at 3 nodes: injected failures get replaced
 	// at the next step, so only brief capacity dips occur.
 	n := 200
@@ -59,9 +60,7 @@ func TestReplayWithFaultsInjectsAndRecovers(t *testing.T) {
 	}
 	s := timeseries.New("w", t0, timeseries.DefaultStep, vals)
 	c := mustNew(t, DefaultConfig(), 3)
-	report, err := c.ReplayWithFaults(s, allocs, 10, FaultConfig{
-		FailureProb: 0.1, FailureSize: 1, Seed: 5,
-	})
+	report, err := c.ReplayWithSchedule(s, allocs, 10, chaos.FromFaultConfig(0.1, 1, 5, n))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +78,7 @@ func TestReplayWithFaultsInjectsAndRecovers(t *testing.T) {
 	}
 }
 
-func TestReplayWithFaultsTightPlansSuffer(t *testing.T) {
+func TestReplayWithScheduleTightPlansSuffer(t *testing.T) {
 	// Same workload, but allocations sized exactly to the threshold: any
 	// failure step runs the cluster hot until the replacement warms up.
 	n := 200
@@ -100,9 +99,7 @@ func TestReplayWithFaultsTightPlansSuffer(t *testing.T) {
 		t.Fatal(err)
 	}
 	faulty := mustNew(t, slow, 3)
-	faultyReport, err := faulty.ReplayWithFaults(s, allocs, 10, FaultConfig{
-		FailureProb: 0.2, FailureSize: 1, Seed: 6,
-	})
+	faultyReport, err := faulty.ReplayWithSchedule(s, allocs, 10, chaos.FromFaultConfig(0.2, 1, 6, n))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,15 +109,7 @@ func TestReplayWithFaultsTightPlansSuffer(t *testing.T) {
 	}
 }
 
-func TestReplayWithFaultsValidation(t *testing.T) {
-	s := timeseries.New("w", t0, timeseries.DefaultStep, []float64{1})
-	c := mustNew(t, DefaultConfig(), 1)
-	if _, err := c.ReplayWithFaults(s, []int{1}, 10, FaultConfig{FailureProb: 1.5}); err == nil {
-		t.Error("probability > 1 should fail")
-	}
-}
-
-func TestReplayWithFaultsDeterministic(t *testing.T) {
+func TestReplayWithScheduleDeterministic(t *testing.T) {
 	n := 50
 	vals := make([]float64, n)
 	allocs := make([]int, n)
@@ -131,7 +120,7 @@ func TestReplayWithFaultsDeterministic(t *testing.T) {
 	s := timeseries.New("w", t0, timeseries.DefaultStep, vals)
 	run := func() int {
 		c := mustNew(t, DefaultConfig(), 3)
-		r, err := c.ReplayWithFaults(s, allocs, 10, FaultConfig{FailureProb: 0.2, Seed: 9})
+		r, err := c.ReplayWithSchedule(s, allocs, 10, chaos.FromFaultConfig(0.2, 1, 9, n))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Checkpoint images of the bounded rings. Persisting the journal and
+// decision store keeps the postmortem timeline continuous across a
+// restart: an operator debugging a crash can see the rounds that led
+// into it, not just the rounds after recovery.
+
+// journalState is the gob image of a Journal: the total sequence
+// counter plus the retained events oldest-first.
+type journalState struct {
+	Seq    uint64
+	Events []Event
+}
+
+// Save writes the retained events and sequence counter.
+func (j *Journal) Save(w io.Writer) error {
+	st := journalState{Seq: j.Total(), Events: j.Events()}
+	if err := gob.NewEncoder(w).Encode(st); err != nil {
+		return fmt.Errorf("obs: saving journal: %w", err)
+	}
+	return nil
+}
+
+// Load restores a journal saved by Save into the receiver, preserving
+// the receiver's capacity: when the snapshot holds more events than the
+// ring, only the newest fit and the rest count as dropped (Seq gaps
+// stay visible, exactly as if the ring had overwritten them live).
+func (j *Journal) Load(r io.Reader) error {
+	var st journalState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("obs: loading journal: %w", err)
+	}
+	if uint64(len(st.Events)) > st.Seq {
+		return fmt.Errorf("obs: journal snapshot holds %d events for sequence %d", len(st.Events), st.Seq)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	events := st.Events
+	if len(events) > len(j.buf) {
+		events = events[len(events)-len(j.buf):]
+	}
+	for i := range j.buf {
+		j.buf[i] = Event{}
+	}
+	copy(j.buf, events)
+	j.next = len(events) % len(j.buf)
+	j.count = len(events)
+	j.seq = st.Seq
+	return nil
+}
+
+// decisionState is the gob image of a DecisionStore.
+type decisionState struct {
+	Seq       uint64
+	Decisions []Decision
+}
+
+// Save writes the retained decisions and sequence counter.
+func (s *DecisionStore) Save(w io.Writer) error {
+	st := decisionState{Seq: s.Total(), Decisions: s.Decisions()}
+	if err := gob.NewEncoder(w).Encode(st); err != nil {
+		return fmt.Errorf("obs: saving decisions: %w", err)
+	}
+	return nil
+}
+
+// Load restores a store saved by Save into the receiver, trimming to
+// the receiver's capacity as Journal.Load does. The enable gate is not
+// part of the snapshot — the restarted process decides capture itself.
+func (s *DecisionStore) Load(r io.Reader) error {
+	var st decisionState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("obs: loading decisions: %w", err)
+	}
+	if uint64(len(st.Decisions)) > st.Seq {
+		return fmt.Errorf("obs: decision snapshot holds %d records for sequence %d", len(st.Decisions), st.Seq)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	decisions := st.Decisions
+	if len(decisions) > s.capacity {
+		decisions = decisions[len(decisions)-s.capacity:]
+	}
+	s.buf = make([]Decision, s.capacity)
+	copy(s.buf, decisions)
+	s.next = len(decisions) % s.capacity
+	s.count = len(decisions)
+	s.seq = st.Seq
+	return nil
+}

@@ -79,6 +79,13 @@ type Status struct {
 	// ApplyHolds counts rounds that held the current allocation because
 	// the apply path was unavailable.
 	ApplyHolds int `json:"apply_holds,omitempty"`
+	// WarmStart reports whether this process recovered its control-plane
+	// state from a checkpoint instead of cold-starting. Always present in
+	// the JSON so restart tooling can assert on it directly.
+	WarmStart bool `json:"warm_start"`
+	// CheckpointWrites counts snapshots this process has written to its
+	// state directory (0 when durability is disabled).
+	CheckpointWrites int `json:"checkpoint_writes,omitempty"`
 }
 
 // Registry holds the latest status for concurrent readers.

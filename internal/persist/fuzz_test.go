@@ -1,0 +1,53 @@
+package persist
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoadCheckpoint throws arbitrary bytes — seeded with valid,
+// truncated, bit-flipped, and version-skewed snapshots — at Decode.
+// Any input must either decode cleanly or return an error; panics and
+// unbounded allocations are the bugs this target exists to catch. The
+// 1MiB decode bound keeps lying length headers from turning into OOM.
+func FuzzLoadCheckpoint(f *testing.F) {
+	var valid bytes.Buffer
+	if err := Encode(&valid, &State{
+		Fingerprint:    Fingerprint{Strategy: "robust", Dataset: "alibaba", Seed: 1, Theta: 6, Horizon: 12, Tau: 0.9},
+		Origin:         12,
+		PrevAlloc:      5,
+		ForecasterKind: "tft",
+		Forecaster:     []byte{1, 2, 3},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	raw := valid.Bytes()
+	f.Add(raw)
+	f.Add(raw[:len(raw)/2])   // truncated payload
+	f.Add(raw[:headerLen-1])  // truncated header
+	f.Add([]byte{})           // empty
+	f.Add([]byte("RSCP"))     // magic only
+	f.Add([]byte("not-rscp")) // bad magic
+
+	flipped := append([]byte(nil), raw...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+
+	skewed := append([]byte(nil), raw...)
+	skewed[4] = 9 // future version
+	f.Add(skewed)
+
+	lying := append([]byte(nil), raw...)
+	for i := 8; i < 16; i++ { // length field claims ~2^63 bytes
+		lying[i] = 0xff
+	}
+	lying[15] = 0x7f
+	f.Add(lying)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := Decode(bytes.NewReader(data), 1<<20)
+		if err != nil && st != nil {
+			t.Fatalf("Decode returned both state and error: %v", err)
+		}
+	})
+}
