@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race cover bench bench-compile fuzz ci experiments examples clean
+.PHONY: all build test vet race cover bench bench-compile bench-save bench-check fuzz ci experiments examples clean
 
 all: build vet test
 
@@ -35,6 +35,14 @@ bench:
 # Compile and once-run every benchmark so they cannot rot.
 bench-compile:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Planning fast-path latency budget: regenerate the committed baseline
+# (bench-save) or gate the working tree against it (bench-check).
+bench-save:
+	scripts/bench_plan_round.sh save
+
+bench-check:
+	scripts/bench_plan_round.sh check
 
 # Short fuzz pass over the checkpoint decoder: arbitrary bytes must
 # error cleanly, never panic or over-allocate.

@@ -91,6 +91,7 @@ func main() {
 		guardBlowup = flag.Float64("guard-blowup", 8, "sanity bound: clamp forecasts above this multiple of the recent history maximum")
 		guardSlack  = flag.Float64("guard-coverage-slack", 0.25, "calibration health: tolerated shortfall of rolling coverage below each nominal level")
 		guardMaxWQL = flag.Float64("guard-max-wql", 0, "calibration health: rolling wQL above this marks the forecaster unhealthy (0 disables)")
+		shrinkMC    = flag.Bool("shrink-samples", false, "let a demonstrably conservative calibration window shrink Monte-Carlo sample budgets (trades bit-identical planning for latency)")
 
 		applyRetries    = flag.Int("apply-retries", 3, "scale-apply attempts per round (first included)")
 		applyBackoff    = flag.Duration("apply-backoff", time.Second, "base backoff between apply retries (doubles per retry)")
@@ -339,6 +340,20 @@ func main() {
 	var cal *cluster.Calibration
 	fanProvider, _ := planner.(scaler.FanProvider)
 
+	// Opt-in latency/fidelity trade: once the calibration window shows
+	// every quantile band running conservative, shrink the forecaster's
+	// Monte-Carlo sample budget. This deliberately gives up warm/cold
+	// bit-identity, so it is off by default.
+	armShrinker := func() {
+		if !*shrinkMC || cal == nil {
+			return
+		}
+		if sb, ok := snapper.(interface{ SetSampleBudget(func(int) int) }); ok {
+			sb.SetSampleBudget(cal.SampleShrinker(*guardSlack, stepsPerDay/4, 0.25))
+			log.Printf("autoscaled: calibration-gated Monte-Carlo sample shrinking armed")
+		}
+	}
+
 	// A warm start restores the rest of the control-plane state. Any
 	// single component failing to load degrades to fresh state for that
 	// component rather than aborting the recovery.
@@ -363,6 +378,7 @@ func main() {
 			} else {
 				cal = loaded
 				calCheck = cal.HealthCheck(*guardSlack, *guardMaxWQL, stepsPerDay/4)
+				armShrinker()
 			}
 		}
 	}
@@ -430,6 +446,12 @@ func main() {
 		registry.Update(func(s *ops.Status) { s.CheckpointWrites = int(persist.CheckpointWrites()) })
 	}
 
+	// One reusable history view and plan buffer keep the steady-state
+	// round allocation-free for in-place strategies: the view shares the
+	// trace's backing array, so warm forecasters see a continuous history
+	// and advance their cached state instead of reconditioning.
+	histView := &robustscale.Series{Name: cpu.Name, Start: cpu.Start, Step: cpu.Step}
+	var planBuf []int
 	nextOrigin, rounds := startOrigin, 0
 	for origin := startOrigin; origin+planHorizon <= cpu.Len(); origin += planHorizon {
 		if ctx.Err() != nil {
@@ -437,13 +459,20 @@ func main() {
 			break
 		}
 		cur.Set(origin - trainEnd)
-		hist := cpu.Slice(0, origin)
+		histView.Values = cpu.Values[:origin]
+		hist := histView
 		if sched != nil {
+			// Corruption clones the series; warm forecasters notice the
+			// broken backing-array identity and recondition from scratch,
+			// bit-identically.
 			hist = chaos.CorruptTelemetry(hist, sched, origin-trainEnd)
 		}
 		sp := obs.DefaultTracer.Start("plan-round")
-		plan, err := planner.Plan(hist, planHorizon)
+		plan, err := scaler.PlanRound(planner, hist, planHorizon, planBuf)
 		sp.EndVirtual(c.Now())
+		if plan != nil {
+			planBuf = plan
+		}
 		if err != nil {
 			// Even an exhausted fallback ladder must not crash the daemon:
 			// hold the current fleet for the round and keep flying.
@@ -458,6 +487,10 @@ func main() {
 			}
 		}
 		scaler.RecordDecision(planner, origin, c.Now(), prevAlloc, plan)
+		// The status registry publishes tails of the plan for the whole
+		// round while the fast path rewrites its buffer next round, so it
+		// gets its own copy.
+		statusPlan := append([]int(nil), plan...)
 		var fan *robustscale.QuantileForecast
 		if fanProvider != nil {
 			fan = fanProvider.LastFan()
@@ -467,6 +500,7 @@ func main() {
 				log.Fatal(err)
 			}
 			calCheck = cal.HealthCheck(*guardSlack, *guardMaxWQL, stepsPerDay/4)
+			armShrinker()
 		}
 		absErrSum := 0.0
 		for i, alloc := range plan {
@@ -522,7 +556,7 @@ func main() {
 				s.Violations = violations
 				s.ScaleOuts = c.ScaleOuts
 				s.ScaleIns = c.ScaleIns
-				s.Plan = plan[i+1:]
+				s.Plan = statusPlan[i+1:]
 				s.ApplyHolds = holds
 				if guard != nil {
 					s.DegradationMode = guard.Mode().String()

@@ -1,0 +1,77 @@
+package chaos
+
+import (
+	"math"
+	"testing"
+
+	"robustscale/internal/forecast"
+	"robustscale/internal/timeseries"
+)
+
+// TestForecasterWarmBitIdenticalUnderFaults pins the chaos wrapper's warm
+// contract: with no fault active, the wrapped warm path is bit-identical
+// to a cold unwrapped twin, and it stays so after fault windows (errors,
+// NaN poisoning) have come and gone.
+func TestForecasterWarmBitIdenticalUnderFaults(t *testing.T) {
+	n := 300
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 50 + 10*math.Sin(2*math.Pi*float64(i)/24)
+	}
+	s := timeseries.New("w", t0, timeseries.DefaultStep, vals)
+	levels := []float64{0.1, 0.5, 0.9}
+
+	cold := forecast.NewSeasonalNaive(24)
+	inner := forecast.NewSeasonalNaive(24)
+	train := s.Slice(0, 200)
+	if err := cold.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := inner.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+
+	sched := &Schedule{}
+	sched.Add(Event{Step: 2, Class: ForecastError})
+	sched.Add(Event{Step: 3, Class: ForecastNaN})
+	var cur Cursor
+	wrapped := &Forecaster{Inner: inner, Schedule: sched, Cursor: &cur}
+
+	for step, origin := 0, 210; origin < 220; step, origin = step+1, origin+1 {
+		cur.Set(step)
+		hist := s.Slice(0, origin)
+		warm, err := wrapped.PredictQuantilesWarm(hist, 6, levels)
+		switch step {
+		case 2:
+			if err == nil {
+				t.Fatalf("step %d: scheduled forecast error not injected", step)
+			}
+			continue
+		case 3:
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !math.IsNaN(warm.Values[0][0]) {
+				t.Fatalf("step %d: scheduled NaN poisoning not injected", step)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := cold.PredictQuantiles(hist, 6, levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref.Mean {
+			if ref.Mean[i] != warm.Mean[i] {
+				t.Fatalf("step %d mean[%d]: cold %v != warm %v", step, i, ref.Mean[i], warm.Mean[i])
+			}
+			for j := range ref.Values[i] {
+				if ref.Values[i][j] != warm.Values[i][j] {
+					t.Fatalf("step %d values[%d][%d]: cold %v != warm %v", step, i, j, ref.Values[i][j], warm.Values[i][j])
+				}
+			}
+		}
+	}
+}

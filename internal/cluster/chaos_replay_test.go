@@ -18,51 +18,32 @@ func steadySeries(n int, v float64) (*timeseries.Series, []int) {
 	return timeseries.New("w", t0, timeseries.DefaultStep, vals), allocs
 }
 
-// TestDeprecatedReplayWithFaultsShim is the single remaining test of the
-// deprecated FaultConfig/ReplayWithFaults path: it pins validation and
-// the shim's equivalence to ReplayWithSchedule over the legacy fault
-// stream. All other coverage uses ReplayWithSchedule directly.
-func TestDeprecatedReplayWithFaultsShim(t *testing.T) {
+// TestReplayWithScheduleLegacyFaultStream pins the migration off the old
+// FaultConfig/ReplayWithFaults shim: the seeded node-kill stream that
+// chaos.FromFaultConfig reproduces must keep injecting faults, and two
+// identical schedule replays must report identically (the determinism the
+// deprecated path used to guarantee via its seed).
+func TestReplayWithScheduleLegacyFaultStream(t *testing.T) {
 	s, allocs := steadySeries(50, 20)
 
-	bad := []FaultConfig{
-		{FailureProb: -0.1},
-		{FailureProb: 1.5},
-		{FailureProb: 0.1, FailureSize: -1, Seed: 1},
-		{FailureProb: 0.1}, // positive probability without a seed
+	sched := chaos.FromFaultConfig(0.2, 1, 9, s.Len())
+	a := mustNew(t, DefaultConfig(), 3)
+	ra, err := a.ReplayWithSchedule(s, allocs, 10, sched)
+	if err != nil {
+		t.Fatal(err)
 	}
-	c := mustNew(t, DefaultConfig(), 3)
-	for i, f := range bad {
-		if err := f.Validate(); err == nil {
-			t.Errorf("case %d (%+v): expected validation error", i, f)
-		}
-		if _, err := c.ReplayWithFaults(s, allocs, 10, f); err == nil {
-			t.Errorf("case %d (%+v): replay accepted invalid config", i, f)
-		}
-	}
-	if err := (FaultConfig{}).Validate(); err != nil {
-		t.Errorf("zero config rejected: %v", err)
+	if ra.Failures == 0 {
+		t.Error("seeded 20% failure rate injected nothing over 50 steps")
 	}
 
-	// The shim must report exactly what ReplayWithSchedule reports over
-	// the schedule FromFaultConfig derives from the same knobs.
-	cfg := FaultConfig{FailureProb: 0.2, FailureSize: 1, Seed: 9}
-	legacy := mustNew(t, DefaultConfig(), 3)
-	lr, err := legacy.ReplayWithFaults(s, allocs, 10, cfg)
+	// Rebuilding the schedule from the same knobs replays identically.
+	b := mustNew(t, DefaultConfig(), 3)
+	rb, err := b.ReplayWithSchedule(s, allocs, 10, chaos.FromFaultConfig(0.2, 1, 9, s.Len()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	direct := mustNew(t, DefaultConfig(), 3)
-	dr, err := direct.ReplayWithSchedule(s, allocs, 10,
-		chaos.FromFaultConfig(cfg.FailureProb, cfg.FailureSize, cfg.Seed, s.Len()))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if lr.Failures != dr.Failures || lr.ViolationRate != dr.ViolationRate || lr.ScaleOuts != dr.ScaleOuts {
-		t.Errorf("shim diverged from schedule replay: %+v vs %+v", lr, dr)
-	}
-	if lr.Failures == 0 {
-		t.Error("seeded 20%% failure rate injected nothing over 50 steps")
+	if ra.Failures != rb.Failures || ra.ViolationRate != rb.ViolationRate || ra.ScaleOuts != rb.ScaleOuts {
+		t.Errorf("seeded schedule replay not deterministic: %+v vs %+v", ra, rb)
 	}
 }
 

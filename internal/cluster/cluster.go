@@ -225,56 +225,14 @@ type ReplayReport struct {
 	Holds int
 }
 
-// FaultConfig injects node failures into a replay.
-//
-// Deprecated: FaultConfig expresses only the node-kill fault class. New
-// code should build a chaos.Profile (or chaos.Schedule) covering the full
-// taxonomy and call ReplayWithSchedule; ReplayWithFaults remains as a
-// stream-compatible shim over chaos.FromFaultConfig.
-type FaultConfig struct {
-	// FailureProb is the per-step probability that a failure event
-	// strikes.
-	FailureProb float64
-	// FailureSize is how many nodes each event kills.
-	FailureSize int
-	// Seed makes injection deterministic.
-	Seed int64
-}
-
-// Validate rejects probabilities outside [0, 1], negative failure sizes,
-// and non-reproducible configurations (a positive probability without a
-// seed).
-func (f FaultConfig) Validate() error {
-	if f.FailureProb < 0 || f.FailureProb > 1 {
-		return fmt.Errorf("cluster: failure probability %v outside [0, 1]", f.FailureProb)
-	}
-	if f.FailureSize < 0 {
-		return fmt.Errorf("cluster: negative failure size %d", f.FailureSize)
-	}
-	if f.FailureProb > 0 && f.Seed == 0 {
-		return fmt.Errorf("cluster: fault injection with probability %v needs an explicit seed", f.FailureProb)
-	}
-	return nil
-}
-
 // Replay drives the cluster with per-step allocations against the realized
 // workload, judging utilization against theta. It is the end-to-end check
 // that a plan that looks good on paper also works once warm-up is modeled.
+// Node-failure injection goes through ReplayWithSchedule with a
+// chaos.Schedule (chaos.FromFaultConfig reproduces the legacy seeded
+// node-kill stream).
 func (c *Cluster) Replay(workload *timeseries.Series, allocations []int, theta float64) (*ReplayReport, error) {
 	return c.ReplayWithSchedule(workload, allocations, theta, nil)
-}
-
-// ReplayWithFaults is Replay with node-failure injection.
-//
-// Deprecated: use ReplayWithSchedule with a chaos.Schedule. This shim
-// reproduces the historical RNG stream exactly (one draw per step), so
-// seeded runs keep their fault sequences.
-func (c *Cluster) ReplayWithFaults(workload *timeseries.Series, allocations []int, theta float64, faults FaultConfig) (*ReplayReport, error) {
-	if err := faults.Validate(); err != nil {
-		return nil, err
-	}
-	sched := chaos.FromFaultConfig(faults.FailureProb, faults.FailureSize, faults.Seed, workload.Len())
-	return c.ReplayWithSchedule(workload, allocations, theta, sched)
 }
 
 // ReplayWithSchedule is Replay under a chaos schedule: before each step's

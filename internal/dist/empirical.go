@@ -123,6 +123,55 @@ func (e *Empirical) Sample(rng *rand.Rand) float64 {
 	return e.sorted[rng.Intn(len(e.sorted))]
 }
 
+// SortInPlace sorts samples ascending in place and returns the same slice,
+// ready for SortedQuantile/SortedMean. Together they are the
+// allocation-free counterpart of NewEmpirical for callers that own a
+// reusable sample buffer (the forecast hot path re-draws every slot each
+// round, so destroying the previous order costs nothing).
+func SortInPlace(samples []float64) []float64 {
+	sort.Float64s(samples)
+	return samples
+}
+
+// SortedQuantile returns the p-th quantile of an ascending-sorted slice
+// using the same linear interpolation between order statistics as
+// Empirical.Quantile, without constructing a distribution.
+func SortedQuantile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[n-1]
+	}
+	pos := p * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// SortedMean returns the sample mean, accumulating in slice order. Because
+// Empirical.Mean also sums its (sorted) samples front to back, calling
+// SortedMean on a SortInPlace'd buffer is bit-identical to
+// NewEmpirical(samples).Mean().
+func SortedMean(sorted []float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	return sum / float64(len(sorted))
+}
+
 var _ Distribution = (*Empirical)(nil)
 var _ Distribution = Normal{}
 var _ Distribution = StudentT{}

@@ -30,6 +30,34 @@ type ARIMA struct {
 	theta    []float64 // MA coefficients
 	constant float64
 	sigma2   float64 // innovation variance
+
+	warm arimaWarm
+}
+
+// arimaWarm caches the differenced working series and the innovation
+// recursion across predict calls. Both are pure left-to-right functions of
+// the raw history, so when the history is an append-extension of the
+// cached one the warm path extends them with O(new observations) work
+// instead of re-deriving O(N) arrays — and the extended arrays are
+// bit-identical to what a cold call would compute, because every appended
+// element is produced by exactly the operations the cold recursions would
+// apply at that index.
+type arimaWarm struct {
+	ref   historyRef
+	valid bool
+	n     int       // raw observations consumed into w/eps
+	w     []float64 // differenced working series of values[:n]
+	eps   []float64 // innovations under the fitted model, aligned with w
+
+	levels       levelsCache
+	psi          []float64 // psi weights are h-prefix-stable; cache the longest
+	pTail, qTail []float64
+	meansDiff    []float64
+	varDiff      []float64
+	means        []float64
+	variances    []float64
+	diffBuf      []float64
+	fan          *QuantileForecast
 }
 
 // NewARIMA returns an untrained ARIMA(p, d, q) model.
@@ -94,6 +122,7 @@ func (a *ARIMA) Fit(train *timeseries.Series) error {
 	if a.P < 0 || a.D < 0 || a.Q < 0 {
 		return fmt.Errorf("forecast: invalid ARIMA order (%d,%d,%d)", a.P, a.D, a.Q)
 	}
+	a.WarmReset() // new coefficients invalidate the cached recursions
 	w, err := a.transform(train.Values)
 	if err != nil {
 		return err
@@ -277,6 +306,201 @@ func (a *ARIMA) PredictQuantiles(history *timeseries.Series, h int, levels []flo
 			row[i] = n.Quantile(tau)
 		}
 		out.Values[k] = row
+	}
+	return out, nil
+}
+
+// WarmReset implements IncrementalForecaster.
+func (a *ARIMA) WarmReset() {
+	a.warm.valid = false
+	a.warm.ref.reset()
+	a.warm.n = 0
+	a.warm.psi = a.warm.psi[:0]
+}
+
+// baseLen returns the length of the seasonally differenced base of a raw
+// history of length n.
+func (a *ARIMA) baseLen(n int) int {
+	if a.SeasonalPeriod > 0 {
+		return n - a.SeasonalPeriod
+	}
+	return n
+}
+
+// baseAt returns the seasonally differenced base value at base index j.
+func (a *ARIMA) baseAt(values []float64, j int) float64 {
+	if a.SeasonalPeriod <= 0 {
+		return values[j]
+	}
+	return values[j+a.SeasonalPeriod] - values[j]
+}
+
+// diffEndAt computes the k-th regular difference of the seasonal base
+// ending at base index j, from the last k+1 base values only. Each
+// difference level's element depends on exactly two adjacent elements of
+// the level below, so this windowed computation applies the same
+// subtractions to the same operands as the cold full-array differencing —
+// the result is bit-identical to transform(values)[j-k] (and, at the final
+// index, to lastOfDiff(seasonalBase(values), k)).
+func (a *ARIMA) diffEndAt(values []float64, j, k int) float64 {
+	buf := a.warm.diffBuf
+	if cap(buf) < k+1 {
+		buf = make([]float64, k+1)
+		a.warm.diffBuf = buf
+	}
+	buf = buf[:k+1]
+	for i := 0; i <= k; i++ {
+		buf[i] = a.baseAt(values, j-k+i)
+	}
+	for r := 0; r < k; r++ {
+		for i := 0; i < k-r; i++ {
+			buf[i] = buf[i+1] - buf[i]
+		}
+	}
+	return buf[0]
+}
+
+// PredictQuantilesWarm implements IncrementalForecaster. The differencing
+// pipeline and the innovation recursion are extended over just the newly
+// appended observations (O(1) per round at a fixed cadence) instead of
+// being re-derived over the whole history; on any discontinuity the cache
+// is rebuilt cold. Results are bit-identical to PredictQuantiles; the
+// returned fan is a scratch owned by the forecaster, valid until the next
+// predict (see warm.go).
+func (a *ARIMA) PredictQuantilesWarm(history *timeseries.Series, h int, levels []float64) (*QuantileForecast, error) {
+	if !a.fitted {
+		return nil, ErrNotFitted
+	}
+	lv, err := a.warm.levels.get(levels)
+	if err != nil {
+		return nil, err
+	}
+	if h <= 0 {
+		return nil, fmt.Errorf("forecast: non-positive horizon %d", h)
+	}
+	aw := &a.warm
+	values := history.Values
+	n := len(values)
+	s := a.SeasonalPeriod
+	if !aw.valid || aw.n > n || !aw.ref.extends(history) {
+		aw.valid = false
+		w, err := a.transform(values)
+		if err != nil {
+			return nil, err
+		}
+		aw.w = w
+		aw.eps = aw.eps[:0]
+		aw.n = n
+	} else if aw.n < n {
+		// Each new raw observation completes at most one differencing
+		// window; append its working-series element.
+		for r := aw.n; r < n; r++ {
+			if j := r - s; j >= a.D {
+				aw.w = append(aw.w, a.diffEndAt(values, j, a.D))
+			}
+		}
+		aw.n = n
+	}
+	wl := len(aw.w)
+	if wl < a.P+a.Q+1 {
+		return nil, ErrShortHistory
+	}
+	// Extend the innovation recursion over the new tail of w; the zero
+	// warm-start prefix and the forward recursion replicate the cold
+	// reconstruction exactly.
+	warmIdx := a.P
+	if a.Q > warmIdx {
+		warmIdx = a.Q
+	}
+	for t := len(aw.eps); t < wl; t++ {
+		if t < warmIdx {
+			aw.eps = append(aw.eps, 0)
+			continue
+		}
+		pred := a.constant
+		for j := 0; j < a.P; j++ {
+			pred += a.phi[j] * aw.w[t-1-j]
+		}
+		for j := 0; j < a.Q; j++ {
+			pred += a.theta[j] * aw.eps[t-1-j]
+		}
+		aw.eps = append(aw.eps, aw.w[t]-pred)
+	}
+	aw.ref.record(history)
+	aw.valid = true
+
+	// The forecast recursion reads only the last P values of
+	// (w ++ predictions) and the last Q of (eps ++ zeros); run it on small
+	// reused tails instead of cloning the full arrays.
+	aw.pTail = append(aw.pTail[:0], aw.w[wl-a.P:]...)
+	aw.qTail = append(aw.qTail[:0], aw.eps[wl-a.Q:]...)
+	aw.meansDiff = resizeFloats(aw.meansDiff, h)
+	for k := 0; k < h; k++ {
+		pred := a.constant
+		np, nq := len(aw.pTail), len(aw.qTail)
+		for j := 0; j < a.P; j++ {
+			pred += a.phi[j] * aw.pTail[np-1-j]
+		}
+		for j := 0; j < a.Q; j++ {
+			pred += a.theta[j] * aw.qTail[nq-1-j]
+		}
+		aw.meansDiff[k] = pred
+		aw.pTail = append(aw.pTail, pred)
+		aw.qTail = append(aw.qTail, 0)
+	}
+
+	// Psi weights are a prefix-stable recursion: cache the longest run.
+	if len(aw.psi) < h {
+		aw.psi = a.psiWeights(h)
+	}
+	psi := aw.psi[:h]
+	aw.varDiff = resizeFloats(aw.varDiff, h)
+	acc := 0.0
+	for k := 0; k < h; k++ {
+		acc += psi[k] * psi[k]
+		aw.varDiff[k] = a.sigma2 * acc
+	}
+
+	// Integration constants come from the base tail (diffEndAt), not a full
+	// lastOfDiff pass; the cumulative sums mirror integrate and
+	// integrateVariance.
+	aw.means = append(aw.means[:0], aw.meansDiff...)
+	for k := a.D; k >= 1; k-- {
+		level := a.diffEndAt(values, a.baseLen(n)-1, k-1)
+		for i := range aw.means {
+			level += aw.means[i]
+			aw.means[i] = level
+		}
+	}
+	aw.variances = append(aw.variances[:0], aw.varDiff...)
+	for k := 0; k < a.D; k++ {
+		vacc := 0.0
+		for i := range aw.variances {
+			vacc += aw.variances[i]
+			aw.variances[i] = vacc
+		}
+	}
+	if s > 0 {
+		for k := 0; k < h; k++ {
+			idx := n - s + k
+			if idx >= 0 && idx < n {
+				aw.means[k] += values[idx]
+			} else if k-s >= 0 {
+				aw.means[k] += aw.means[k-s]
+				aw.variances[k] += aw.variances[k-s]
+			}
+		}
+	}
+
+	out := reuseFan(aw.fan, h, lv)
+	aw.fan = out
+	copy(out.Mean, aw.means)
+	for k := 0; k < h; k++ {
+		nd := dist.NewNormal(aw.means[k], math.Sqrt(aw.variances[k]))
+		row := out.Values[k]
+		for i, tau := range lv {
+			row[i] = nd.Quantile(tau)
+		}
 	}
 	return out, nil
 }
@@ -516,4 +740,7 @@ func gaussSolve(aug [][]float64) ([]float64, error) {
 	return out, nil
 }
 
-var _ QuantileForecaster = (*ARIMA)(nil)
+var (
+	_ QuantileForecaster    = (*ARIMA)(nil)
+	_ IncrementalForecaster = (*ARIMA)(nil)
+)

@@ -29,6 +29,17 @@ type Conformal struct {
 
 	offsets []float64 // per Levels entry
 	fitted  bool
+
+	warm conformalWarm
+}
+
+// conformalWarm caches the interpolated per-request-level offsets (Fit-time
+// constants for a fixed levels slice) and the reused output fan.
+type conformalWarm struct {
+	levels levelsCache
+	offs   []float64
+	offLv  []float64
+	fan    *QuantileForecast
 }
 
 // NewConformal wraps base with default settings.
@@ -42,6 +53,7 @@ func (c *Conformal) Name() string { return c.Base.Name() + "-conformal" }
 // Fit trains the base model on the head of the series and calibrates
 // per-level offsets on the held-out tail.
 func (c *Conformal) Fit(train *timeseries.Series) error {
+	c.WarmReset()
 	if c.CalibFrac <= 0 || c.CalibFrac >= 1 {
 		return fmt.Errorf("forecast: conformal calibration fraction %v outside (0, 1)", c.CalibFrac)
 	}
@@ -159,4 +171,55 @@ func (c *Conformal) PredictQuantiles(history *timeseries.Series, h int, levels [
 	return out, nil
 }
 
-var _ QuantileForecaster = (*Conformal)(nil)
+// WarmReset implements IncrementalForecaster, forwarding to the base.
+func (c *Conformal) WarmReset() {
+	c.warm = conformalWarm{}
+	warmResetAll(c.Base)
+}
+
+// PredictQuantilesWarm implements IncrementalForecaster: bit-identical to
+// PredictQuantiles, forwarding the warm path to the base when it supports
+// one and reusing the offset row and output fan across rounds.
+func (c *Conformal) PredictQuantilesWarm(history *timeseries.Series, h int, levels []float64) (*QuantileForecast, error) {
+	if !c.fitted {
+		return nil, ErrNotFitted
+	}
+	w := &c.warm
+	lv, err := w.levels.get(levels)
+	if err != nil {
+		return nil, err
+	}
+	var f *QuantileForecast
+	if inc, ok := c.Base.(IncrementalForecaster); ok {
+		f, err = inc.PredictQuantilesWarm(history, h, lv)
+	} else {
+		f, err = c.Base.PredictQuantiles(history, h, lv)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(w.offLv) != len(lv) || (len(lv) > 0 && &w.offLv[0] != &lv[0]) {
+		w.offs = resizeFloats(w.offs, len(lv))
+		for i, tau := range lv {
+			w.offs[i] = c.offsetAt(tau)
+		}
+		w.offLv = lv
+	}
+	out := reuseFan(w.fan, h, lv)
+	w.fan = out
+	copy(out.Mean, f.Mean)
+	for t := 0; t < h; t++ {
+		row := out.Values[t]
+		base := f.Values[t]
+		for i := range lv {
+			row[i] = base[i] + w.offs[i]
+		}
+	}
+	out.Enforce()
+	return out, nil
+}
+
+var (
+	_ QuantileForecaster    = (*Conformal)(nil)
+	_ IncrementalForecaster = (*Conformal)(nil)
+)

@@ -79,6 +79,8 @@ type DeepAR struct {
 	head   *nn.Dense
 	params nn.Params
 	fitted bool
+
+	warm deeparWarm
 }
 
 // NewDeepAR returns an untrained DeepAR forecaster.
@@ -138,6 +140,7 @@ func (d *DeepAR) build() {
 // parallel across cfg.Workers, then merged in window order into one Adam
 // step — so the fitted weights are bit-identical for any worker count.
 func (d *DeepAR) Fit(train *timeseries.Series) error {
+	d.WarmReset() // new weights invalidate any cached recurrent state
 	d.build()
 	d.scaler.Fit(train.Values)
 
@@ -300,34 +303,38 @@ func (d *DeepAR) nllGrad(out []float64, y float64) []float64 {
 	return g
 }
 
-// warmup runs the context window through the network with teacher forcing
-// and returns the final state plus the emission for the first forecast
-// step.
+// conditionStep runs the teacher-forced conditioning step for position p
+// of the series: the input is the normalized observation at p-1 (at the
+// window anchor, with no earlier observation inside the window, the value
+// at the anchor itself) plus the calendar features of p's own timestamp.
+// Position history.Len() is the "extra step" conditioned on the final
+// observation, whose emission parameterizes the first forecast step.
+func (d *DeepAR) conditionStep(s *nn.Scratch, state nn.LSTMState, history *timeseries.Series, anchor, p int) nn.LSTMState {
+	prev := p - 1
+	if p == anchor {
+		prev = anchor // no earlier observation; condition on itself
+	}
+	x := d.stepInputScratch(s, d.scaler.TransformOne(history.At(prev)), history.TimeAt(p))
+	state, _ = d.cell.StepScratch(s, x, state)
+	return state
+}
+
+// warmup runs the conditioning window through the network with teacher
+// forcing and returns the final state plus the emission for the first
+// forecast step. The window starts at the anchored grid position
+// warmAnchor(n, Context) — a pure function of the history length — so an
+// incrementally advanced warm state walks exactly the same inputs from the
+// same zero state and stays bit-identical to this cold rebuild (see
+// warm.go).
 func (d *DeepAR) warmup(history *timeseries.Series) (nn.LSTMState, dist.Distribution, error) {
-	context, err := contextTail(history, d.cfg.Context)
-	if err != nil {
-		return nn.LSTMState{}, nil, err
+	if history.Len() < d.cfg.Context {
+		return nn.LSTMState{}, nil, ErrShortHistory
 	}
-	norm := d.scaler.Transform(context)
-	startIdx := history.Len() - d.cfg.Context
+	anchor := warmAnchor(history.Len(), d.cfg.Context)
 	state := d.cell.NewLSTMState()
-	var lastH []float64
-	for t := 0; t < len(norm); t++ {
-		var prev float64
-		if t == 0 {
-			prev = norm[0] // no earlier observation; condition on itself
-		} else {
-			prev = norm[t-1]
-		}
-		x := d.stepInput(prev, history.TimeAt(startIdx+t))
-		state, _ = d.cell.Step(x, state)
-		lastH = state.H
+	for p := anchor; p <= history.Len(); p++ {
+		state = d.conditionStep(nil, state, history, anchor, p)
 	}
-	// One more step conditioned on the final observation yields the
-	// distribution for the first forecast step.
-	x := d.stepInput(norm[len(norm)-1], history.TimeAt(history.Len()))
-	state, _ = d.cell.Step(x, state)
-	_ = lastH
 	out, _ := d.head.Forward(state.H)
 	return state, d.emissionFrom(out), nil
 }
@@ -347,7 +354,9 @@ func (d *DeepAR) Predict(history *timeseries.Series, h int) ([]float64, error) {
 // input, and per-step empirical quantiles are reported. Paths are fanned
 // across cfg.Workers goroutines; each path draws from its own
 // seed-derived RNG and writes only its own sample slots, so the result is
-// bit-identical for every worker count (including 1).
+// bit-identical for every worker count (including 1). This cold path
+// allocates per call and is safe for concurrent use; the warm path below
+// reuses pooled buffers instead.
 func (d *DeepAR) PredictQuantiles(history *timeseries.Series, h int, levels []float64) (*QuantileForecast, error) {
 	if !d.fitted {
 		return nil, ErrNotFitted
@@ -363,10 +372,6 @@ func (d *DeepAR) PredictQuantiles(history *timeseries.Series, h int, levels []fl
 	if err != nil {
 		return nil, err
 	}
-	obsPredictions.With("deepar").Inc()
-	obsMCPaths.Add(float64(d.cfg.Samples))
-	base := d.cfg.Seed + int64(history.Len())
-
 	samples := make([][]float64, h) // [step][sample] in normalized space
 	for t := range samples {
 		samples[t] = make([]float64, d.cfg.Samples)
@@ -376,9 +381,59 @@ func (d *DeepAR) PredictQuantiles(history *timeseries.Series, h int, levels []fl
 	for i := range scratches {
 		scratches[i] = nn.NewScratch()
 	}
+	d.sample(history, h, state0, emit0, samples, scratches, nil)
+
+	f := &QuantileForecast{
+		Levels: levels,
+		Values: make([][]float64, h),
+		Mean:   make([]float64, h),
+	}
+	for t := range f.Values {
+		f.Values[t] = make([]float64, len(levels))
+	}
+	d.assemble(f, samples)
+	return f, nil
+}
+
+// sample rolls the Monte-Carlo paths forward from state0/emit0 and fills
+// the [h][paths] sample matrix in normalized space. rngs, when non-nil,
+// supplies one reusable per-worker RNG (re-seeded per path, which yields
+// the identical stream to a freshly constructed source); otherwise each
+// path allocates its own. The horizon-1 round — the high-frequency steady
+// state — never rolls the LSTM during sampling (the loop breaks before the
+// first rollout step), so it draws sequentially on the caller's goroutine
+// and skips the worker fan-out entirely.
+func (d *DeepAR) sample(history *timeseries.Series, h int, state0 nn.LSTMState, emit0 dist.Distribution, samples [][]float64, scratches []*nn.Scratch, rngs []*rand.Rand) {
+	paths := len(samples[0])
+	obsPredictions.With("deepar").Inc()
+	obsMCPaths.Add(float64(paths))
+	base := d.cfg.Seed + int64(history.Len())
+
+	if h == 1 {
+		row := samples[0]
+		var rng *rand.Rand
+		if len(rngs) > 0 {
+			rng = rngs[0]
+		} else {
+			rng = newPathRand(0)
+		}
+		for sIdx := range row {
+			rng.Seed(pathSeed(base, sIdx))
+			row[sIdx] = emit0.Sample(rng)
+		}
+		return
+	}
+
+	workers := len(scratches)
 	sp := obs.DefaultTracer.Start("deepar.sample")
-	parallel.ForEachWorkerSpan("deepar.sample", workers, d.cfg.Samples, func(worker, sIdx int) {
-		rng := rand.New(rand.NewSource(pathSeed(base, sIdx)))
+	parallel.ForEachWorkerSpan("deepar.sample", workers, paths, func(worker, sIdx int) {
+		var rng *rand.Rand
+		if rngs != nil {
+			rng = rngs[worker]
+			rng.Seed(pathSeed(base, sIdx))
+		} else {
+			rng = newPathRand(pathSeed(base, sIdx))
+		}
 		sc := scratches[worker]
 		sc.Reset()
 		state := state0.CloneScratch(sc)
@@ -396,22 +451,150 @@ func (d *DeepAR) PredictQuantiles(history *timeseries.Series, h int, levels []fl
 		}
 	})
 	sp.End()
+}
 
-	f := &QuantileForecast{
-		Levels: levels,
-		Values: make([][]float64, h),
-		Mean:   make([]float64, h),
-	}
-	for t := 0; t < h; t++ {
-		emp := dist.NewEmpirical(samples[t])
-		f.Mean[t] = d.scaler.InverseOne(emp.Mean())
-		row := make([]float64, len(levels))
-		for i, tau := range levels {
-			row[i] = d.scaler.InverseOne(emp.Quantile(tau))
+// assemble turns the sample matrix into the fan: each row is sorted in
+// place and reduced to its mean and the requested quantiles, denormalized.
+// The in-place helpers compute exactly what dist.NewEmpirical would
+// (including summing the mean in sorted order), without the per-step copy.
+func (d *DeepAR) assemble(f *QuantileForecast, samples [][]float64) {
+	for t := range samples {
+		sorted := dist.SortInPlace(samples[t])
+		f.Mean[t] = d.scaler.InverseOne(dist.SortedMean(sorted))
+		row := f.Values[t]
+		for i, tau := range f.Levels {
+			row[i] = d.scaler.InverseOne(dist.SortedQuantile(sorted, tau))
 		}
-		f.Values[t] = row
 	}
-	return f, nil
+}
+
+// deeparWarm is the cached recurrent state plus the pooled prediction
+// buffers of the warm fast path. The state is derived entirely from the
+// fitted weights and the observed history: it is rebuilt on any
+// discontinuity and is never checkpointed (Load drops it).
+type deeparWarm struct {
+	ref    historyRef
+	valid  bool
+	anchor int          // conditioning window start of the cached state
+	next   int          // the state has consumed conditioning inputs for positions [anchor, next)
+	state  nn.LSTMState // owned heap buffers, never scratch-backed
+
+	adv       *nn.Scratch // scratch arena for advance/rebuild steps
+	samples   [][]float64 // pooled [h][paths] Monte-Carlo matrix
+	scratches []*nn.Scratch
+	rngs      []*rand.Rand
+	levels    levelsCache
+	fan       *QuantileForecast
+	budget    func(full int) int
+}
+
+// SetSampleBudget installs a reduced-path sampling hook on the warm path:
+// before each warm predict the hook receives cfg.Samples and returns how
+// many Monte-Carlo paths to draw this round (clamped to [2, cfg.Samples];
+// <= 0 keeps the full fan). The drawn paths are a prefix of the full fan's
+// seed sequence. Shrinking necessarily changes the reported quantiles, so
+// a round with a reduced fan is NOT bit-identical to the cold path —
+// callers opt in only when forecast calibration is verifiably healthy
+// (see cluster.Calibration.SampleShrinker). The cold path never shrinks.
+func (d *DeepAR) SetSampleBudget(hook func(full int) int) { d.warm.budget = hook }
+
+// WarmReset implements IncrementalForecaster: the next warm predict pays
+// one cold rebuild of the recurrent state. Pooled buffers survive — they
+// are shape caches, not state.
+func (d *DeepAR) WarmReset() {
+	d.warm.valid = false
+	d.warm.ref.reset()
+}
+
+// PredictQuantilesWarm implements IncrementalForecaster. When the history
+// is an append-extension of the one the cached state was built from and
+// the anchored conditioning window hasn't moved, the recurrent state is
+// advanced with one conditioning step per new observation instead of
+// replaying the whole window; otherwise it is rebuilt cold. Either way the
+// returned floats are bit-identical to PredictQuantiles (unless a sample
+// budget hook shrinks the fan). The returned forecast is a scratch owned
+// by the forecaster, valid until the next predict; see warm.go for the
+// full contract.
+func (d *DeepAR) PredictQuantilesWarm(history *timeseries.Series, h int, levels []float64) (*QuantileForecast, error) {
+	if !d.fitted {
+		return nil, ErrNotFitted
+	}
+	lv, err := d.warm.levels.get(levels)
+	if err != nil {
+		return nil, err
+	}
+	if h <= 0 {
+		return nil, fmt.Errorf("forecast: non-positive horizon %d", h)
+	}
+	n := history.Len()
+	if n < d.cfg.Context {
+		return nil, ErrShortHistory
+	}
+	w := &d.warm
+	anchor := warmAnchor(n, d.cfg.Context)
+	if w.adv == nil {
+		w.adv = nn.NewScratch()
+	}
+	sc := w.adv
+	sc.Reset()
+
+	// Conditioning: advance the cached state over the newly appended
+	// observations, or rebuild it from the anchor when the cache cannot
+	// prove continuity. The final conditioning input is at position n (the
+	// "extra step" on the last observation), so a state that has consumed
+	// [anchor, n+1) is exactly what this origin needs — and what the next
+	// origin resumes from.
+	state := nn.LSTMState{H: w.state.H, C: w.state.C}
+	from := w.next
+	if !w.valid || w.anchor != anchor || w.next > n+1 || !w.ref.extends(history) {
+		state = d.cell.NewLSTMStateScratch(sc)
+		from = anchor
+	}
+	for p := from; p <= n; p++ {
+		state = d.conditionStep(sc, state, history, anchor, p)
+	}
+	out, _ := d.head.ForwardScratch(sc, state.H)
+	emit0 := d.emissionFrom(out)
+	w.state.H = append(w.state.H[:0], state.H...)
+	w.state.C = append(w.state.C[:0], state.C...)
+	w.anchor, w.next = anchor, n+1
+	w.ref.record(history)
+	w.valid = true
+
+	paths := d.cfg.Samples
+	if w.budget != nil {
+		if b := w.budget(paths); b > 0 && b < paths {
+			if b < 2 {
+				b = 2
+			}
+			paths = b
+		}
+	}
+	if cap(w.samples) >= h {
+		w.samples = w.samples[:h]
+	} else {
+		w.samples = make([][]float64, h)
+	}
+	for t := range w.samples {
+		w.samples[t] = resizeFloats(w.samples[t], paths)
+	}
+	workers := 1
+	if h > 1 {
+		workers = parallel.Workers(d.cfg.Workers, paths)
+	}
+	for len(w.scratches) < workers {
+		w.scratches = append(w.scratches, nn.NewScratch())
+	}
+	for len(w.rngs) < workers {
+		w.rngs = append(w.rngs, newPathRand(0))
+	}
+	state0 := nn.LSTMState{H: w.state.H, C: w.state.C}
+	d.sample(history, h, state0, emit0, w.samples, w.scratches[:workers], w.rngs)
+
+	w.fan = reuseFan(w.fan, h, lv)
+	d.assemble(w.fan, w.samples)
+	return w.fan, nil
 }
 
 var _ QuantileForecaster = (*DeepAR)(nil)
+var _ IncrementalForecaster = (*DeepAR)(nil)

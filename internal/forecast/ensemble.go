@@ -23,6 +23,15 @@ type Ensemble struct {
 	// results are identical for every value; the Vincentized merge always
 	// runs in member order.
 	Workers int
+
+	warm ensembleWarm
+}
+
+// ensembleWarm reuses the combination buffers across steady-state rounds.
+type ensembleWarm struct {
+	levels  levelsCache
+	weights []float64
+	fan     *QuantileForecast
 }
 
 // NewEnsemble returns an equally weighted ensemble.
@@ -50,6 +59,7 @@ func (e *Ensemble) Fit(train *timeseries.Series) error {
 	if e.Weights != nil && len(e.Weights) != len(e.Members) {
 		return fmt.Errorf("forecast: ensemble has %d weights for %d members", len(e.Weights), len(e.Members))
 	}
+	e.WarmReset()
 	errs := make([]error, len(e.Members))
 	sp := obs.DefaultTracer.Start("ensemble.fit")
 	parallel.ForEachWorkerSpan("ensemble.fit.member", parallel.Workers(e.Workers, len(e.Members)), len(e.Members), func(_, i int) {
@@ -151,4 +161,82 @@ func (e *Ensemble) PredictQuantiles(history *timeseries.Series, h int, levels []
 	return out, nil
 }
 
-var _ QuantileForecaster = (*Ensemble)(nil)
+// WarmReset implements IncrementalForecaster, forwarding to every member
+// that keeps warm state.
+func (e *Ensemble) WarmReset() {
+	e.warm = ensembleWarm{}
+	for _, m := range e.Members {
+		warmResetAll(m)
+	}
+}
+
+// PredictQuantilesWarm implements IncrementalForecaster: bit-identical to
+// PredictQuantiles, querying members sequentially in member order (each
+// member's warm scratch is accumulated into the reused output fan before
+// the next member runs, so aliased members stay safe) and forwarding the
+// warm path to members that support it.
+func (e *Ensemble) PredictQuantilesWarm(history *timeseries.Series, h int, levels []float64) (*QuantileForecast, error) {
+	if len(e.Members) == 0 {
+		return nil, fmt.Errorf("forecast: ensemble has no members")
+	}
+	w := &e.warm
+	lv, err := w.levels.get(levels)
+	if err != nil {
+		return nil, err
+	}
+	w.weights = resizeFloats(w.weights, len(e.Members))
+	if e.Weights == nil {
+		for i := range w.weights {
+			w.weights[i] = 1 / float64(len(w.weights))
+		}
+	} else {
+		sum := 0.0
+		for i, v := range e.Weights {
+			if v < 0 {
+				return nil, fmt.Errorf("forecast: negative ensemble weight %v", v)
+			}
+			w.weights[i] = v
+			sum += v
+		}
+		if sum == 0 {
+			return nil, fmt.Errorf("forecast: ensemble weights sum to zero")
+		}
+		for i := range w.weights {
+			w.weights[i] /= sum
+		}
+	}
+
+	out := reuseFan(w.fan, h, lv)
+	w.fan = out
+	for t := 0; t < h; t++ {
+		out.Mean[t] = 0
+		row := out.Values[t]
+		for i := range row {
+			row[i] = 0
+		}
+	}
+	for mi, m := range e.Members {
+		var f *QuantileForecast
+		if inc, ok := m.(IncrementalForecaster); ok {
+			f, err = inc.PredictQuantilesWarm(history, h, lv)
+		} else {
+			f, err = m.PredictQuantiles(history, h, lv)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("forecast: ensemble member %s: %w", m.Name(), err)
+		}
+		for t := 0; t < h; t++ {
+			out.Mean[t] += w.weights[mi] * f.Mean[t]
+			for i := range lv {
+				out.Values[t][i] += w.weights[mi] * f.Values[t][i]
+			}
+		}
+	}
+	out.Enforce()
+	return out, nil
+}
+
+var (
+	_ QuantileForecaster    = (*Ensemble)(nil)
+	_ IncrementalForecaster = (*Ensemble)(nil)
+)

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"time"
 
@@ -159,6 +160,30 @@ func pathSeed(base int64, path int) int64 {
 	z ^= z >> 31
 	return int64(z)
 }
+
+// pathSource is the rand.Source64 behind Monte-Carlo path sampling: a
+// splitmix64 stream whose Seed is a single word store. math/rand's default
+// source rebuilds a 607-entry feedback table on every Seed (~12k
+// operations), which dominated the horizon-1 sampling round where each of
+// the per-path reseeds outweighs the single LSTM step it randomizes. The
+// stream depends only on the seed, so forecasts stay bit-identical across
+// worker counts and between the cold and warm paths, which construct and
+// reseed these sources identically.
+type pathSource struct{ state uint64 }
+
+func newPathRand(seed int64) *rand.Rand { return rand.New(&pathSource{state: uint64(seed)}) }
+
+func (p *pathSource) Seed(seed int64) { p.state = uint64(seed) }
+
+func (p *pathSource) Uint64() uint64 {
+	p.state += 0x9e3779b97f4a7c15
+	z := p.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (p *pathSource) Int63() int64 { return int64(p.Uint64() >> 1) }
 
 // trainingWindows extracts (context, target) windows for supervised
 // training with the given stride, bounding the total number of windows so

@@ -19,6 +19,43 @@ type Naive struct {
 	// residuals[k] holds historical (w_{t+k+1} - w_t) differences.
 	residuals [][]float64
 	horizon   int
+
+	warm offsetWarm
+}
+
+// offsetWarm is the warm-path cache shared by the offset-based baselines
+// (Naive, SeasonalNaive): their per-(step, level) quantile offsets are
+// constants after Fit for a fixed set of levels, so the steady-state round
+// reduces to adds into a reused fan.
+type offsetWarm struct {
+	levels levelsCache
+	// offs[k][i] is the quantile offset for step k at cached level i,
+	// valid while the normalized levels slice is the one it was built from.
+	offs      [][]float64
+	offLevels []float64
+	fan       *QuantileForecast
+}
+
+// rows returns the cached offset matrix for (h, lv), rebuilding row k from
+// quantile(k, tau) when the levels changed or the horizon grew.
+func (w *offsetWarm) rows(h int, lv []float64, quantile func(k int, tau float64) float64) [][]float64 {
+	fresh := len(w.offLevels) != len(lv) || (len(lv) > 0 && &w.offLevels[0] != &lv[0]) || len(w.offs) < h
+	if !fresh {
+		return w.offs
+	}
+	if cap(w.offs) >= h {
+		w.offs = w.offs[:h]
+	} else {
+		w.offs = make([][]float64, h)
+	}
+	for k := 0; k < h; k++ {
+		w.offs[k] = resizeFloats(w.offs[k], len(lv))
+		for i, tau := range lv {
+			w.offs[k][i] = quantile(k, tau)
+		}
+	}
+	w.offLevels = lv
+	return w.offs
 }
 
 // NewNaive returns a last-value forecaster that supports quantile bands up
@@ -39,6 +76,7 @@ func (n *Naive) Fit(train *timeseries.Series) error {
 	if train.Len() <= n.horizon {
 		return ErrShortHistory
 	}
+	n.WarmReset()
 	n.residuals = make([][]float64, n.horizon)
 	stride := 1
 	if avail := train.Len() - n.horizon; n.MaxResiduals > 0 && avail > n.MaxResiduals {
@@ -99,6 +137,44 @@ func (n *Naive) PredictQuantiles(history *timeseries.Series, h int, levels []flo
 	return out, nil
 }
 
+// WarmReset implements IncrementalForecaster.
+func (n *Naive) WarmReset() { n.warm = offsetWarm{} }
+
+// PredictQuantilesWarm implements IncrementalForecaster: bit-identical to
+// PredictQuantiles, with the per-level offsets cached across rounds and
+// the fan reused (scratch owned by the forecaster, valid until the next
+// predict).
+func (n *Naive) PredictQuantilesWarm(history *timeseries.Series, h int, levels []float64) (*QuantileForecast, error) {
+	if !n.fitted {
+		return nil, ErrNotFitted
+	}
+	if h <= 0 || h > n.horizon {
+		return nil, fmt.Errorf("forecast: naive fitted for horizon %d, requested %d", n.horizon, h)
+	}
+	lv, err := n.warm.levels.get(levels)
+	if err != nil {
+		return nil, err
+	}
+	if history.Len() == 0 {
+		return nil, ErrShortHistory
+	}
+	offs := n.warm.rows(h, lv, func(k int, tau float64) float64 {
+		return timeseries.InterpolatedQuantile(n.residuals[k], tau)
+	})
+	last := history.At(history.Len() - 1)
+	out := reuseFan(n.warm.fan, h, lv)
+	n.warm.fan = out
+	for k := 0; k < h; k++ {
+		out.Mean[k] = last
+		row := out.Values[k]
+		for i := range lv {
+			row[i] = last + offs[k][i]
+		}
+	}
+	out.Enforce()
+	return out, nil
+}
+
 // SeasonalNaive forecasts each step as the value one season earlier, with
 // quantiles from the empirical distribution of seasonal differences — the
 // strongest trivial baseline on strongly cyclic workloads.
@@ -111,6 +187,8 @@ type SeasonalNaive struct {
 
 	fitted    bool
 	residuals []float64 // sorted seasonal differences w_t - w_{t-Period}
+
+	warm offsetWarm
 }
 
 // NewSeasonalNaive returns a seasonal-naive forecaster.
@@ -129,6 +207,7 @@ func (s *SeasonalNaive) Fit(train *timeseries.Series) error {
 	if train.Len() <= s.Period {
 		return ErrShortHistory
 	}
+	s.WarmReset()
 	s.residuals = nil
 	stride := 1
 	if avail := train.Len() - s.Period; s.MaxResiduals > 0 && avail > s.MaxResiduals {
@@ -192,7 +271,54 @@ func (s *SeasonalNaive) PredictQuantiles(history *timeseries.Series, h int, leve
 	return out, nil
 }
 
+// WarmReset implements IncrementalForecaster.
+func (s *SeasonalNaive) WarmReset() { s.warm = offsetWarm{} }
+
+// PredictQuantilesWarm implements IncrementalForecaster: bit-identical to
+// PredictQuantiles, with the per-level seasonal offsets cached and the fan
+// reused (scratch owned by the forecaster, valid until the next predict).
+func (s *SeasonalNaive) PredictQuantilesWarm(history *timeseries.Series, h int, levels []float64) (*QuantileForecast, error) {
+	if !s.fitted {
+		return nil, ErrNotFitted
+	}
+	if h <= 0 {
+		return nil, fmt.Errorf("forecast: non-positive horizon %d", h)
+	}
+	lv, err := s.warm.levels.get(levels)
+	if err != nil {
+		return nil, err
+	}
+	if history.Len() < s.Period {
+		return nil, ErrShortHistory
+	}
+	// The seasonal offsets do not depend on the step, so one cached row
+	// serves every k.
+	offs := s.warm.rows(1, lv, func(_ int, tau float64) float64 {
+		return timeseries.InterpolatedQuantile(s.residuals, tau)
+	})[0]
+	out := reuseFan(s.warm.fan, h, lv)
+	s.warm.fan = out
+	for k := 0; k < h; k++ {
+		idx := history.Len() + k
+		for idx >= history.Len() {
+			idx -= s.Period
+		}
+		base := history.At(idx)
+		seasonsAhead := float64((history.Len() + k - idx) / s.Period)
+		scale := math.Sqrt(seasonsAhead)
+		out.Mean[k] = base
+		row := out.Values[k]
+		for i := range lv {
+			row[i] = base + scale*offs[i]
+		}
+	}
+	out.Enforce()
+	return out, nil
+}
+
 var (
-	_ QuantileForecaster = (*Naive)(nil)
-	_ QuantileForecaster = (*SeasonalNaive)(nil)
+	_ QuantileForecaster    = (*Naive)(nil)
+	_ QuantileForecaster    = (*SeasonalNaive)(nil)
+	_ IncrementalForecaster = (*Naive)(nil)
+	_ IncrementalForecaster = (*SeasonalNaive)(nil)
 )

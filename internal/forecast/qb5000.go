@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"robustscale/internal/nn"
 	"robustscale/internal/timeseries"
@@ -61,6 +62,29 @@ type QB5000 struct {
 	params nn.Params
 
 	fitted bool
+
+	warm qb5000Warm
+}
+
+// qb5000Warm caches the recurrent component's conditioning state (on the
+// anchored grid, like DeepAR's) plus reused buffers for the linear and
+// kernel components, whose windows are fixed-length by construction
+// (linCoef dimensions, memorized kernel rows) and are therefore recomputed
+// each round — allocation-free — rather than advanced.
+type qb5000Warm struct {
+	ref    historyRef
+	valid  bool
+	anchor int
+	next   int          // state has consumed conditioning inputs for positions [anchor, next)
+	state  nn.LSTMState // owned heap buffers
+
+	sc      *nn.Scratch
+	normBuf []float64
+	lin     []float64
+	ker     []float64
+	rec     []float64
+	weights []float64
+	out     []float64
 }
 
 // NewQB5000 returns an untrained hybrid forecaster.
@@ -97,6 +121,7 @@ const qb5000InputDim = 1 + timeFeatureDim
 
 // Fit trains all three ensemble components.
 func (q *QB5000) Fit(train *timeseries.Series) error {
+	q.WarmReset() // new weights invalidate any cached recurrent state
 	q.scaler.Fit(train.Values)
 	windows, err := trainingWindows(train, q.cfg.Context, q.cfg.TrainHorizon, q.cfg.MaxWindows)
 	if err != nil {
@@ -213,9 +238,9 @@ func (q *QB5000) Predict(history *timeseries.Series, h int) ([]float64, error) {
 	}
 	norm := q.scaler.Transform(context)
 
-	lin := q.predictLinear(norm, h)
-	ker := q.predictKernel(norm, h)
-	rec := q.predictLSTM(history, norm, h)
+	lin := q.predictLinear(norm, h, make([]float64, h))
+	ker := q.predictKernel(norm, h, make([]float64, h), make([]float64, len(q.kernelX)))
+	rec := q.predictLSTM(history, h)
 
 	out := make([]float64, h)
 	for t := 0; t < h; t++ {
@@ -224,8 +249,7 @@ func (q *QB5000) Predict(history *timeseries.Series, h int) ([]float64, error) {
 	return out, nil
 }
 
-func (q *QB5000) predictLinear(norm []float64, h int) []float64 {
-	out := make([]float64, h)
+func (q *QB5000) predictLinear(norm []float64, h int, out []float64) []float64 {
 	for t := 0; t < h; t++ {
 		coef := q.linCoef[t]
 		v := coef[0]
@@ -237,9 +261,7 @@ func (q *QB5000) predictLinear(norm []float64, h int) []float64 {
 	return out
 }
 
-func (q *QB5000) predictKernel(norm []float64, h int) []float64 {
-	out := make([]float64, h)
-	weights := make([]float64, len(q.kernelX))
+func (q *QB5000) predictKernel(norm []float64, h int, out, weights []float64) []float64 {
 	maxLogW := math.Inf(-1)
 	for i, kx := range q.kernelX {
 		d2 := 0.0
@@ -268,31 +290,122 @@ func (q *QB5000) predictKernel(norm []float64, h int) []float64 {
 	return out
 }
 
-func (q *QB5000) predictLSTM(history *timeseries.Series, norm []float64, h int) []float64 {
-	startIdx := history.Len() - len(norm)
-	state := q.cell.NewLSTMState()
-	for t := 0; t < len(norm); t++ {
-		prev := norm[0]
-		if t > 0 {
-			prev = norm[t-1]
-		}
-		x := make([]float64, 0, qb5000InputDim)
-		x = append(x, prev)
-		x = append(x, timeFeatures(history.TimeAt(startIdx+t))...)
-		state, _ = q.cell.Step(x, state)
+// lstmInput builds the recurrent component's input vector for one step
+// from the arena (heap when s is nil).
+func (q *QB5000) lstmInput(s *nn.Scratch, prevNorm float64, ts time.Time) []float64 {
+	x := s.Vec(qb5000InputDim)
+	x[0] = prevNorm
+	timeFeaturesInto(x[1:], ts)
+	return x
+}
+
+// lstmStep feeds the observation preceding position p (at the anchor: the
+// anchor observation itself) with position p's calendar features.
+func (q *QB5000) lstmStep(s *nn.Scratch, state nn.LSTMState, history *timeseries.Series, anchor, p int) nn.LSTMState {
+	prev := p - 1
+	if p == anchor {
+		prev = anchor
 	}
-	out := make([]float64, h)
-	prev := norm[len(norm)-1]
+	x := q.lstmInput(s, q.scaler.TransformOne(history.At(prev)), history.TimeAt(p))
+	state, _ = q.cell.StepScratch(s, x, state)
+	return state
+}
+
+// decodeLSTM rolls the decoder h steps from the conditioning state, feeding
+// each prediction back as the next input.
+func (q *QB5000) decodeLSTM(s *nn.Scratch, state nn.LSTMState, history *timeseries.Series, h int, out []float64) []float64 {
+	prev := q.scaler.TransformOne(history.At(history.Len() - 1))
 	for t := 0; t < h; t++ {
-		x := make([]float64, 0, qb5000InputDim)
-		x = append(x, prev)
-		x = append(x, timeFeatures(history.TimeAt(history.Len()+t))...)
-		state, _ = q.cell.Step(x, state)
-		y, _ := q.head.Forward(state.H)
+		x := q.lstmInput(s, prev, history.TimeAt(history.Len()+t))
+		state, _ = q.cell.StepScratch(s, x, state)
+		y, _ := q.head.ForwardScratch(s, state.H)
 		out[t] = y[0]
 		prev = y[0]
 	}
 	return out
 }
 
-var _ Forecaster = (*QB5000)(nil)
+// predictLSTM conditions the recurrent component on the anchored window
+// [warmAnchor(n, Context), n) — the same grid the warm path advances along,
+// so warm and cold are bit-identical — and decodes h steps.
+func (q *QB5000) predictLSTM(history *timeseries.Series, h int) []float64 {
+	anchor := warmAnchor(history.Len(), q.cfg.Context)
+	state := q.cell.NewLSTMState()
+	for p := anchor; p < history.Len(); p++ {
+		state = q.lstmStep(nil, state, history, anchor, p)
+	}
+	return q.decodeLSTM(nil, state, history, h, make([]float64, h))
+}
+
+// WarmReset implements IncrementalPointForecaster.
+func (q *QB5000) WarmReset() {
+	q.warm.valid = false
+	q.warm.ref.reset()
+}
+
+// PredictWarm implements IncrementalPointForecaster: bit-identical to
+// Predict, advancing the recurrent component's cached conditioning state by
+// one step per new observation and reusing the linear/kernel buffers. The
+// returned slice is forecaster-owned scratch, valid until the next predict.
+func (q *QB5000) PredictWarm(history *timeseries.Series, h int) ([]float64, error) {
+	if !q.fitted {
+		return nil, ErrNotFitted
+	}
+	if h <= 0 {
+		return nil, fmt.Errorf("forecast: non-positive horizon %d", h)
+	}
+	if h > q.cfg.TrainHorizon {
+		return nil, fmt.Errorf("forecast: qb5000 trained for horizon %d, requested %d", q.cfg.TrainHorizon, h)
+	}
+	n := history.Len()
+	if n < q.cfg.Context {
+		return nil, ErrShortHistory
+	}
+	w := &q.warm
+
+	// Fixed-length normalized tail for the linear and kernel components.
+	w.normBuf = resizeFloats(w.normBuf, q.cfg.Context)
+	for i := range w.normBuf {
+		w.normBuf[i] = q.scaler.TransformOne(history.At(n - q.cfg.Context + i))
+	}
+	w.lin = q.predictLinear(w.normBuf, h, resizeFloats(w.lin, h))
+	w.weights = resizeFloats(w.weights, len(q.kernelX))
+	w.ker = q.predictKernel(w.normBuf, h, resizeFloats(w.ker, h), w.weights)
+
+	// Recurrent component: advance the cached state along the anchored grid,
+	// or rebuild from the anchor on any discontinuity.
+	anchor := warmAnchor(n, q.cfg.Context)
+	if w.sc == nil {
+		w.sc = nn.NewScratch()
+	}
+	sc := w.sc
+	sc.Reset()
+	state := nn.LSTMState{H: w.state.H, C: w.state.C}
+	from := w.next
+	if !w.valid || w.anchor != anchor || w.next > n || !w.ref.extends(history) {
+		state = q.cell.NewLSTMStateScratch(sc)
+		from = anchor
+	}
+	for p := from; p < n; p++ {
+		state = q.lstmStep(sc, state, history, anchor, p)
+	}
+	w.state.H = append(w.state.H[:0], state.H...)
+	w.state.C = append(w.state.C[:0], state.C...)
+	w.anchor, w.next = anchor, n
+	w.ref.record(history)
+	w.valid = true
+
+	// Decode from a scratch copy so the owned state stays pre-decode.
+	w.rec = q.decodeLSTM(sc, nn.LSTMState{H: w.state.H, C: w.state.C}, history, h, resizeFloats(w.rec, h))
+
+	w.out = resizeFloats(w.out, h)
+	for t := 0; t < h; t++ {
+		w.out[t] = q.scaler.InverseOne((w.lin[t] + w.ker[t] + w.rec[t]) / 3)
+	}
+	return w.out, nil
+}
+
+var (
+	_ Forecaster                 = (*QB5000)(nil)
+	_ IncrementalPointForecaster = (*QB5000)(nil)
+)

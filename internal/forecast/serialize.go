@@ -46,6 +46,7 @@ func (a *ARIMA) Load(r io.Reader) error {
 	}
 	a.P, a.D, a.Q, a.SeasonalPeriod = st.P, st.D, st.Q, st.SeasonalPeriod
 	a.phi, a.theta, a.constant, a.sigma2 = st.Phi, st.Theta, st.Constant, st.Sigma2
+	a.WarmReset() // restored weights invalidate any cached warm state
 	a.fitted = true
 	return nil
 }
@@ -115,6 +116,7 @@ func (d *DeepAR) Load(r io.Reader) error {
 		return fmt.Errorf("forecast: snapshot is %q, not deepar", env.Kind)
 	}
 	d.build()
+	d.WarmReset() // restored weights invalidate any cached recurrent state
 	d.scaler = timeseries.StandardScaler{Mean: env.Mean, Std: env.Std}
 	if err := d.params.Load(r); err != nil {
 		return err
@@ -190,6 +192,7 @@ func (q *QB5000) Load(r io.Reader) error {
 	}
 	q.scaler = timeseries.StandardScaler{Mean: st.Mean, Std: st.Std}
 	q.linCoef, q.kernelX, q.kernelY = st.LinCoef, st.KernelX, st.KernelY
+	q.WarmReset() // restored weights invalidate any cached recurrent state
 	q.buildLSTM()
 	if err := q.params.Load(r); err != nil {
 		return err

@@ -61,6 +61,7 @@ func (n *Naive) Load(r io.Reader) error {
 		return fmt.Errorf("forecast: naive snapshot has %d residual rows for horizon %d", len(st.Residuals), st.Horizon)
 	}
 	n.horizon, n.MaxResiduals, n.residuals = st.Horizon, st.MaxResiduals, st.Residuals
+	n.WarmReset() // restored residuals invalidate cached offsets
 	n.fitted = true
 	return nil
 }
@@ -95,6 +96,7 @@ func (s *SeasonalNaive) Load(r io.Reader) error {
 		return fmt.Errorf("forecast: seasonal-naive snapshot has non-positive period %d", st.Period)
 	}
 	s.Period, s.MaxResiduals, s.residuals = st.Period, st.MaxResiduals, st.Residuals
+	s.WarmReset() // restored residuals invalidate cached offsets
 	s.fitted = true
 	return nil
 }
@@ -215,5 +217,6 @@ func (e *Ensemble) Load(r io.Reader) error {
 	}
 	e.Weights = env.Weights
 	e.Workers = env.Workers
+	e.WarmReset() // restored members invalidate any cached warm state
 	return nil
 }

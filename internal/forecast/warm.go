@@ -1,0 +1,187 @@
+package forecast
+
+import (
+	"time"
+
+	"robustscale/internal/timeseries"
+)
+
+// This file holds the warm-state fast-path contract shared by the
+// incremental forecasters (DeepAR, Naive, SeasonalNaive, ARIMA, QB5000)
+// and their wrappers (Ensemble, Conformal).
+//
+// The control loop re-plans at a cadence of one-to-a-few observations, so
+// successive predict calls see histories that are append-extensions of
+// each other. The warm path exploits that: instead of re-encoding the
+// whole conditioning window from scratch, a forecaster keeps the state it
+// computed last round and advances it over just the newly appended
+// observations. The contract is strict:
+//
+//   - Bit-identical: PredictQuantilesWarm must return exactly the floats
+//     PredictQuantiles would, for every history. The warm path is a cache,
+//     never an approximation.
+//   - Self-invalidating: the cached state remembers which history it was
+//     built from (backing array identity + start/step + a tail tripwire,
+//     see historyRef). Any discontinuity — a cloned/sanitized history, a
+//     shrunk series, a restored checkpoint — silently falls back to the
+//     cold computation, which also rebuilds the cache.
+//   - Rebuildable, never persisted: warm state is derived entirely from
+//     weights + history, so Save never writes it and Load always drops it.
+//   - Scratch-owned output: the returned *QuantileForecast is a buffer
+//     owned by the forecaster, valid until its next predict call (the same
+//     contract as DecisionProvider.LastDecision). Callers that retain a
+//     fan across rounds must copy it.
+//   - Single-goroutine: warm calls on one forecaster must not race. The
+//     cold PredictQuantiles path keeps per-call allocation and stays safe
+//     for concurrent use.
+
+// IncrementalForecaster is a QuantileForecaster with a warm-state fast
+// path. Advancing over newly appended observations is implicit in
+// PredictQuantilesWarm: the forecaster detects how far the history grew
+// since its cached state and consumes exactly the new suffix.
+type IncrementalForecaster interface {
+	QuantileForecaster
+	// PredictQuantilesWarm is PredictQuantiles on the warm path. Results
+	// are bit-identical to the cold path; the returned forecast is a
+	// scratch owned by the forecaster, valid until the next predict.
+	PredictQuantilesWarm(history *timeseries.Series, h int, levels []float64) (*QuantileForecast, error)
+	// WarmReset drops all cached warm state; the next warm predict pays
+	// one cold rebuild. Used by the guard on degradation and by Load.
+	WarmReset()
+}
+
+// IncrementalPointForecaster is the point-forecast counterpart of
+// IncrementalForecaster (QB5000 implements it).
+type IncrementalPointForecaster interface {
+	Forecaster
+	// PredictWarm is Predict on the warm path; the returned slice is a
+	// scratch owned by the forecaster, valid until the next predict.
+	PredictWarm(history *timeseries.Series, h int) ([]float64, error)
+	// WarmReset drops all cached warm state.
+	WarmReset()
+}
+
+// warmAnchor returns the start index of the anchored conditioning window
+// for a history of length n and context length ctx (n >= ctx > 0): the
+// largest multiple of ctx that leaves at least ctx observations, giving a
+// window length in [ctx, 2*ctx). Anchoring the window to a fixed grid —
+// instead of always taking the last ctx values — makes the conditioning
+// start a pure function of the history length, which is what lets an
+// incrementally advanced recurrent state stay bit-identical to a cold
+// rebuild at every origin: both walk the same inputs from the same zero
+// state.
+func warmAnchor(n, ctx int) int {
+	return ((n - ctx) / ctx) * ctx
+}
+
+// historyRef records which history a warm state was derived from, so the
+// next call can prove the new history is an append-extension of it.
+// Histories in this repository are views over a growing backing array
+// (Series.Slice shares Values), so identity of the first element plus an
+// unchanged epoch means the shared prefix is literally the same memory.
+// The recorded tail value is a tripwire against in-place mutation of the
+// most recently consumed observation (and against NaN corruption, which
+// fails the equality and forces a cold rebuild).
+type historyRef struct {
+	base  []float64
+	start time.Time
+	step  time.Duration
+	last  float64
+}
+
+// extends reports whether hist is an append-extension of the recorded
+// history: same backing array and epoch, at least as long, tail intact.
+func (r *historyRef) extends(hist *timeseries.Series) bool {
+	n := len(r.base)
+	if n == 0 || hist.Len() < n {
+		return false
+	}
+	if &hist.Values[0] != &r.base[0] || !hist.Start.Equal(r.start) || hist.Step != r.step {
+		return false
+	}
+	return hist.Values[n-1] == r.last
+}
+
+// record remembers hist as the new warm baseline.
+func (r *historyRef) record(hist *timeseries.Series) {
+	r.base = hist.Values
+	r.start = hist.Start
+	r.step = hist.Step
+	r.last = hist.Values[hist.Len()-1]
+}
+
+// reset forgets the baseline; extends reports false until the next record.
+func (r *historyRef) reset() { r.base = nil }
+
+// levelsCache skips normalizeLevels' copy+sort when the requested levels
+// are unchanged between rounds — the steady-state case, since strategies
+// pass a fixed levels slice.
+type levelsCache struct {
+	in   []float64
+	norm []float64
+}
+
+// get returns the normalized form of levels, reusing the cached copy when
+// the request is element-wise identical to the previous one.
+func (c *levelsCache) get(levels []float64) ([]float64, error) {
+	if len(c.in) == len(levels) && len(levels) > 0 {
+		same := true
+		for i, l := range levels {
+			if c.in[i] != l {
+				same = false
+				break
+			}
+		}
+		if same {
+			return c.norm, nil
+		}
+	}
+	norm, err := normalizeLevels(levels)
+	if err != nil {
+		return nil, err
+	}
+	c.in = append(c.in[:0], levels...)
+	c.norm = norm
+	return norm, nil
+}
+
+// reuseFan shapes a cached fan for (h, levels) without allocating when the
+// shape is unchanged. The forecast remains owned by the forecaster.
+func reuseFan(f *QuantileForecast, h int, levels []float64) *QuantileForecast {
+	if f == nil {
+		f = &QuantileForecast{}
+	}
+	f.Levels = levels
+	if cap(f.Values) >= h {
+		f.Values = f.Values[:h]
+	} else {
+		f.Values = make([][]float64, h)
+	}
+	for t := range f.Values {
+		if cap(f.Values[t]) >= len(levels) {
+			f.Values[t] = f.Values[t][:len(levels)]
+		} else {
+			f.Values[t] = make([]float64, len(levels))
+		}
+	}
+	f.Mean = resizeFloats(f.Mean, h)
+	return f
+}
+
+// resizeFloats returns a slice of length n, reusing dst's capacity.
+func resizeFloats(dst []float64, n int) []float64 {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]float64, n)
+}
+
+// warmResetAll forwards WarmReset to any forecaster that has one; it is
+// the hook wrappers and strategies use without caring which concrete
+// forecaster they hold.
+func warmResetAll(f any) {
+	type warmResetter interface{ WarmReset() }
+	if wr, ok := f.(warmResetter); ok {
+		wr.WarmReset()
+	}
+}

@@ -1,0 +1,320 @@
+package forecast
+
+import (
+	"bytes"
+	"testing"
+
+	"robustscale/internal/timeseries"
+)
+
+// warmOrigins mixes strides of 1 and 3 so the suite covers both the
+// single-step advance the control loop takes and multi-step jumps that
+// cross anchor boundaries.
+var warmOrigins = []int{420, 421, 422, 425, 428, 431, 432, 444}
+
+// requireFanEqual asserts bit-identical fans: warm paths must reproduce
+// their cold counterparts exactly, not approximately.
+func requireFanEqual(t *testing.T, label string, origin int, cold, warm *QuantileForecast) {
+	t.Helper()
+	if cold.Horizon() != warm.Horizon() || len(cold.Levels) != len(warm.Levels) {
+		t.Fatalf("%s origin %d: shape mismatch: cold %dx%d, warm %dx%d",
+			label, origin, cold.Horizon(), len(cold.Levels), warm.Horizon(), len(warm.Levels))
+	}
+	for i := range cold.Mean {
+		if cold.Mean[i] != warm.Mean[i] {
+			t.Fatalf("%s origin %d step %d: mean cold %v != warm %v",
+				label, origin, i, cold.Mean[i], warm.Mean[i])
+		}
+		for j := range cold.Values[i] {
+			if cold.Values[i][j] != warm.Values[i][j] {
+				t.Fatalf("%s origin %d step %d level %v: cold %v != warm %v",
+					label, origin, i, cold.Levels[j], cold.Values[i][j], warm.Values[i][j])
+			}
+		}
+	}
+}
+
+// cloneSeries copies a history into a fresh backing array, simulating the
+// discontinuities warm paths must survive (telemetry corruption clones,
+// guard sanitization): the broken pointer identity must trigger a cold
+// rebuild whose output is still bit-identical.
+func cloneSeries(s *timeseries.Series) *timeseries.Series {
+	return timeseries.New(s.Name, s.Start, s.Step, append([]float64(nil), s.Values...))
+}
+
+// warmCase fits two identical instances of a forecaster — one queried only
+// cold, one only warm — and slides the planning origin forward over a
+// shared backing array, the exact access pattern of the control loop.
+type warmCase struct {
+	name string
+	make func() QuantileForecaster
+}
+
+func warmCases() []warmCase {
+	return []warmCase{
+		{"naive", func() QuantileForecaster { return NewNaive(12) }},
+		{"seasonal-naive", func() QuantileForecaster { return NewSeasonalNaive(24) }},
+		{"arima", func() QuantileForecaster { return NewARIMA(2, 1, 1) }},
+		{"deepar-workers1", func() QuantileForecaster {
+			return NewDeepAR(DeepARConfig{
+				Context: 24, Hidden: 8, Epochs: 2, LR: 5e-3, Seed: 3,
+				MaxWindows: 48, Samples: 20, TrainHorizon: 12, Workers: 1,
+			})
+		}},
+		{"deepar-workers4", func() QuantileForecaster {
+			return NewDeepAR(DeepARConfig{
+				Context: 24, Hidden: 8, Epochs: 2, LR: 5e-3, Seed: 3,
+				MaxWindows: 48, Samples: 20, TrainHorizon: 12, Workers: 4,
+			})
+		}},
+		{"ensemble", func() QuantileForecaster {
+			return NewEnsemble(NewNaive(12), NewSeasonalNaive(24))
+		}},
+		{"conformal-seasonal", func() QuantileForecaster {
+			c := NewConformal(NewSeasonalNaive(24))
+			c.Horizon = 12
+			return c
+		}},
+	}
+}
+
+// TestWarmMatchesColdAcrossOrigins is the core determinism contract of
+// the planning fast path: for every incremental forecaster, warm
+// prediction over a sliding origin — including origin strides that cross
+// conditioning anchors, a history clone mid-run, and an explicit
+// WarmReset — is bit-identical to cold prediction from a separately
+// fitted twin.
+func TestWarmMatchesColdAcrossOrigins(t *testing.T) {
+	s := noisySine(600, 24, 50, 10, 1, 42)
+	levels := []float64{0.1, 0.5, 0.9}
+	const h = 6
+	for _, tc := range warmCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			coldM, warmM := tc.make(), tc.make()
+			train := s.Slice(0, 400)
+			if err := coldM.Fit(train); err != nil {
+				t.Fatal(err)
+			}
+			if err := warmM.Fit(train); err != nil {
+				t.Fatal(err)
+			}
+			inc, ok := warmM.(IncrementalForecaster)
+			if !ok {
+				t.Fatalf("%s does not implement IncrementalForecaster", tc.name)
+			}
+			for _, origin := range warmOrigins {
+				hist := s.Slice(0, origin)
+				cold, err := coldM.PredictQuantiles(hist, h, levels)
+				if err != nil {
+					t.Fatal(err)
+				}
+				warm, err := inc.PredictQuantilesWarm(hist, h, levels)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireFanEqual(t, tc.name, origin, cold, warm)
+			}
+
+			// A cloned history breaks backing-array identity: the warm
+			// path must fall back to a cold rebuild, bit-identically.
+			cloned := cloneSeries(s.Slice(0, 450))
+			cold, err := coldM.PredictQuantiles(cloned, h, levels)
+			if err != nil {
+				t.Fatal(err)
+			}
+			warm, err := inc.PredictQuantilesWarm(cloned, h, levels)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireFanEqual(t, tc.name+"/cloned", 450, cold, warm)
+
+			// Returning to the shared array after the clone, then after an
+			// explicit reset, both stay exact.
+			for _, origin := range []int{451, 454} {
+				hist := s.Slice(0, origin)
+				cold, err := coldM.PredictQuantiles(hist, h, levels)
+				if err != nil {
+					t.Fatal(err)
+				}
+				warm, err := inc.PredictQuantilesWarm(hist, h, levels)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireFanEqual(t, tc.name+"/resumed", origin, cold, warm)
+				inc.WarmReset()
+			}
+		})
+	}
+}
+
+// TestWarmMatchesColdAcrossWorkerCounts pins that Monte-Carlo worker
+// fan-out does not leak into results: a warm single-worker DeepAR, a warm
+// four-worker DeepAR, and a cold reference all agree bit-for-bit.
+func TestWarmMatchesColdAcrossWorkerCounts(t *testing.T) {
+	s := noisySine(600, 24, 50, 10, 1, 42)
+	levels := []float64{0.1, 0.5, 0.9}
+	mk := func(workers int) *DeepAR {
+		return NewDeepAR(DeepARConfig{
+			Context: 24, Hidden: 8, Epochs: 2, LR: 5e-3, Seed: 3,
+			MaxWindows: 48, Samples: 20, TrainHorizon: 12, Workers: workers,
+		})
+	}
+	cold, w1, w4 := mk(1), mk(1), mk(4)
+	train := s.Slice(0, 400)
+	for _, m := range []*DeepAR{cold, w1, w4} {
+		if err := m.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, origin := range warmOrigins {
+		hist := s.Slice(0, origin)
+		ref, err := cold.PredictQuantiles(hist, 4, levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f1, err := w1.PredictQuantilesWarm(hist, 4, levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f4, err := w4.PredictQuantilesWarm(hist, 4, levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireFanEqual(t, "workers1", origin, ref, f1)
+		requireFanEqual(t, "workers4", origin, ref, f4)
+	}
+}
+
+// TestWarmSurvivesSaveLoadRestart models the daemon's warm restart: a
+// forecaster that has been predicting warm is checkpointed, restored into
+// a fresh process (Load must invalidate the recurrent cache), and keeps
+// producing bit-identical fans as the origin advances.
+func TestWarmSurvivesSaveLoadRestart(t *testing.T) {
+	s := noisySine(600, 24, 50, 10, 1, 42)
+	levels := []float64{0.1, 0.5, 0.9}
+	mk := func() *DeepAR {
+		return NewDeepAR(DeepARConfig{
+			Context: 24, Hidden: 8, Epochs: 2, LR: 5e-3, Seed: 3,
+			MaxWindows: 48, Samples: 20, TrainHorizon: 12,
+		})
+	}
+	cold, warm := mk(), mk()
+	train := s.Slice(0, 400)
+	if err := cold.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warm.PredictQuantilesWarm(s.Slice(0, 430), 4, levels); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := warm.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := mk()
+	if err := restored.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, origin := range []int{431, 432, 435} {
+		hist := s.Slice(0, origin)
+		ref, err := cold.PredictQuantiles(hist, 4, levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := restored.PredictQuantilesWarm(hist, 4, levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireFanEqual(t, "restored", origin, ref, got)
+	}
+}
+
+// TestDeepARSampleBudgetHook pins the opt-in latency/fidelity trade: a
+// shrunk sample budget still yields a valid, ordered fan, and clearing
+// the hook restores exact warm/cold agreement.
+func TestDeepARSampleBudgetHook(t *testing.T) {
+	s := noisySine(600, 24, 50, 10, 1, 42)
+	levels := []float64{0.1, 0.5, 0.9}
+	mk := func() *DeepAR {
+		return NewDeepAR(DeepARConfig{
+			Context: 24, Hidden: 8, Epochs: 2, LR: 5e-3, Seed: 3,
+			MaxWindows: 48, Samples: 20, TrainHorizon: 12,
+		})
+	}
+	cold, warm := mk(), mk()
+	train := s.Slice(0, 400)
+	if err := cold.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	warm.SetSampleBudget(func(full int) int { return full / 4 })
+	shrunk, err := warm.PredictQuantilesWarm(s.Slice(0, 430), 4, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := shrunk.Validate(); err != nil {
+		t.Fatalf("shrunk-budget fan invalid: %v", err)
+	}
+	warm.SetSampleBudget(nil)
+	for _, origin := range []int{431, 434} {
+		hist := s.Slice(0, origin)
+		ref, err := cold.PredictQuantiles(hist, 4, levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := warm.PredictQuantilesWarm(hist, 4, levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireFanEqual(t, "budget-cleared", origin, ref, got)
+	}
+}
+
+// TestQB5000WarmMatchesCold covers the point-forecast warm contract:
+// PredictWarm advances only the recurrent component's conditioning state,
+// and must agree with Predict exactly across sliding origins, a history
+// clone, and a reset.
+func TestQB5000WarmMatchesCold(t *testing.T) {
+	s := noisySine(600, 24, 50, 10, 1, 42)
+	mk := func() *QB5000 {
+		return NewQB5000(QB5000Config{
+			Context: 24, Hidden: 8, Epochs: 2, LR: 1e-3, Seed: 1,
+			MaxWindows: 48, Bandwidth: 1, TrainHorizon: 12,
+		})
+	}
+	cold, warm := mk(), mk()
+	train := s.Slice(0, 400)
+	if err := cold.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	check := func(label string, hist *timeseries.Series, origin int) {
+		t.Helper()
+		ref, err := cold.Predict(hist, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := warm.PredictWarm(hist, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref {
+			if ref[i] != got[i] {
+				t.Fatalf("%s origin %d step %d: cold %v != warm %v", label, origin, i, ref[i], got[i])
+			}
+		}
+	}
+	for _, origin := range warmOrigins {
+		check("qb5000", s.Slice(0, origin), origin)
+	}
+	check("qb5000/cloned", cloneSeries(s.Slice(0, 450)), 450)
+	warm.WarmReset()
+	check("qb5000/reset", s.Slice(0, 454), 454)
+}

@@ -30,14 +30,24 @@ func Allocate(w, theta float64) int {
 // Plan solves the multi-step problem for a workload path under a uniform
 // threshold: the optimum decomposes per step.
 func Plan(workload []float64, theta float64) ([]int, error) {
+	return PlanInto(workload, theta, nil)
+}
+
+// PlanInto is Plan writing into dst, reallocating only when dst lacks
+// capacity — the allocation-free steady state of a high-frequency control
+// loop replanning every step.
+func PlanInto(workload []float64, theta float64, dst []int) ([]int, error) {
 	if theta <= 0 {
 		return nil, fmt.Errorf("optimize: non-positive threshold %v", theta)
 	}
-	out := make([]int, len(workload))
-	for i, w := range workload {
-		out[i] = Allocate(w, theta)
+	if cap(dst) < len(workload) {
+		dst = make([]int, len(workload))
 	}
-	return out, nil
+	dst = dst[:len(workload)]
+	for i, w := range workload {
+		dst[i] = Allocate(w, theta)
+	}
+	return dst, nil
 }
 
 // PlanThresholds solves the multi-step problem with a per-step threshold

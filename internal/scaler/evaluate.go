@@ -21,11 +21,17 @@ type RateLimited struct {
 
 	last         int
 	lastDecision *obs.Decision
+	cachedName   string
+	innerBuf     []int
 }
 
-// Name implements Strategy.
+// Name implements Strategy. The name is formatted once and cached so the
+// hot planning path never re-formats it.
 func (r *RateLimited) Name() string {
-	return fmt.Sprintf("%s-ratelimit%d", r.Inner.Name(), r.MaxDelta)
+	if r.cachedName == "" {
+		r.cachedName = fmt.Sprintf("%s-ratelimit%d", r.Inner.Name(), r.MaxDelta)
+	}
+	return r.cachedName
 }
 
 // LastDecision implements DecisionProvider: the wrapped strategy's
@@ -35,7 +41,27 @@ func (r *RateLimited) LastDecision() *obs.Decision { return r.lastDecision }
 
 // Plan implements Strategy.
 func (r *RateLimited) Plan(history *timeseries.Series, h int) ([]int, error) {
-	inner, err := r.Inner.Plan(history, h)
+	return r.plan(history, h, false)
+}
+
+// PlanInto implements InPlacePlanner: the inner plan runs on its fast
+// path into a reused buffer. The constrained dynamic program still
+// allocates (bounded by horizon and node range); dst is unused.
+func (r *RateLimited) PlanInto(history *timeseries.Series, h int, _ []int) ([]int, error) {
+	return r.plan(history, h, true)
+}
+
+func (r *RateLimited) plan(history *timeseries.Series, h int, fast bool) ([]int, error) {
+	var inner []int
+	var err error
+	if ipp, ok := r.Inner.(InPlacePlanner); fast && ok {
+		inner, err = ipp.PlanInto(history, h, r.innerBuf)
+		if inner != nil {
+			r.innerBuf = inner
+		}
+	} else {
+		inner, err = r.Inner.Plan(history, h)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -128,12 +154,29 @@ func Evaluate(strategy Strategy, s *timeseries.Series, cfg EvalConfig) (*EvalRes
 	if cfg.Start <= 0 || cfg.Start >= s.Len() {
 		return nil, fmt.Errorf("scaler: evaluation start %d outside series of length %d", cfg.Start, s.Len())
 	}
-	var allocations []int
-	var actuals []float64
+	rounds := (s.Len() - cfg.Start) / cfg.Horizon
+	allocations := make([]int, 0, rounds*cfg.Horizon)
+	actuals := make([]float64, 0, rounds*cfg.Horizon)
+	// One reusable history view and plan buffer keep the steady-state
+	// round allocation-free for in-place strategies: the view shares the
+	// series' backing array, so warm forecasters see a continuous history.
+	view := &timeseries.Series{Name: s.Name, Start: s.Start, Step: s.Step}
+	ipp, _ := strategy.(InPlacePlanner)
+	var planBuf []int
 	prev := 0
 	for origin := cfg.Start; origin+cfg.Horizon <= s.Len(); origin += cfg.Horizon {
 		sp := obs.DefaultTracer.Start("plan-round")
-		plan, err := strategy.Plan(s.Slice(0, origin), cfg.Horizon)
+		view.Values = s.Values[:origin]
+		var plan []int
+		var err error
+		if ipp != nil {
+			plan, err = ipp.PlanInto(view, cfg.Horizon, planBuf)
+			if plan != nil {
+				planBuf = plan
+			}
+		} else {
+			plan, err = strategy.Plan(view, cfg.Horizon)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("scaler: %s planning at %d: %w", strategy.Name(), origin, err)
 		}

@@ -1,0 +1,42 @@
+package scaler
+
+import (
+	"robustscale/internal/timeseries"
+)
+
+// InPlacePlanner is implemented by strategies whose steady-state planning
+// round can run without per-round allocations: PlanInto writes the plan
+// into dst (reallocating only when dst lacks capacity) and routes
+// forecasts through the forecaster's warm path when it keeps one
+// (forecast.IncrementalForecaster / forecast.IncrementalPointForecaster).
+//
+// PlanInto is bit-identical to Plan: the warm forecast paths reproduce
+// their cold counterparts exactly, so a control loop may switch between
+// the two entry points freely. The returned slice (and the strategy's
+// LastDecision / LastFan scratch) is only valid until the next planning
+// round; callers that retain a plan must copy it first.
+type InPlacePlanner interface {
+	Strategy
+	// PlanInto returns integer node allocations for the next h steps,
+	// reusing dst as the output buffer when it has capacity.
+	PlanInto(history *timeseries.Series, h int, dst []int) ([]int, error)
+}
+
+// PlanRound runs one planning round through the fast path when the
+// strategy supports it, falling back to Plan otherwise. dst is reused as
+// the output buffer on the fast path.
+func PlanRound(s Strategy, history *timeseries.Series, h int, dst []int) ([]int, error) {
+	if ipp, ok := s.(InPlacePlanner); ok {
+		return ipp.PlanInto(history, h, dst)
+	}
+	return s.Plan(history, h)
+}
+
+// resizeInts recycles an int scratch slice when its backing array is
+// large enough, mirroring resizeFloats.
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}

@@ -1,0 +1,190 @@
+package scaler
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"robustscale/internal/forecast"
+	"robustscale/internal/timeseries"
+)
+
+// fastpathSeries is a diurnal workload with enough history to fit the
+// real forecasters the fast path specializes for.
+func fastpathSeries(n int) *timeseries.Series {
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 60 + 25*math.Sin(2*math.Pi*float64(i)/24) + 3*math.Sin(float64(i))
+	}
+	start := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	return timeseries.New("fastpath", start, 10*time.Minute, vals)
+}
+
+func smallWarmDeepAR(t testing.TB, train *timeseries.Series) *forecast.DeepAR {
+	t.Helper()
+	m := forecast.NewDeepAR(forecast.DeepARConfig{
+		Context: 24, Hidden: 8, Epochs: 2, LR: 5e-3, Seed: 3,
+		MaxWindows: 48, Samples: 20, TrainHorizon: 12,
+	})
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestPlanIntoMatchesPlan drives twin strategy stacks — one through Plan,
+// one through PlanInto over a sliding shared-array history — and requires
+// identical plans every round. This is the strategy-level face of the
+// warm/cold bit-identity contract.
+func TestPlanIntoMatchesPlan(t *testing.T) {
+	s := fastpathSeries(400)
+	train := s.Slice(0, 300)
+
+	cases := []struct {
+		name string
+		make func() Strategy
+	}{
+		{"reactive-max", func() Strategy { return &ReactiveMax{Window: 6, Theta: 10} }},
+		{"reactive-avg", func() Strategy { return &ReactiveAvg{Window: 6, HalfLife: 6, Theta: 10} }},
+		{"robust-deepar", func() Strategy {
+			return &Robust{Forecaster: smallWarmDeepAR(t, train), Tau: 0.9, Theta: 10}
+		}},
+		{"adaptive-deepar", func() Strategy {
+			return &Adaptive{Forecaster: smallWarmDeepAR(t, train), Tau1: 0.8, Tau2: 0.95, Rho: 5, Theta: 10}
+		}},
+		{"ratelimited-robust", func() Strategy {
+			return &RateLimited{Inner: &Robust{Forecaster: smallWarmDeepAR(t, train), Tau: 0.9, Theta: 10}, MaxDelta: 1}
+		}},
+		{"guard-robust", func() Strategy {
+			return &Guard{
+				Inner:  &Robust{Forecaster: smallWarmDeepAR(t, train), Tau: 0.9, Theta: 10},
+				Config: GuardConfig{Theta: 10, Tau: 0.9},
+			}
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			slow, fast := tc.make(), tc.make()
+			ipp, ok := fast.(InPlacePlanner)
+			if !ok {
+				t.Fatalf("%s does not implement InPlacePlanner", fast.Name())
+			}
+			var buf []int
+			for _, origin := range []int{310, 311, 312, 315, 318, 330} {
+				hist := s.Slice(0, origin)
+				want, err := slow.Plan(hist, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := ipp.PlanInto(hist, 4, buf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				buf = got
+				if len(want) != len(got) {
+					t.Fatalf("origin %d: plan lengths %d vs %d", origin, len(want), len(got))
+				}
+				for i := range want {
+					if want[i] != got[i] {
+						t.Fatalf("origin %d step %d: Plan %d != PlanInto %d (%v vs %v)",
+							origin, i, want[i], got[i], want, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPlanIntoMatchesPlanThroughDegradation exercises the guard's
+// fallback ladder on the fast path: twin guarded stacks degrade when the
+// health hook trips, recover when it clears, and agree with each other
+// bit-for-bit the whole way — including the rounds right after recovery,
+// where warm forecasters recondition.
+func TestPlanIntoMatchesPlanThroughDegradation(t *testing.T) {
+	s := fastpathSeries(400)
+	train := s.Slice(0, 300)
+	healthy := true
+	health := func() (bool, string) {
+		if healthy {
+			return true, ""
+		}
+		return false, "forced degradation"
+	}
+	mk := func() *Guard {
+		return &Guard{
+			Inner:  &Robust{Forecaster: smallWarmDeepAR(t, train), Tau: 0.9, Theta: 10},
+			Config: GuardConfig{Theta: 10, Tau: 0.9},
+			Health: health,
+		}
+	}
+	slow, fast := mk(), mk()
+	var buf []int
+	degraded := false
+	for round, origin := 0, 310; origin < 330; round, origin = round+1, origin+1 {
+		healthy = round < 5 || round >= 12
+		hist := s.Slice(0, origin)
+		want, err := slow.Plan(hist, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := fast.PlanInto(hist, 4, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = got
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("round %d (healthy=%v) step %d: Plan %d != PlanInto %d",
+					round, healthy, i, want[i], got[i])
+			}
+		}
+		if fast.Mode() != slow.Mode() {
+			t.Fatalf("round %d: guard modes diverged: %v vs %v", round, slow.Mode(), fast.Mode())
+		}
+		if fast.Mode() != ModeNormal {
+			degraded = true
+		}
+	}
+	if !degraded {
+		t.Fatal("health hook never degraded the guard; test exercised nothing")
+	}
+}
+
+// TestPlanRoundAllocs is the allocation contract the CI gate enforces:
+// a steady-state planning round is allocation-free for the reactive rules
+// (bare and guard-wrapped) and stays within a small fixed budget for the
+// warm DeepAR robust stack (pooled sample matrices, reused fan and plan).
+func TestPlanRoundAllocs(t *testing.T) {
+	s := fastpathSeries(400)
+	hist := s.Slice(0, 350)
+
+	check := func(name string, limit float64, ipp InPlacePlanner) {
+		var buf []int
+		var err error
+		// Warm caches and scratch buffers are grown outside the
+		// measurement, as in the daemon's steady state.
+		for i := 0; i < 3; i++ {
+			if buf, err = ipp.PlanInto(hist, 1, buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		allocs := testing.AllocsPerRun(50, func() {
+			if buf, err = ipp.PlanInto(hist, 1, buf); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > limit {
+			t.Errorf("%s: %v allocs per steady-state round, budget %v", name, allocs, limit)
+		}
+	}
+
+	check("reactive-max", 0, &ReactiveMax{Window: 6, Theta: 10})
+	check("reactive-avg", 0, &ReactiveAvg{Window: 6, HalfLife: 6, Theta: 10})
+	check("guard-reactive-max", 0, &Guard{
+		Inner:  &ReactiveMax{Window: 6, Theta: 10},
+		Config: GuardConfig{Theta: 10, Tau: 0.9},
+	})
+	train := s.Slice(0, 300)
+	check("robust-deepar-warm", 24, &Robust{Forecaster: smallWarmDeepAR(t, train), Tau: 0.9, Theta: 10})
+}

@@ -203,6 +203,19 @@ func (g *Guard) Observe(actual []float64) {
 
 // Plan implements Strategy: the guarded control loop of one round.
 func (g *Guard) Plan(history *timeseries.Series, h int) ([]int, error) {
+	return g.plan(history, h, nil, false)
+}
+
+// PlanInto implements InPlacePlanner: the inner strategy plans on its
+// fast path (warm forecasts, reused buffers) while every rung of the
+// guard ladder stays armed. A history sanitized onto a copy no longer
+// shares its backing array with the live series, so warm forecasters
+// self-invalidate and rebuild cold — bit-identical by the warm contract.
+func (g *Guard) PlanInto(history *timeseries.Series, h int, dst []int) ([]int, error) {
+	return g.plan(history, h, dst, true)
+}
+
+func (g *Guard) plan(history *timeseries.Series, h int, dst []int, fast bool) ([]int, error) {
 	if g.Inner == nil {
 		return nil, fmt.Errorf("scaler: guard has no inner strategy")
 	}
@@ -219,7 +232,13 @@ func (g *Guard) Plan(history *timeseries.Series, h int) ([]int, error) {
 			return g.fallbackPlan(hist, h, cfg, "calibration breach: "+why)
 		}
 	}
-	plan, err := g.Inner.Plan(hist, h)
+	var plan []int
+	var err error
+	if ipp, ok := g.Inner.(InPlacePlanner); fast && ok {
+		plan, err = ipp.PlanInto(hist, h, dst)
+	} else {
+		plan, err = g.Inner.Plan(hist, h)
+	}
 	if err != nil {
 		return g.fallbackPlan(hist, h, cfg, fmt.Sprintf("forecaster error: %v", err))
 	}
@@ -362,8 +381,16 @@ func (g *Guard) sanityBound(hist *timeseries.Series, cfg GuardConfig) float64 {
 	if cfg.BlowupFactor < 0 || hist == nil || hist.Len() == 0 {
 		return 0
 	}
-	recent := hist.Last(cfg.HistoryWindow)
-	peak := recent.Max()
+	start := hist.Len() - cfg.HistoryWindow
+	if start < 0 {
+		start = 0
+	}
+	peak := math.Inf(-1)
+	for i := start; i < hist.Len(); i++ {
+		if v := hist.At(i); v > peak {
+			peak = v
+		}
+	}
 	if !isFinite(peak) || peak <= 0 {
 		return 0
 	}

@@ -85,6 +85,12 @@ func (r *ReactiveMax) LastDecision() *obs.Decision { return r.lastDecision }
 // Plan implements Strategy: the window maximum drives a flat allocation
 // for the whole horizon (a reactive scaler has no forward model).
 func (r *ReactiveMax) Plan(history *timeseries.Series, h int) ([]int, error) {
+	return r.PlanInto(history, h, nil)
+}
+
+// PlanInto implements InPlacePlanner: the window maximum is computed in
+// place, so a steady-state round allocates nothing.
+func (r *ReactiveMax) PlanInto(history *timeseries.Series, h int, dst []int) ([]int, error) {
 	if history.Len() == 0 {
 		return nil, ErrNoHistory
 	}
@@ -95,10 +101,21 @@ func (r *ReactiveMax) Plan(history *timeseries.Series, h int) ([]int, error) {
 	if window <= 0 {
 		window = 6
 	}
-	tail := history.Last(window)
-	peak := tail.Max()
+	start := history.Len() - window
+	if start < 0 {
+		start = 0
+	}
+	peak := math.Inf(-1)
+	for i := start; i < history.Len(); i++ {
+		if v := history.At(i); v > peak {
+			peak = v
+		}
+	}
 	c := optimize.Allocate(peak, r.Theta)
-	plan := flat(c, h)
+	plan := resizeInts(dst, h)
+	for i := range plan {
+		plan[i] = c
+	}
 	if obs.DefaultDecisions.Enabled() {
 		r.lastDecision = flatDecision(r.lastDecision, r.Name(), h, r.Theta, peak, plan)
 	} else if r.lastDecision != nil {
@@ -129,6 +146,12 @@ func (r *ReactiveAvg) LastDecision() *obs.Decision { return r.lastDecision }
 
 // Plan implements Strategy.
 func (r *ReactiveAvg) Plan(history *timeseries.Series, h int) ([]int, error) {
+	return r.PlanInto(history, h, nil)
+}
+
+// PlanInto implements InPlacePlanner: the weighted window average is
+// computed in place, so a steady-state round allocates nothing.
+func (r *ReactiveAvg) PlanInto(history *timeseries.Series, h int, dst []int) ([]int, error) {
 	if history.Len() == 0 {
 		return nil, ErrNoHistory
 	}
@@ -143,33 +166,31 @@ func (r *ReactiveAvg) Plan(history *timeseries.Series, h int) ([]int, error) {
 	if half <= 0 {
 		half = 6
 	}
-	tail := history.Last(window)
+	start := history.Len() - window
+	if start < 0 {
+		start = 0
+	}
 	decay := math.Pow(0.5, 1/half)
 	weight := 1.0
 	sum, wsum := 0.0, 0.0
 	// Most recent observation carries the largest weight.
-	for i := tail.Len() - 1; i >= 0; i-- {
-		sum += weight * tail.At(i)
+	for i := history.Len() - 1; i >= start; i-- {
+		sum += weight * history.At(i)
 		wsum += weight
 		weight *= decay
 	}
 	avg := sum / wsum
 	c := optimize.Allocate(avg, r.Theta)
-	plan := flat(c, h)
+	plan := resizeInts(dst, h)
+	for i := range plan {
+		plan[i] = c
+	}
 	if obs.DefaultDecisions.Enabled() {
 		r.lastDecision = flatDecision(r.lastDecision, r.Name(), h, r.Theta, avg, plan)
 	} else if r.lastDecision != nil {
 		r.lastDecision = nil
 	}
 	return plan, nil
-}
-
-func flat(c, h int) []int {
-	out := make([]int, h)
-	for i := range out {
-		out[i] = c
-	}
-	return out
 }
 
 // Predictive scales on a point forecast (Definition 3 with predicted
@@ -183,22 +204,45 @@ type Predictive struct {
 
 	lastPrediction []float64
 	lastDecision   *obs.Decision
+	cachedName     string
 }
 
-// Name implements Strategy.
-func (p *Predictive) Name() string { return p.Forecaster.Name() }
+// Name implements Strategy. The name is derived from the forecaster once
+// and cached so the hot planning path never re-formats it.
+func (p *Predictive) Name() string {
+	if p.cachedName == "" {
+		p.cachedName = p.Forecaster.Name()
+	}
+	return p.cachedName
+}
 
 // LastDecision implements DecisionProvider.
 func (p *Predictive) LastDecision() *obs.Decision { return p.lastDecision }
 
 // Plan implements Strategy.
 func (p *Predictive) Plan(history *timeseries.Series, h int) ([]int, error) {
+	return p.plan(history, h, nil, false)
+}
+
+// PlanInto implements InPlacePlanner, routing the forecast through the
+// forecaster's warm path when it keeps one.
+func (p *Predictive) PlanInto(history *timeseries.Series, h int, dst []int) ([]int, error) {
+	return p.plan(history, h, dst, true)
+}
+
+func (p *Predictive) plan(history *timeseries.Series, h int, dst []int, warm bool) ([]int, error) {
 	if p.Theta <= 0 {
 		return nil, fmt.Errorf("scaler: predictive threshold %v", p.Theta)
 	}
 	t0 := time.Now()
 	sp := obs.DefaultTracer.Start("forecast")
-	pred, err := p.Forecaster.Predict(history, h)
+	var pred []float64
+	var err error
+	if inc, ok := p.Forecaster.(forecast.IncrementalPointForecaster); warm && ok {
+		pred, err = inc.PredictWarm(history, h)
+	} else {
+		pred, err = p.Forecaster.Predict(history, h)
+	}
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -207,7 +251,7 @@ func (p *Predictive) Plan(history *timeseries.Series, h int) ([]int, error) {
 	p.lastPrediction = pred
 	t0 = time.Now()
 	sp = obs.DefaultTracer.Start("optimize")
-	plan, err := optimize.Plan(pred, p.Theta)
+	plan, err := optimize.PlanInto(pred, p.Theta, dst)
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -243,6 +287,9 @@ type Robust struct {
 
 	lastFan      *forecast.QuantileForecast
 	lastDecision *obs.Decision
+	cachedName   string
+	tauLevels    []float64
+	pathBuf      []float64
 }
 
 // LastFan implements FanProvider.
@@ -251,35 +298,53 @@ func (r *Robust) LastFan() *forecast.QuantileForecast { return r.lastFan }
 // LastDecision implements DecisionProvider.
 func (r *Robust) LastDecision() *obs.Decision { return r.lastDecision }
 
-// Name implements Strategy.
+// Name implements Strategy. The name is formatted once and cached so the
+// hot planning path never re-formats it.
 func (r *Robust) Name() string {
-	return fmt.Sprintf("%s-%g", r.Forecaster.Name(), r.Tau)
+	if r.cachedName == "" {
+		r.cachedName = fmt.Sprintf("%s-%g", r.Forecaster.Name(), r.Tau)
+	}
+	return r.cachedName
 }
 
 // Plan implements Strategy.
 func (r *Robust) Plan(history *timeseries.Series, h int) ([]int, error) {
+	return r.plan(history, h, nil, false)
+}
+
+// PlanInto implements InPlacePlanner, routing the forecast through the
+// forecaster's warm path when it keeps one.
+func (r *Robust) PlanInto(history *timeseries.Series, h int, dst []int) ([]int, error) {
+	return r.plan(history, h, dst, true)
+}
+
+func (r *Robust) plan(history *timeseries.Series, h int, dst []int, warm bool) ([]int, error) {
 	if r.Theta <= 0 {
 		return nil, fmt.Errorf("scaler: robust threshold %v", r.Theta)
 	}
 	if r.Tau <= 0 || r.Tau >= 1 {
 		return nil, fmt.Errorf("scaler: robust quantile level %v outside (0, 1)", r.Tau)
 	}
+	if len(r.tauLevels) != 1 || r.tauLevels[0] != r.Tau {
+		r.tauLevels = []float64{r.Tau}
+	}
 	t0 := time.Now()
 	sp := obs.DefaultTracer.Start("forecast")
-	f, err := r.Forecaster.PredictQuantiles(history, h, []float64{r.Tau})
+	f, err := predictQuantiles(r.Forecaster, warm, history, h, r.tauLevels)
 	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	stageForecast.ObserveSince(t0)
 	r.lastFan = f
-	path := make([]float64, h)
+	path := resizeFloats(r.pathBuf, h)
+	r.pathBuf = path
 	for t := 0; t < h; t++ {
 		path[t] = f.Values[t][0]
 	}
 	t0 = time.Now()
 	sp = obs.DefaultTracer.Start("optimize")
-	plan, err := optimize.Plan(path, r.Theta)
+	plan, err := optimize.PlanInto(path, r.Theta, dst)
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -300,6 +365,18 @@ func (r *Robust) Plan(history *timeseries.Series, h int) ([]int, error) {
 	return plan, nil
 }
 
+// predictQuantiles dispatches a quantile forecast through the warm path
+// when the round allows it and the forecaster keeps warm state; the two
+// paths are bit-identical by the IncrementalForecaster contract.
+func predictQuantiles(qf forecast.QuantileForecaster, warm bool, history *timeseries.Series, h int, levels []float64) (*forecast.QuantileForecast, error) {
+	if warm {
+		if inc, ok := qf.(forecast.IncrementalForecaster); ok {
+			return inc.PredictQuantilesWarm(history, h, levels)
+		}
+	}
+	return qf.PredictQuantiles(history, h, levels)
+}
+
 // Adaptive is the uncertainty-aware adaptive strategy of Algorithm 1: at
 // each step the uncertainty U of the quantile fan decides between the
 // optimistic level Tau1 and the conservative level Tau2.
@@ -318,6 +395,11 @@ type Adaptive struct {
 
 	lastFan      *forecast.QuantileForecast
 	lastDecision *obs.Decision
+	cachedName   string
+	us           []float64
+	taus         []float64
+	qs           []float64
+	binding      []string
 }
 
 // LastFan implements FanProvider.
@@ -326,13 +408,27 @@ func (a *Adaptive) LastFan() *forecast.QuantileForecast { return a.lastFan }
 // LastDecision implements DecisionProvider.
 func (a *Adaptive) LastDecision() *obs.Decision { return a.lastDecision }
 
-// Name implements Strategy.
+// Name implements Strategy. The name is formatted once and cached so the
+// hot planning path never re-formats it.
 func (a *Adaptive) Name() string {
-	return fmt.Sprintf("%s-adaptive-%g/%g", a.Forecaster.Name(), a.Tau1, a.Tau2)
+	if a.cachedName == "" {
+		a.cachedName = fmt.Sprintf("%s-adaptive-%g/%g", a.Forecaster.Name(), a.Tau1, a.Tau2)
+	}
+	return a.cachedName
 }
 
 // Plan implements Strategy (Algorithm 1).
 func (a *Adaptive) Plan(history *timeseries.Series, h int) ([]int, error) {
+	return a.plan(history, h, nil, false)
+}
+
+// PlanInto implements InPlacePlanner, routing the forecast through the
+// forecaster's warm path when it keeps one.
+func (a *Adaptive) PlanInto(history *timeseries.Series, h int, dst []int) ([]int, error) {
+	return a.plan(history, h, dst, true)
+}
+
+func (a *Adaptive) plan(history *timeseries.Series, h int, dst []int, warm bool) ([]int, error) {
 	if err := a.validate(); err != nil {
 		return nil, err
 	}
@@ -342,7 +438,7 @@ func (a *Adaptive) Plan(history *timeseries.Series, h int) ([]int, error) {
 	}
 	t0 := time.Now()
 	sp := obs.DefaultTracer.Start("forecast")
-	f, err := a.Forecaster.PredictQuantiles(history, h, levels)
+	f, err := predictQuantiles(a.Forecaster, warm, history, h, levels)
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -351,15 +447,16 @@ func (a *Adaptive) Plan(history *timeseries.Series, h int) ([]int, error) {
 	a.lastFan = f
 	t0 = time.Now()
 	sp = obs.DefaultTracer.Start("optimize")
-	us, err := Uncertainties(f)
+	a.us, err = uncertaintiesInto(f, a.us)
 	if err != nil {
 		sp.End()
 		return nil, err
 	}
-	out := make([]int, h)
-	taus := make([]float64, h)
-	qs := make([]float64, h)
-	binding := make([]string, h)
+	us := a.us
+	out := resizeInts(dst, h)
+	a.taus = resizeFloats(a.taus, h)
+	a.qs = resizeFloats(a.qs, h)
+	a.binding = resizeStrings(a.binding, h)
 	for t := 0; t < h; t++ {
 		tau := a.Tau1
 		if us[t] >= a.Rho {
@@ -367,16 +464,21 @@ func (a *Adaptive) Plan(history *timeseries.Series, h int) ([]int, error) {
 		}
 		qv := f.At(t, tau)
 		out[t] = optimize.Allocate(qv, a.Theta)
-		taus[t], qs[t], binding[t] = tau, qv, bindingFor(qv)
+		a.taus[t], a.qs[t], a.binding[t] = tau, qv, bindingFor(qv)
 	}
 	sp.End()
 	stageOptimize.ObserveSince(t0)
 	if obs.DefaultDecisions.Enabled() {
-		a.lastDecision = &obs.Decision{
-			Strategy: a.Name(), Horizon: h, Theta: a.Theta, Nodes: out,
-			U: us, Tau: taus, Tau1: a.Tau1, Tau2: a.Tau2, Rho: a.Rho,
-			Quantile: qs, Binding: binding,
+		d := a.lastDecision
+		if d == nil {
+			d = &obs.Decision{}
 		}
+		*d = obs.Decision{
+			Strategy: a.Name(), Horizon: h, Theta: a.Theta, Nodes: out,
+			U: us, Tau: a.taus, Tau1: a.Tau1, Tau2: a.Tau2, Rho: a.Rho,
+			Quantile: a.qs, Binding: a.binding,
+		}
+		a.lastDecision = d
 	} else if a.lastDecision != nil {
 		a.lastDecision = nil
 	}
@@ -397,7 +499,13 @@ func (a *Adaptive) validate() error {
 // Uncertainties computes the per-step uncertainty metric U (Equation 8)
 // of a quantile forecast, measuring each level against the median.
 func Uncertainties(f *forecast.QuantileForecast) ([]float64, error) {
-	out := make([]float64, f.Horizon())
+	return uncertaintiesInto(f, nil)
+}
+
+// uncertaintiesInto is Uncertainties writing into a recycled scratch
+// slice.
+func uncertaintiesInto(f *forecast.QuantileForecast, dst []float64) ([]float64, error) {
+	out := resizeFloats(dst, f.Horizon())
 	for t := range out {
 		median := f.At(t, 0.5)
 		u, err := metrics.Uncertainty(f.Levels, f.Step(t), median)
@@ -435,6 +543,11 @@ type Staircase struct {
 
 	lastFan      *forecast.QuantileForecast
 	lastDecision *obs.Decision
+	cachedName   string
+	us           []float64
+	taus         []float64
+	qs           []float64
+	binding      []string
 }
 
 // LastFan implements FanProvider.
@@ -443,13 +556,27 @@ func (s *Staircase) LastFan() *forecast.QuantileForecast { return s.lastFan }
 // LastDecision implements DecisionProvider.
 func (s *Staircase) LastDecision() *obs.Decision { return s.lastDecision }
 
-// Name implements Strategy.
+// Name implements Strategy. The name is formatted once and cached so the
+// hot planning path never re-formats it.
 func (s *Staircase) Name() string {
-	return fmt.Sprintf("%s-staircase-%d", s.Forecaster.Name(), len(s.Rungs))
+	if s.cachedName == "" {
+		s.cachedName = fmt.Sprintf("%s-staircase-%d", s.Forecaster.Name(), len(s.Rungs))
+	}
+	return s.cachedName
 }
 
 // Plan implements Strategy.
 func (s *Staircase) Plan(history *timeseries.Series, h int) ([]int, error) {
+	return s.plan(history, h, nil, false)
+}
+
+// PlanInto implements InPlacePlanner, routing the forecast through the
+// forecaster's warm path when it keeps one.
+func (s *Staircase) PlanInto(history *timeseries.Series, h int, dst []int) ([]int, error) {
+	return s.plan(history, h, dst, true)
+}
+
+func (s *Staircase) plan(history *timeseries.Series, h int, dst []int, warm bool) ([]int, error) {
 	if s.Theta <= 0 {
 		return nil, fmt.Errorf("scaler: staircase threshold %v", s.Theta)
 	}
@@ -467,7 +594,7 @@ func (s *Staircase) Plan(history *timeseries.Series, h int) ([]int, error) {
 	}
 	t0 := time.Now()
 	sp := obs.DefaultTracer.Start("forecast")
-	f, err := s.Forecaster.PredictQuantiles(history, h, levels)
+	f, err := predictQuantiles(s.Forecaster, warm, history, h, levels)
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -476,15 +603,16 @@ func (s *Staircase) Plan(history *timeseries.Series, h int) ([]int, error) {
 	s.lastFan = f
 	t0 = time.Now()
 	sp = obs.DefaultTracer.Start("optimize")
-	us, err := Uncertainties(f)
+	s.us, err = uncertaintiesInto(f, s.us)
 	if err != nil {
 		sp.End()
 		return nil, err
 	}
-	out := make([]int, h)
-	taus := make([]float64, h)
-	qs := make([]float64, h)
-	binding := make([]string, h)
+	us := s.us
+	out := resizeInts(dst, h)
+	s.taus = resizeFloats(s.taus, h)
+	s.qs = resizeFloats(s.qs, h)
+	s.binding = resizeStrings(s.binding, h)
 	for t := 0; t < h; t++ {
 		tau := s.Base
 		for _, rung := range s.Rungs {
@@ -494,15 +622,19 @@ func (s *Staircase) Plan(history *timeseries.Series, h int) ([]int, error) {
 		}
 		qv := f.At(t, tau)
 		out[t] = optimize.Allocate(qv, s.Theta)
-		taus[t], qs[t], binding[t] = tau, qv, bindingFor(qv)
+		s.taus[t], s.qs[t], s.binding[t] = tau, qv, bindingFor(qv)
 	}
 	sp.End()
 	stageOptimize.ObserveSince(t0)
 	if obs.DefaultDecisions.Enabled() {
-		d := &obs.Decision{
+		d := s.lastDecision
+		if d == nil {
+			d = &obs.Decision{}
+		}
+		*d = obs.Decision{
 			Strategy: s.Name(), Horizon: h, Theta: s.Theta, Nodes: out,
-			U: us, Tau: taus, Tau1: s.Base, Tau2: s.Base,
-			Quantile: qs, Binding: binding,
+			U: us, Tau: s.taus, Tau1: s.Base, Tau2: s.Base,
+			Quantile: s.qs, Binding: s.binding,
 		}
 		if len(s.Rungs) > 0 {
 			d.Rho = s.Rungs[0].Rho

@@ -66,6 +66,11 @@ func (s *StandardScaler) Inverse(values []float64) []float64 {
 	return out
 }
 
+// TransformOne maps one raw value to a z-score; elementwise identical to
+// Transform, for hot paths that normalize streaming observations without
+// allocating a slice.
+func (s *StandardScaler) TransformOne(v float64) float64 { return (v - s.Mean) / s.Std }
+
 // InverseOne maps one z-score back to a raw value.
 func (s *StandardScaler) InverseOne(v float64) float64 { return v*s.Std + s.Mean }
 

@@ -1,0 +1,132 @@
+#!/usr/bin/env bash
+# bench_plan_round.sh — measure and gate the planning fast path.
+#
+# Runs BenchmarkPlanRound -count N, reduces each sub-benchmark to its
+# median ns/op (medians shrug off scheduler noise that would whipsaw a
+# mean-based gate), and either:
+#
+#   save   — write the result to BENCH_plan_round.json as the committed
+#            baseline, or
+#   check  — fail if, against the committed baseline,
+#              * any sub-benchmark's allocs/op changed at all (the
+#                zero-alloc steady state is an exact contract), or
+#              * any sub-benchmark's ns/op exceeds baseline * BENCH_TOLERANCE
+#                (generous, to absorb hardware differences while still
+#                catching order-of-magnitude regressions), or
+#              * the within-run deepar warm/cold speedup falls below
+#                BENCH_MIN_SPEEDUP (hardware-independent: both sides run
+#                on the same machine).
+#
+# The freshly measured JSON is always written to $BENCH_OUT for CI
+# artifact upload.
+set -euo pipefail
+
+mode="${1:-check}"
+cd "$(dirname "$0")/.."
+
+baseline="${2:-BENCH_plan_round.json}"
+out="${BENCH_OUT:-/tmp/bench_plan_round.current.json}"
+count="${BENCH_COUNT:-5}"
+benchtime="${BENCH_TIME:-300ms}"
+tolerance="${BENCH_TOLERANCE:-2.5}"
+min_speedup="${BENCH_MIN_SPEEDUP:-5}"
+
+raw="$(go test ./internal/scaler/ -run '^$' -bench '^BenchmarkPlanRound$' \
+    -benchtime "$benchtime" -count "$count")"
+echo "$raw"
+
+names="$(printf '%s\n' "$raw" | awk '
+    $1 ~ /^BenchmarkPlanRound\// && $4 == "ns/op" {
+        n = $1; sub(/^BenchmarkPlanRound\//, "", n); sub(/-[0-9]+$/, "", n); print n
+    }' | sort -u)"
+if [ -z "$names" ]; then
+    echo "bench_plan_round: no BenchmarkPlanRound results parsed" >&2
+    exit 1
+fi
+
+rows="{}"
+speedup_cold=""
+speedup_warm=""
+for name in $names; do
+    ns_median="$(printf '%s\n' "$raw" | awk -v n="$name" '
+        $1 ~ /^BenchmarkPlanRound\// && $4 == "ns/op" {
+            b = $1; sub(/^BenchmarkPlanRound\//, "", b); sub(/-[0-9]+$/, "", b)
+            if (b == n) print $3
+        }' | sort -n | awk '{ a[NR] = $1 } END {
+            if (NR % 2) print a[(NR + 1) / 2]
+            else printf "%.6g\n", (a[NR / 2] + a[NR / 2 + 1]) / 2
+        }')"
+    allocs_max="$(printf '%s\n' "$raw" | awk -v n="$name" '
+        $1 ~ /^BenchmarkPlanRound\// && $8 == "allocs/op" {
+            b = $1; sub(/^BenchmarkPlanRound\//, "", b); sub(/-[0-9]+$/, "", b)
+            if (b == n && $7 + 0 > m) m = $7 + 0
+        } END { print m + 0 }')"
+    bytes_max="$(printf '%s\n' "$raw" | awk -v n="$name" '
+        $1 ~ /^BenchmarkPlanRound\// && $6 == "B/op" {
+            b = $1; sub(/^BenchmarkPlanRound\//, "", b); sub(/-[0-9]+$/, "", b)
+            if (b == n && $5 + 0 > m) m = $5 + 0
+        } END { print m + 0 }')"
+    rows="$(printf '%s' "$rows" | jq --arg n "$name" \
+        --argjson ns "$ns_median" --argjson a "$allocs_max" --argjson by "$bytes_max" \
+        '. + {($n): {ns_op: $ns, allocs_op: $a, bytes_op: $by}}')"
+    [ "$name" = "deepar-cold" ] && speedup_cold="$ns_median"
+    [ "$name" = "deepar-warm" ] && speedup_warm="$ns_median"
+done
+
+speedup=0
+if [ -n "$speedup_cold" ] && [ -n "$speedup_warm" ]; then
+    speedup="$(awk -v c="$speedup_cold" -v w="$speedup_warm" 'BEGIN { printf "%.2f\n", c / w }')"
+fi
+
+jq -n --argjson rows "$rows" --argjson speedup "$speedup" \
+    --arg go "$(go env GOVERSION)" --arg count "$count" --arg benchtime "$benchtime" \
+    '{benchmark: "BenchmarkPlanRound", go: $go,
+      count: ($count | tonumber), benchtime: $benchtime,
+      warm_speedup: $speedup, rows: $rows}' > "$out"
+echo "bench_plan_round: wrote $out"
+
+case "$mode" in
+save)
+    cp "$out" "$baseline"
+    echo "bench_plan_round: baseline saved to $baseline"
+    ;;
+check)
+    if [ ! -f "$baseline" ]; then
+        echo "bench_plan_round: missing baseline $baseline (run 'make bench-save')" >&2
+        exit 1
+    fi
+    fail=0
+    for name in $(jq -r '.rows | keys[]' "$baseline"); do
+        if ! jq -e --arg n "$name" '.rows[$n]' "$out" > /dev/null; then
+            echo "FAIL: sub-benchmark $name missing from current run" >&2
+            fail=1
+            continue
+        fi
+        base_allocs="$(jq -r --arg n "$name" '.rows[$n].allocs_op' "$baseline")"
+        cur_allocs="$(jq -r --arg n "$name" '.rows[$n].allocs_op' "$out")"
+        if [ "$base_allocs" != "$cur_allocs" ]; then
+            echo "FAIL: $name allocs/op = $cur_allocs, baseline pins $base_allocs exactly" >&2
+            fail=1
+        fi
+        base_ns="$(jq -r --arg n "$name" '.rows[$n].ns_op' "$baseline")"
+        cur_ns="$(jq -r --arg n "$name" '.rows[$n].ns_op' "$out")"
+        if awk -v b="$base_ns" -v c="$cur_ns" -v t="$tolerance" \
+            'BEGIN { exit !(c > b * t) }'; then
+            echo "FAIL: $name ns/op = $cur_ns, above baseline $base_ns x tolerance $tolerance" >&2
+            fail=1
+        fi
+    done
+    if ! jq -e --argjson min "$min_speedup" '.warm_speedup >= $min' "$out" > /dev/null; then
+        echo "FAIL: warm/cold speedup $(jq -r .warm_speedup "$out") below required ${min_speedup}x" >&2
+        fail=1
+    fi
+    if [ "$fail" -ne 0 ]; then
+        exit 1
+    fi
+    echo "bench_plan_round: PASS (warm/cold speedup $(jq -r .warm_speedup "$out")x)"
+    ;;
+*)
+    echo "usage: $0 {save|check} [baseline.json]" >&2
+    exit 2
+    ;;
+esac
