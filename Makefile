@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race cover bench bench-compile bench-save bench-check fuzz ci experiments examples clean
+.PHONY: all build test vet race cover bench bench-compile bench-save bench-check fuzz fleet-smoke ci experiments examples clean
 
 all: build vet test
 
@@ -13,10 +13,11 @@ vet:
 	$(GO) vet ./...
 
 # RACE_PKGS are the packages with real concurrency (worker pools,
-# gradient replicas, the shared model zoo, the circuit breaker and the
-# chaos cursor); the default test target runs them under the race
-# detector on top of the plain suite.
-RACE_PKGS = ./internal/parallel/... ./internal/nn/... ./internal/forecast/... ./internal/experiment/... ./internal/obs/... ./internal/scaler/... ./internal/chaos/... ./internal/cluster/... ./internal/persist/...
+# gradient replicas, the shared model zoo, the circuit breaker, the
+# chaos cursor and the fleet controller's batched planning); the default
+# test target runs them under the race detector on top of the plain
+# suite.
+RACE_PKGS = ./internal/parallel/... ./internal/nn/... ./internal/forecast/... ./internal/experiment/... ./internal/obs/... ./internal/scaler/... ./internal/chaos/... ./internal/cluster/... ./internal/persist/... ./internal/fleet/...
 
 test:
 	$(GO) test ./...
@@ -49,6 +50,12 @@ bench-check:
 fuzz:
 	$(GO) test -fuzz=FuzzLoadCheckpoint -fuzztime=10s ./internal/persist
 
+# Fleet determinism and durability drill (same script CI runs): worker
+# counts invisible in results, kill-restart bit-identity, single-tenant
+# corruption isolation, tenant-labelled metrics.
+fleet-smoke:
+	scripts/fleet_smoke.sh
+
 # Everything the CI workflow checks, runnable locally in one shot.
 ci: build vet
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
@@ -56,6 +63,7 @@ ci: build vet
 	$(GO) test ./...
 	$(GO) test -race $(RACE_PKGS)
 	$(MAKE) bench-compile
+	$(MAKE) fleet-smoke
 
 # Regenerate every paper table/figure with the CLI runner.
 experiments:

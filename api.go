@@ -4,6 +4,7 @@ import (
 	"robustscale/internal/chaos"
 	"robustscale/internal/cluster"
 	"robustscale/internal/core"
+	"robustscale/internal/fleet"
 	"robustscale/internal/forecast"
 	"robustscale/internal/metrics"
 	"robustscale/internal/obs"
@@ -417,3 +418,30 @@ var (
 // ChaosCrashRestart is the crash-restart fault class consumed by the
 // restartable loop harness.
 const ChaosCrashRestart = chaos.CrashRestart
+
+// Multi-tenant fleet control plane.
+type (
+	// FleetConfig sizes and parameterizes a multi-tenant fleet run.
+	FleetConfig = fleet.Config
+	// FleetController replays N independent tenants in lock-step
+	// planning rounds, batching forecaster inference across a worker
+	// pool without changing a single output bit.
+	FleetController = fleet.Controller
+	// FleetReport is the aggregate outcome of a fleet run, including
+	// the deterministic fleet hash.
+	FleetReport = fleet.Report
+	// FleetTenantReport is one tenant's deterministic replay outcome.
+	FleetTenantReport = fleet.TenantReport
+)
+
+// Fleet entry points.
+var (
+	// NewFleet validates the configuration and builds (or recovers)
+	// every tenant.
+	NewFleet = fleet.New
+	// DefaultFleetConfig is a small-trace fleet configuration sized for
+	// simulation.
+	DefaultFleetConfig = fleet.DefaultConfig
+	// FleetTenantID derives the canonical tenant id for an index.
+	FleetTenantID = fleet.TenantID
+)

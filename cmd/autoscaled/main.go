@@ -26,8 +26,12 @@
 // bounded event journal as JSON, filterable by ?kind= and ?since_seq=),
 // /trace (control-loop spans as Chrome trace-event JSON, loadable in
 // Perfetto), /decisions (per-round "why did we scale?" records,
-// filterable by ?strategy= &from= &to=) and /debug/pprof (runtime
-// profiles), and keeps serving after the replay until interrupted.
+// filterable by ?strategy= &from= &to= &tenant=) and /debug/pprof
+// (runtime profiles), and keeps serving after the replay until
+// interrupted. -tenant labels everything the daemon emits — /status,
+// decision records, journal events and the checkpoint fingerprint —
+// so several daemons can share a dashboard; the default id is
+// "default".
 // -trace-out additionally writes the Chrome trace to a file when the
 // replay ends, and -explain prints the decision explanation for a
 // series step (or "latest") after the run.
@@ -73,6 +77,7 @@ func main() {
 	log.SetFlags(0)
 	var (
 		dataset    = flag.String("dataset", "alibaba", "workload: alibaba or google")
+		tenant     = flag.String("tenant", obs.DefaultTenant, "tenant id labelling this daemon's decisions, journal events, metrics and checkpoints")
 		seed       = flag.Int64("seed", 42, "trace seed")
 		days       = flag.Int("days", 7, "how many days of workload to replay")
 		strategy   = flag.String("strategy", "robust", "robust | adaptive | reactive-max | reactive-avg")
@@ -108,6 +113,10 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := persist.ValidTenantID(*tenant); err != nil {
+		log.Fatalf("autoscaled: %v", err)
+	}
+
 	// A signal turns into context cancellation: the replay loop checks it
 	// at round boundaries, writes a final checkpoint, and drains the
 	// observability endpoint instead of dying mid-write.
@@ -135,6 +144,7 @@ func main() {
 	// without its observability surface is worse than one that refuses
 	// to start — and operators can probe /status while training runs.
 	registry := ops.NewRegistry(*strategy, *theta)
+	registry.Update(func(s *ops.Status) { s.Tenant = *tenant })
 	var httpSrv *http.Server
 	if *listen != "" {
 		ln, err := net.Listen("tcp", *listen)
@@ -224,7 +234,7 @@ func main() {
 	// from an identical run configuration and its origin lands on a round
 	// boundary of this replay.
 	fp := persist.Fingerprint{
-		Strategy: *strategy, Dataset: *dataset, Seed: *seed,
+		Tenant: *tenant, Strategy: *strategy, Dataset: *dataset, Seed: *seed,
 		Theta: *theta, Horizon: *horizon, Tau: *tau, Tau2: *tau2,
 	}
 	var mgr *persist.Manager
@@ -486,7 +496,7 @@ func main() {
 				plan[i] = prevAlloc
 			}
 		}
-		scaler.RecordDecision(planner, origin, c.Now(), prevAlloc, plan)
+		scaler.RecordDecisionFor(planner, *tenant, origin, c.Now(), prevAlloc, plan)
 		// The status registry publishes tails of the plan for the whole
 		// round while the fast path rewrites its buffer next round, so it
 		// gets its own copy.
@@ -512,7 +522,7 @@ func main() {
 					c.Kill(kills)
 					log.Printf("%s FAULT: killed %d node(s), fleet now %d",
 						cpu.TimeAt(t).Format("Jan 02 15:04"), kills, c.Size())
-					obs.DefaultJournal.RecordAt(c.Now(), "fault",
+					obs.DefaultJournal.RecordTenantAt(c.Now(), *tenant, "fault",
 						fmt.Sprintf("failure event killed %d node(s)", kills),
 						map[string]float64{"killed": float64(kills), "nodes": float64(c.Size())})
 				}
@@ -530,7 +540,7 @@ func main() {
 			if actual != prevAlloc {
 				log.Printf("%s scale %d -> %d nodes (workload %.0f)",
 					cpu.TimeAt(t).Format("Jan 02 15:04"), prevAlloc, actual, cpu.At(t))
-				obs.DefaultJournal.RecordAt(c.Now(), "scale",
+				obs.DefaultJournal.RecordTenantAt(c.Now(), *tenant, "scale",
 					fmt.Sprintf("scale %d -> %d nodes", prevAlloc, actual),
 					map[string]float64{"from": float64(prevAlloc), "to": float64(actual), "workload": cpu.At(t)})
 				prevAlloc = actual
@@ -541,7 +551,7 @@ func main() {
 				violations++
 				log.Printf("%s VIOLATION: utilization %.1f > %.0f with %d nodes",
 					cpu.TimeAt(t).Format("Jan 02 15:04"), util, *theta, actual)
-				obs.DefaultJournal.RecordAt(c.Now(), "violation",
+				obs.DefaultJournal.RecordTenantAt(c.Now(), *tenant, "violation",
 					fmt.Sprintf("utilization %.1f > %.0f with %d nodes", util, *theta, actual),
 					map[string]float64{"utilization": util, "theta": *theta, "nodes": float64(actual)})
 			}
@@ -574,7 +584,7 @@ func main() {
 			}
 		}
 		if fan != nil {
-			obs.DefaultJournal.RecordAt(c.Now(), "forecast_error",
+			obs.DefaultJournal.RecordTenantAt(c.Now(), *tenant, "forecast_error",
 				fmt.Sprintf("plan round at %s: mean |actual - median forecast| = %.1f",
 					cpu.TimeAt(origin).Format("Jan 02 15:04"), absErrSum/float64(len(plan))),
 				map[string]float64{"mean_abs_error": absErrSum / float64(len(plan))})

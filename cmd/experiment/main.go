@@ -51,6 +51,7 @@ func main() {
 		id        = flag.String("id", "all", "artifact to regenerate: table1|table2|table3|fig5..fig12|all")
 		quick     = flag.Bool("quick", false, "use reduced training budgets")
 		seed      = flag.Int64("seed", 42, "experiment seed")
+		tenant    = flag.String("tenant", obs.DefaultTenant, "tenant id stamped onto decision records and tenant-scoped counters")
 		metrics   = flag.Bool("metrics", false, "dump accumulated Prometheus metrics to stdout after the run")
 		decisions = flag.Bool("decisions", false, "print the retained per-round scaling decisions after the run")
 		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON file here after the run (implies tracing)")
@@ -71,6 +72,7 @@ func main() {
 		cfg = experiment.QuickConfig()
 	}
 	cfg.Seed = *seed
+	cfg.Tenant = *tenant
 
 	z, err := experiment.NewZoo(cfg)
 	if err != nil {

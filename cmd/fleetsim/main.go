@@ -1,0 +1,138 @@
+// Command fleetsim drives the sharded multi-tenant control plane: N
+// independent auto-scaling tenants — each with its own synthetic
+// workload, forecaster, calibration window, guard, breaker and
+// checkpoint namespace — replayed in lock-step rounds with forecaster
+// inference batched across the worker pool.
+//
+// Usage:
+//
+//	fleetsim -tenants 1000                       # 1k-tenant replay, JSON summary on stdout
+//	fleetsim -tenants 200 -workers 4 -out s.json # pin the worker count (results identical)
+//	fleetsim -tenants 200 -state-dir /tmp/fleet -max-rounds 6   # stop at a round boundary...
+//	fleetsim -tenants 200 -state-dir /tmp/fleet                 # ...and warm-resume bit-identically
+//
+// The summary's fleet_hash folds every tenant's decisions (allocation
+// hash, steps, violations, cost) in tenant order: two runs with the same
+// flags produce the same hash regardless of -workers, and a
+// kill-restart through -state-dir resumes to the hash of an
+// uninterrupted run. The timing section is wall-clock and excluded from
+// that contract. -metrics dumps the Prometheus registry (tenant-labelled
+// fleet counters included) for scraping or CI assertions.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"robustscale/internal/fleet"
+	"robustscale/internal/obs"
+	"robustscale/internal/persist"
+)
+
+func main() {
+	log.SetFlags(0)
+	def := fleet.DefaultConfig(0)
+	var (
+		tenants      = flag.Int("tenants", 1000, "fleet size")
+		seed         = flag.Int64("seed", def.Seed, "fleet master seed (per-tenant seeds derive from it)")
+		days         = flag.Int("days", def.Days, "trace length per tenant in days")
+		trainDays    = flag.Int("train-days", def.TrainDays, "leading days visible as training history")
+		units        = flag.Int("units", def.Units, "machines aggregated into each tenant's trace")
+		horizon      = flag.Int("horizon", def.Horizon, "planning horizon in steps")
+		theta        = flag.Float64("theta", def.Theta, "per-node workload threshold")
+		tau          = flag.Float64("tau", def.Tau, "quantile level (robust) or optimistic level (adaptive)")
+		tau2         = flag.Float64("tau2", def.Tau2, "conservative level for adaptive")
+		rho          = flag.Float64("rho", 0, "adaptive uncertainty threshold (0 = auto-calibrate per tenant)")
+		strategy     = flag.String("strategy", def.Strategy, "robust | adaptive | reactive-max")
+		forecaster   = flag.String("forecaster", def.Forecaster, "seasonal-naive | naive | qmlp")
+		guard        = flag.Bool("guard", true, "wrap every tenant's strategy in the resilience guard")
+		workers      = flag.Int("workers", 0, "worker pool size batching tenant planning (0 = all CPUs; never changes results)")
+		stateDir     = flag.String("state-dir", "", "fleet checkpoint root; each tenant snapshots under <dir>/tenants/<id>/ (empty disables durability)")
+		ckptInterval = flag.Int("checkpoint-interval", 1, "write per-tenant checkpoints every N fleet rounds (with -state-dir)")
+		retain       = flag.Int("state-retain", persist.DefaultRetain, "checkpoint snapshots retained per tenant")
+		maxRounds    = flag.Int("max-rounds", 0, "stop after N fleet rounds at a round boundary (0 = run to the end; kill-restart drills resume from here)")
+		out          = flag.String("out", "", "write the JSON summary to this file (empty = stdout)")
+		metricsOut   = flag.String("metrics", "", "write the Prometheus metrics dump to this file after the run")
+		perTenant    = flag.Bool("per-tenant", true, "include per-tenant records in the summary")
+		decisions    = flag.Bool("decisions", true, "capture tenant-labelled decision records")
+	)
+	flag.Parse()
+
+	cfg := fleet.Config{
+		Tenants: *tenants, Seed: *seed,
+		Days: *days, TrainDays: *trainDays, Units: *units,
+		Horizon: *horizon, Theta: *theta, Tau: *tau, Tau2: *tau2, Rho: *rho,
+		Strategy: *strategy, Forecaster: *forecaster, Guard: *guard,
+		Workers: *workers, StateDir: *stateDir,
+		CheckpointInterval: *ckptInterval, Retain: *retain,
+		MaxRounds: *maxRounds, PerTenant: *perTenant,
+	}
+	obs.DefaultDecisions.SetEnabled(*decisions)
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	t0 := time.Now()
+	ctrl, err := fleet.New(cfg)
+	if err != nil {
+		log.Fatalf("fleetsim: %v", err)
+	}
+	buildSecs := time.Since(t0).Seconds()
+	log.Printf("fleetsim: built %d tenants in %.2fs (strategy=%s forecaster=%s workers=%d)",
+		cfg.Tenants, buildSecs, cfg.Strategy, cfg.Forecaster, cfg.Workers)
+
+	t0 = time.Now()
+	rep, err := ctrl.Run(ctx)
+	if err != nil {
+		log.Fatalf("fleetsim: %v", err)
+	}
+	log.Printf("fleetsim: replayed %d rounds (%d tenant-steps) in %.2fs; violations %.3f%%, cost %d node-steps, fleet hash %s",
+		rep.Rounds, rep.Steps, time.Since(t0).Seconds(),
+		100*rep.ViolationRate, rep.CostNodeSteps, rep.FleetHash)
+
+	if err := writeSummary(rep, *out); err != nil {
+		log.Fatalf("fleetsim: %v", err)
+	}
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut); err != nil {
+			log.Fatalf("fleetsim: %v", err)
+		}
+	}
+}
+
+// writeSummary encodes the report as indented JSON to the file or
+// stdout.
+func writeSummary(rep *fleet.Report, path string) error {
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding summary: %w", err)
+	}
+	if path == "" {
+		fmt.Println(string(enc))
+		return nil
+	}
+	if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
+		return fmt.Errorf("writing summary: %w", err)
+	}
+	return nil
+}
+
+// writeMetrics dumps the process-wide Prometheus registry to a file.
+func writeMetrics(path string) error {
+	var b strings.Builder
+	if err := obs.Default.WritePrometheus(&b); err != nil {
+		return fmt.Errorf("rendering metrics: %w", err)
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return fmt.Errorf("writing metrics: %w", err)
+	}
+	return nil
+}

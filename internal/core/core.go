@@ -30,6 +30,9 @@ type Pipeline struct {
 	// history every that many planning rounds during Run — the production
 	// answer to workload drift. Zero keeps the paper's train-once setup.
 	RetrainEvery int
+	// Tenant labels the pipeline's decision records and tenant-scoped
+	// counters; empty means the default single-tenant label.
+	Tenant string
 
 	trained bool
 }
@@ -133,6 +136,7 @@ func (p *Pipeline) evaluate(workload *timeseries.Series, start int) (*scaler.Eva
 			Theta:   p.Theta,
 			Horizon: p.Horizon,
 			Start:   start,
+			Tenant:  p.Tenant,
 		})
 	}
 	var allocations []int

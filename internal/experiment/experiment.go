@@ -44,6 +44,10 @@ type Config struct {
 	Runs int
 	// Quick reduces epochs/hidden sizes for fast regeneration.
 	Quick bool
+	// Tenant labels the decision records and tenant-scoped counters of
+	// the scaling evaluations; empty means the default single-tenant
+	// label.
+	Tenant string
 }
 
 // DefaultConfig is the paper-faithful configuration.

@@ -40,6 +40,7 @@ func Figure9(z *Zoo, ds DatasetName) ([]Figure9Row, error) {
 			Theta:   cfg.Theta,
 			Horizon: spec.horizon,
 			Start:   d.EvalStart,
+			Tenant:  cfg.Tenant,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiment: figure 9 %s: %w", spec.strategy.Name(), err)
@@ -134,7 +135,7 @@ func Figure10(z *Zoo, ds DatasetName, model ModelName) ([]Figure10Row, error) {
 		res, err := scaler.Evaluate(
 			&scaler.Robust{Forecaster: qf, Tau: tau, Theta: cfg.Theta},
 			d.Series,
-			scaler.EvalConfig{Theta: cfg.Theta, Horizon: cfg.Horizon, Start: d.EvalStart},
+			scaler.EvalConfig{Theta: cfg.Theta, Horizon: cfg.Horizon, Start: d.EvalStart, Tenant: cfg.Tenant},
 		)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: figure 10 tau=%g: %w", tau, err)
@@ -195,7 +196,7 @@ func Figure11(z *Zoo, ds DatasetName, model ModelName) ([]Figure11Cell, error) {
 				}
 			}
 			res, err := scaler.Evaluate(strat, d.Series, scaler.EvalConfig{
-				Theta: cfg.Theta, Horizon: cfg.Horizon, Start: d.EvalStart,
+				Theta: cfg.Theta, Horizon: cfg.Horizon, Start: d.EvalStart, Tenant: cfg.Tenant,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("experiment: figure 11 (%g,%g): %w", tau1, tau2, err)
@@ -302,7 +303,7 @@ func Figure12(z *Zoo, ds DatasetName, model ModelName, tau1, tau2 float64) ([]Fi
 		res, err := scaler.Evaluate(
 			&scaler.Adaptive{Forecaster: qf, Tau1: tau1, Tau2: tau2, Rho: rho, Theta: cfg.Theta},
 			d.Series,
-			scaler.EvalConfig{Theta: cfg.Theta, Horizon: cfg.Horizon, Start: d.EvalStart},
+			scaler.EvalConfig{Theta: cfg.Theta, Horizon: cfg.Horizon, Start: d.EvalStart, Tenant: cfg.Tenant},
 		)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: figure 12 rho=%g: %w", rho, err)

@@ -1,0 +1,553 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"time"
+
+	"robustscale/internal/cluster"
+	"robustscale/internal/forecast"
+	"robustscale/internal/obs"
+	"robustscale/internal/parallel"
+	"robustscale/internal/persist"
+	"robustscale/internal/scaler"
+	"robustscale/internal/timeseries"
+	"robustscale/internal/trace"
+)
+
+// Guard defaults shared by every tenant; they mirror the single-tenant
+// daemon's flag defaults.
+const (
+	guardBlowupFactor  = 8
+	guardCoverageSlack = 0.25
+)
+
+// fnv64 constants for the rolling allocation hash.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// loopExtra is the fleet controller's owner-defined checkpoint section
+// (persist.State.Extra): loop accounting that no existing component
+// covers, carried across restarts so a warm-started tenant's rolling
+// hash and cost totals continue instead of restarting from zero.
+type loopExtra struct {
+	// AllocHash is the rolling FNV-1a hash over every allocation the
+	// tenant ever committed.
+	AllocHash uint64
+	// Cost is the cumulative node-steps the tenant has paid for.
+	Cost int64
+}
+
+// Tenant is one isolated control loop inside the fleet: trace,
+// forecaster, calibration, guard, breaker and checkpoint namespace are
+// all private, so a planning round touches nothing shared beyond the
+// process-wide (atomic) metric counters.
+type Tenant struct {
+	// ID is the tenant id; Index its position in the fleet.
+	ID    string
+	Index int
+	// Archetype names the workload archetype ("alibaba" or "google").
+	Archetype string
+	// Seed is the derived per-tenant seed.
+	Seed int64
+
+	series   *timeseries.Series
+	trainEnd int
+
+	planner scaler.Strategy
+	guard   *scaler.Guard
+	snapper forecast.Snapshotter
+	fans    scaler.FanProvider
+	applier *scaler.Applier
+	cal     *cluster.Calibration
+	calGate func() (bool, string)
+	mgr     *persist.Manager
+	fp      persist.Fingerprint
+	rho     float64
+
+	forecasterKind string
+
+	// Loop state; planRound is the only writer after construction.
+	origin     int
+	cursor     int
+	alloc      int
+	prevAlloc  int
+	steps      int
+	violations int
+	holds      int
+	cost       int64
+	allocHash  uint64
+	warm       bool
+	corrupt    int
+	err        error
+
+	histView  *timeseries.Series
+	planBuf   []int
+	durations []float64
+
+	violCounter  *obs.Counter
+	roundCounter *obs.Counter
+}
+
+// now is the tenant's virtual clock, feeding its guard and breaker.
+func (t *Tenant) now() time.Time {
+	i := t.cursor
+	if i >= t.series.Len() {
+		i = t.series.Len() - 1
+	}
+	return t.series.TimeAt(i)
+}
+
+// Rounds returns how many planning rounds the tenant has completed over
+// its whole lifetime (including rounds replayed before a warm restart).
+func (t *Tenant) Rounds() int { return (t.origin - t.trainEnd) / t.fp.Horizon }
+
+// Controller drives the fleet through lock-step planning rounds.
+type Controller struct {
+	cfg     Config
+	tenants []*Tenant
+
+	rounds    int
+	lastCkpt  int
+	warmCount int
+	coldCount int
+	corrupt   int
+}
+
+// New builds the fleet: every tenant's trace is generated, its
+// forecaster trained (or warm-started from its checkpoint namespace
+// when cfg.StateDir holds a valid one), and its guard, breaker and
+// calibration state restored. Construction is batched across the worker
+// pool; each tenant is built entirely from its own derived seed and its
+// own namespace, so the build is deterministic and order-independent.
+func New(cfg Config) (*Controller, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Retain <= 0 {
+		cfg.Retain = persist.DefaultRetain
+	}
+	tenants := make([]*Tenant, cfg.Tenants)
+	errs := make([]error, cfg.Tenants)
+	parallel.ForEachWorkerSpan("fleet-build", cfg.Workers, cfg.Tenants, func(_, i int) {
+		tenants[i], errs[i] = buildTenant(cfg, i)
+	})
+	if err := parallel.FirstError(errs); err != nil {
+		return nil, err
+	}
+	c := &Controller{cfg: cfg, tenants: tenants, lastCkpt: -1}
+	fleetTenantsGauge.Set(float64(cfg.Tenants))
+	// Lifecycle bookkeeping runs sequentially in tenant order so journal
+	// entries and start counters land deterministically.
+	for _, t := range tenants {
+		c.corrupt += t.corrupt
+		kind, n := "cold", &c.coldCount
+		if t.warm {
+			kind, n = "warm", &c.warmCount
+		}
+		*n++
+		obs.DefaultJournal.RecordTenantAt(t.now(), t.ID, "tenant-start",
+			fmt.Sprintf("%s start at replay step %d/%d (%s archetype)",
+				kind, t.origin-t.trainEnd, t.series.Len()-t.trainEnd, t.Archetype),
+			map[string]float64{"warm": b2f(t.warm), "origin": float64(t.origin), "corrupt_snapshots": float64(t.corrupt)})
+	}
+	fleetWarmStarts.Add(float64(c.warmCount))
+	fleetColdStarts.Add(float64(c.coldCount))
+	fleetCorruptSnapshots.Add(float64(c.corrupt))
+	return c, nil
+}
+
+func b2f(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// Tenants exposes the fleet members in index order (read-only use).
+func (c *Controller) Tenants() []*Tenant { return c.tenants }
+
+// buildTenant constructs (or recovers) one tenant.
+func buildTenant(cfg Config, index int) (*Tenant, error) {
+	id := TenantID(index)
+	seed := deriveSeed(cfg.Seed, index)
+	tr, err := trace.Generate(tenantTrace(cfg, index, seed))
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %s: %w", id, err)
+	}
+	series, err := tr.Series(trace.CPU)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %s: %w", id, err)
+	}
+	trainEnd := cfg.TrainDays * stepsPerDay()
+
+	t := &Tenant{
+		ID: id, Index: index, Archetype: archetypeOf(index), Seed: seed,
+		series: series, trainEnd: trainEnd,
+		origin: trainEnd, cursor: trainEnd,
+		alloc: 1, prevAlloc: 1,
+		allocHash:    fnvOffset,
+		histView:     &timeseries.Series{Name: series.Name, Start: series.Start, Step: series.Step},
+		violCounter:  fleetTenantViolations.With(id),
+		roundCounter: fleetTenantRounds.With(id),
+	}
+	t.fp = persist.Fingerprint{
+		Strategy: cfg.Strategy, Tenant: id, Dataset: t.Archetype, Seed: seed,
+		Theta: cfg.Theta, Horizon: cfg.Horizon, Tau: cfg.Tau, Tau2: cfg.Tau2,
+	}
+
+	// Recover this tenant's namespace before training: a valid snapshot
+	// supplies the model and loop state, skipping the cold fit entirely.
+	var recovered *persist.State
+	if cfg.StateDir != "" {
+		if t.mgr, err = persist.NewTenantManager(cfg.StateDir, id, cfg.Retain); err != nil {
+			return nil, fmt.Errorf("fleet: %s: %w", id, err)
+		}
+		st, info, rerr := t.mgr.Recover()
+		t.corrupt = len(info.Rejected)
+		switch {
+		case rerr != nil || st == nil:
+			// No usable snapshot: plain cold start.
+		case st.Fingerprint != t.fp:
+			// A neighbour's (or stale-config) snapshot never warm-starts
+			// this tenant.
+		case st.Origin < trainEnd || st.Origin > series.Len() || (st.Origin-trainEnd)%cfg.Horizon != 0:
+			// Misaligned origin: the replay could not resume on a round
+			// boundary.
+		default:
+			recovered = st
+		}
+	}
+
+	var model []byte
+	if recovered != nil {
+		model = recovered.Forecaster
+		if cfg.Rho <= 0 && recovered.Rho > 0 {
+			t.rho = recovered.Rho
+		}
+	}
+	if err := t.buildPlanner(cfg, model); err != nil {
+		if model == nil {
+			return nil, fmt.Errorf("fleet: %s: %w", id, err)
+		}
+		// A snapshot whose model no longer loads degrades this one tenant
+		// to a cold start; its decisions are re-derived deterministically
+		// from the seed, so fleet totals are unaffected.
+		recovered = nil
+		t.rho = 0
+		if err := t.buildPlanner(cfg, nil); err != nil {
+			return nil, fmt.Errorf("fleet: %s: %w", id, err)
+		}
+	}
+
+	if recovered != nil {
+		t.restore(cfg, recovered)
+	}
+	return t, nil
+}
+
+// buildPlanner trains (model == nil) or restores the forecaster and
+// assembles the tenant's guarded strategy, applier and breaker.
+func (t *Tenant) buildPlanner(cfg Config, model []byte) error {
+	train := t.series.Slice(0, t.trainEnd)
+	var strat scaler.Strategy
+	switch cfg.Strategy {
+	case StrategyReactiveMax:
+		strat = &scaler.ReactiveMax{Window: 6, Theta: cfg.Theta}
+	default:
+		qf, snapper := buildForecaster(cfg, t.Seed)
+		t.forecasterKind = cfg.Forecaster
+		if model != nil {
+			if err := snapper.Load(bytes.NewReader(model)); err != nil {
+				return fmt.Errorf("restoring %s from checkpoint: %w", qf.Name(), err)
+			}
+		} else if err := fitForecaster(cfg, qf, train); err != nil {
+			return err
+		}
+		t.snapper = snapper
+		if cfg.Strategy == StrategyAdaptive {
+			rho := cfg.Rho
+			if rho <= 0 {
+				rho = t.rho
+			}
+			if rho <= 0 {
+				var err error
+				if rho, err = calibrateRho(qf, train, cfg.Horizon); err != nil {
+					return err
+				}
+			}
+			t.rho = rho
+			strat = &scaler.Adaptive{Forecaster: qf, Tau1: cfg.Tau, Tau2: cfg.Tau2, Rho: rho, Theta: cfg.Theta}
+		} else {
+			strat = &scaler.Robust{Forecaster: qf, Tau: cfg.Tau, Theta: cfg.Theta}
+		}
+	}
+	t.planner = strat
+	if cfg.Guard {
+		t.guard = &scaler.Guard{
+			Inner:  strat,
+			Config: scaler.GuardConfig{Theta: cfg.Theta, Tau: cfg.Tau, BlowupFactor: guardBlowupFactor},
+			Clock:  t.now,
+			Health: func() (bool, string) {
+				if t.calGate == nil {
+					return true, ""
+				}
+				return t.calGate()
+			},
+		}
+		t.planner = t.guard
+	}
+	t.fans, _ = t.planner.(scaler.FanProvider)
+	t.applier = &scaler.Applier{
+		Apply:   func(n int) error { t.alloc = n; return nil },
+		Backoff: scaler.BackoffConfig{MaxAttempts: 1},
+		Breaker: &scaler.Breaker{},
+		Clock:   t.now,
+	}
+	return nil
+}
+
+// fitForecaster trains one tenant's model; the quantile MLP trains for
+// the fleet horizon instead of its 72-step default.
+func fitForecaster(cfg Config, qf forecast.QuantileForecaster, train *timeseries.Series) error {
+	if m, ok := qf.(*forecast.QuantileMLP); ok && cfg.Forecaster == ForecasterQuantileMLP {
+		return m.FitHorizon(train, cfg.Horizon)
+	}
+	type fitter interface {
+		Fit(*timeseries.Series) error
+	}
+	return qf.(fitter).Fit(train)
+}
+
+// calibrateRho derives the adaptive uncertainty threshold as the median
+// uncertainty of a forecast made at the end of training — the same rule
+// the single-tenant daemon uses, evaluated per tenant.
+func calibrateRho(qf forecast.QuantileForecaster, train *timeseries.Series, horizon int) (float64, error) {
+	fan, err := qf.PredictQuantiles(train, horizon, forecast.ScalingLevels)
+	if err != nil {
+		return 0, err
+	}
+	us, err := scaler.Uncertainties(fan)
+	if err != nil {
+		return 0, err
+	}
+	s := timeseries.New("u", train.Start, train.Step, us)
+	return s.Quantile(0.5), nil
+}
+
+// restore applies a recovered snapshot's loop and component state. Any
+// single blob failing to load degrades that component to fresh state;
+// the loop counters and Extra section are plain values and always apply.
+func (t *Tenant) restore(cfg Config, st *persist.State) {
+	t.warm = true
+	t.origin, t.cursor = st.Origin, st.Origin
+	if st.PrevAlloc > 0 {
+		t.alloc, t.prevAlloc = st.PrevAlloc, st.PrevAlloc
+	}
+	t.steps, t.violations, t.holds = st.Steps, st.Violations, st.Holds
+	if len(st.Extra) > 0 {
+		var extra loopExtra
+		if err := gob.NewDecoder(bytes.NewReader(st.Extra)).Decode(&extra); err == nil {
+			t.allocHash, t.cost = extra.AllocHash, extra.Cost
+		}
+	}
+	if t.guard != nil && len(st.Guard) > 0 {
+		_ = t.guard.Load(bytes.NewReader(st.Guard))
+	}
+	if len(st.Breaker) > 0 {
+		_ = t.applier.Breaker.Load(bytes.NewReader(st.Breaker))
+	}
+	if len(st.Calibration) > 0 {
+		if cal, err := cluster.LoadCalibration(bytes.NewReader(st.Calibration)); err == nil {
+			t.armCalibration(cal)
+		}
+	}
+}
+
+// armCalibration installs a calibration window and wires it into the
+// guard's health gate.
+func (t *Tenant) armCalibration(cal *cluster.Calibration) {
+	t.cal = cal
+	t.calGate = cal.HealthCheck(guardCoverageSlack, 0, stepsPerDay()/4)
+}
+
+// active reports whether the tenant has a full planning round left.
+func (t *Tenant) active(horizon int) bool {
+	return t.err == nil && t.origin+horizon <= t.series.Len()
+}
+
+// planRound runs one planning round of one tenant: plan (through the
+// warm fast path), record the tenant-labelled decision, apply each step
+// through the breaker, grade violations and calibration, and advance the
+// rolling allocation hash and cost. It writes only tenant-owned state
+// and process-wide atomic counters, preserving the worker-count
+// determinism contract.
+func (t *Tenant) planRound(cfg Config) {
+	start := time.Now()
+	origin, h := t.origin, cfg.Horizon
+	t.histView.Values = t.series.Values[:origin]
+	plan, err := scaler.PlanRound(t.planner, t.histView, h, t.planBuf)
+	if plan != nil {
+		t.planBuf = plan
+	}
+	if err != nil {
+		if t.guard == nil {
+			t.err = fmt.Errorf("fleet: %s planning at %d: %w", t.ID, origin, err)
+			return
+		}
+		// Even an exhausted fallback ladder holds the allocation rather
+		// than taking the tenant down.
+		t.holds++
+		if cap(t.planBuf) < h {
+			t.planBuf = make([]int, h)
+		}
+		plan = t.planBuf[:h]
+		for i := range plan {
+			plan[i] = t.prevAlloc
+		}
+	}
+	scaler.RecordDecisionFor(t.planner, t.ID, origin, t.series.TimeAt(origin), t.prevAlloc, plan)
+	var fan *forecast.QuantileForecast
+	if t.fans != nil {
+		fan = t.fans.LastFan()
+	}
+	if fan != nil && t.cal == nil {
+		if cal, err := cluster.NewCalibration(fan.Levels, stepsPerDay()); err == nil {
+			t.armCalibration(cal)
+		}
+	}
+	for i, alloc := range plan {
+		if err := t.applier.ScaleTo(alloc); err != nil {
+			t.holds++
+		}
+		actual := t.alloc
+		w := t.series.At(origin + i)
+		eff := actual
+		if eff < 1 {
+			eff = 1
+		}
+		if w/float64(eff) > cfg.Theta {
+			t.violations++
+			t.violCounter.Inc()
+		}
+		t.cost += int64(actual)
+		t.allocHash = (t.allocHash ^ uint64(uint(actual))) * fnvPrime
+		t.steps++
+		t.cursor++
+		if fan != nil && t.cal != nil && i < fan.Horizon() {
+			if cerr := t.cal.Observe(w, fan.Step(i)); cerr != nil {
+				t.err = fmt.Errorf("fleet: %s calibration at %d: %w", t.ID, origin+i, cerr)
+				return
+			}
+		}
+	}
+	t.prevAlloc = t.alloc
+	t.origin = origin + h
+	t.roundCounter.Inc()
+	d := time.Since(start).Seconds()
+	t.durations = append(t.durations, d)
+	fleetPlanSeconds.Observe(d)
+}
+
+// Run drives the fleet to completion (or cfg.MaxRounds, or context
+// cancellation), checkpointing every CheckpointInterval rounds and once
+// more at exit. Rounds batch tenant planning across the worker pool;
+// per-tenant decisions are bit-identical for any worker count.
+func (c *Controller) Run(ctx context.Context) (*Report, error) {
+	cfg := c.cfg
+	active := make([]*Tenant, 0, len(c.tenants))
+	for {
+		if ctx != nil && ctx.Err() != nil {
+			break
+		}
+		if cfg.MaxRounds > 0 && c.rounds >= cfg.MaxRounds {
+			break
+		}
+		active = active[:0]
+		for _, t := range c.tenants {
+			if t.active(cfg.Horizon) {
+				active = append(active, t)
+			}
+		}
+		if len(active) == 0 {
+			break
+		}
+		parallel.ForEachWorkerSpan("fleet-plan", cfg.Workers, len(active), func(_, i int) {
+			active[i].planRound(cfg)
+		})
+		for _, t := range c.tenants {
+			if t.err != nil {
+				return nil, t.err
+			}
+		}
+		c.rounds++
+		fleetRoundsTotal.Inc()
+		if cfg.StateDir != "" && c.rounds%cfg.CheckpointInterval == 0 {
+			c.checkpoint()
+		}
+	}
+	if cfg.StateDir != "" && c.rounds != c.lastCkpt {
+		c.checkpoint()
+	}
+	return c.report(), nil
+}
+
+// checkpoint snapshots every tenant into its own namespace, batched
+// across the worker pool (each write touches only that tenant's
+// directory). A failed write logs through the journal and keeps flying.
+func (c *Controller) checkpoint() {
+	parallel.ForEachWorkerSpan("fleet-checkpoint", c.cfg.Workers, len(c.tenants), func(_, i int) {
+		c.tenants[i].writeCheckpoint()
+	})
+	c.lastCkpt = c.rounds
+}
+
+// writeCheckpoint snapshots one tenant's full control-loop state.
+func (t *Tenant) writeCheckpoint() {
+	if t.mgr == nil {
+		return
+	}
+	st := &persist.State{
+		SavedAt:     t.now(),
+		Fingerprint: t.fp,
+		Origin:      t.origin,
+		PrevAlloc:   t.prevAlloc,
+		Steps:       t.steps,
+		Violations:  t.violations,
+		Holds:       t.holds,
+		Rho:         t.rho,
+	}
+	blob := func(save func(io.Writer) error) []byte {
+		var b bytes.Buffer
+		if err := save(&b); err != nil {
+			return nil
+		}
+		return b.Bytes()
+	}
+	if t.snapper != nil {
+		st.ForecasterKind = t.forecasterKind
+		if st.Forecaster = blob(t.snapper.Save); st.Forecaster == nil {
+			return // a snapshot without the model would warm-start wrong
+		}
+	}
+	if t.cal != nil {
+		st.Calibration = blob(t.cal.Save)
+	}
+	if t.guard != nil {
+		st.Guard = blob(t.guard.Save)
+	}
+	st.Breaker = blob(t.applier.Breaker.Save)
+	var extra bytes.Buffer
+	if err := gob.NewEncoder(&extra).Encode(loopExtra{AllocHash: t.allocHash, Cost: t.cost}); err == nil {
+		st.Extra = extra.Bytes()
+	}
+	if _, err := t.mgr.Write(st); err != nil {
+		obs.DefaultJournal.RecordTenantAt(t.now(), t.ID, "checkpoint-error",
+			fmt.Sprintf("checkpoint at origin %d failed: %v", t.origin, err), nil)
+	}
+}

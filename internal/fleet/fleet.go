@@ -1,0 +1,218 @@
+// Package fleet is the sharded multi-tenant control plane: one process
+// drives N independent auto-scaling control loops — each tenant with its
+// own workload trace, forecaster warm state, calibration window, guard
+// degradation ladder, circuit breaker and checkpoint namespace — through
+// a lock-step replay, batching forecaster inference across tenants on
+// the shared worker pool.
+//
+// The package keeps the single-tenant determinism discipline at fleet
+// scale: every tenant's state is fully isolated (per-index writes only),
+// all per-tenant randomness derives from a splitmix-mixed seed keyed by
+// the tenant index, and the aggregate report folds tenants in index
+// order — so per-tenant decisions and the fleet hash are bit-identical
+// across worker counts, and a kill-restart resumes to the same totals an
+// uninterrupted run produces.
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"robustscale/internal/forecast"
+	"robustscale/internal/persist"
+	"robustscale/internal/timeseries"
+	"robustscale/internal/trace"
+)
+
+// Strategy and forecaster names accepted by Config.
+const (
+	StrategyRobust      = "robust"
+	StrategyAdaptive    = "adaptive"
+	StrategyReactiveMax = "reactive-max"
+
+	ForecasterSeasonalNaive = "seasonal-naive"
+	ForecasterNaive         = "naive"
+	ForecasterQuantileMLP   = "qmlp"
+)
+
+// Config sizes and parameterizes a fleet run. Every field that shapes a
+// tenant's decisions is part of the checkpoint fingerprint, so a restart
+// with different knobs cold-starts instead of silently resuming wrong.
+type Config struct {
+	// Tenants is the fleet size.
+	Tenants int
+	// Seed is the fleet master seed; each tenant's trace and model seeds
+	// are derived from it and the tenant index.
+	Seed int64
+	// Days is each tenant's trace length; TrainDays of it are visible
+	// history for the forecaster, the rest is replayed.
+	Days, TrainDays int
+	// Units is the number of machines aggregated into each tenant's
+	// trace; small counts keep per-tenant generation cheap at 10k scale.
+	Units int
+	// Horizon is the planning cadence in steps.
+	Horizon int
+	// Theta is the per-node workload threshold.
+	Theta float64
+	// Tau and Tau2 are the quantile levels (robust uses Tau; adaptive
+	// uses the pair).
+	Tau, Tau2 float64
+	// Rho is the adaptive uncertainty threshold; 0 auto-calibrates per
+	// tenant from its training fan (deterministically).
+	Rho float64
+	// Strategy and Forecaster pick the per-tenant planner.
+	Strategy, Forecaster string
+	// Guard wraps every tenant's strategy in the resilience guard.
+	Guard bool
+	// Workers bounds the worker pool batching tenant planning and
+	// builds; <= 0 uses every CPU. The choice never changes results.
+	Workers int
+	// StateDir enables per-tenant durable checkpoints under
+	// <StateDir>/tenants/<id>/; empty disables durability.
+	StateDir string
+	// CheckpointInterval writes checkpoints every N fleet rounds.
+	CheckpointInterval int
+	// Retain is the per-tenant snapshot retention.
+	Retain int
+	// MaxRounds stops the fleet loop after N rounds (0 = run every
+	// tenant to the end of its trace); kill-restart drills use it to
+	// stop deterministically at a round boundary.
+	MaxRounds int
+	// PerTenant includes the per-tenant records in the report.
+	PerTenant bool
+}
+
+// DefaultConfig returns a runnable fleet configuration for the given
+// tenant count: two training days feeding a seasonal-naive robust
+// planner over a 2-hour horizon.
+func DefaultConfig(tenants int) Config {
+	return Config{
+		Tenants:            tenants,
+		Seed:               42,
+		Days:               4,
+		TrainDays:          2,
+		Units:              3,
+		Horizon:            12,
+		Theta:              60,
+		Tau:                0.9,
+		Tau2:               0.95,
+		Strategy:           StrategyRobust,
+		Forecaster:         ForecasterSeasonalNaive,
+		Guard:              true,
+		CheckpointInterval: 1,
+		Retain:             persist.DefaultRetain,
+		PerTenant:          true,
+	}
+}
+
+// stepsPerDay at the default 10-minute aggregation step.
+func stepsPerDay() int { return int(24 * time.Hour / timeseries.DefaultStep) }
+
+// validate rejects configurations that cannot produce a well-formed run.
+func (cfg Config) validate() error {
+	if cfg.Tenants <= 0 {
+		return fmt.Errorf("fleet: need at least one tenant, got %d", cfg.Tenants)
+	}
+	if cfg.TrainDays < 1 || cfg.Days <= cfg.TrainDays {
+		return fmt.Errorf("fleet: need Days > TrainDays >= 1, got %d/%d", cfg.Days, cfg.TrainDays)
+	}
+	if cfg.Units <= 0 {
+		return fmt.Errorf("fleet: need at least one trace unit per tenant")
+	}
+	if cfg.Horizon <= 0 {
+		return fmt.Errorf("fleet: non-positive horizon %d", cfg.Horizon)
+	}
+	if replay := (cfg.Days - cfg.TrainDays) * stepsPerDay(); replay < cfg.Horizon {
+		return fmt.Errorf("fleet: replay span %d shorter than horizon %d", replay, cfg.Horizon)
+	}
+	if cfg.Theta <= 0 {
+		return fmt.Errorf("fleet: non-positive threshold %v", cfg.Theta)
+	}
+	switch cfg.Strategy {
+	case StrategyRobust, StrategyAdaptive:
+		if cfg.Tau <= 0 || cfg.Tau >= 1 {
+			return fmt.Errorf("fleet: quantile level %v outside (0, 1)", cfg.Tau)
+		}
+	case StrategyReactiveMax:
+	default:
+		return fmt.Errorf("fleet: unknown strategy %q", cfg.Strategy)
+	}
+	switch cfg.Forecaster {
+	case ForecasterSeasonalNaive:
+		if cfg.TrainDays < 2 {
+			return fmt.Errorf("fleet: seasonal-naive needs TrainDays >= 2 (one full season of history beyond the period)")
+		}
+	case ForecasterNaive, ForecasterQuantileMLP:
+	default:
+		return fmt.Errorf("fleet: unknown forecaster %q", cfg.Forecaster)
+	}
+	if cfg.StateDir != "" && cfg.CheckpointInterval <= 0 {
+		return fmt.Errorf("fleet: non-positive checkpoint interval %d", cfg.CheckpointInterval)
+	}
+	return nil
+}
+
+// TenantID formats the canonical id of the tenant at an index; ids are
+// valid persist namespaces and sort in index order.
+func TenantID(index int) string { return fmt.Sprintf("t%05d", index) }
+
+// deriveSeed mixes the fleet master seed with a tenant index through a
+// splitmix64 finalizer, so neighbouring tenants get decorrelated trace
+// and model seeds while the mapping stays a pure function of (seed, i).
+func deriveSeed(seed int64, index int) int64 {
+	z := uint64(seed) + (uint64(index)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z >> 1) // keep it positive for readable fingerprints
+}
+
+// tenantTrace derives the workload archetype of one tenant: even indices
+// get the diurnal Alibaba-style trace, odd indices the bursty
+// Google-style one, so every fleet mixes easy and hard workloads.
+func tenantTrace(cfg Config, index int, seed int64) trace.Config {
+	var tc trace.Config
+	if index%2 == 0 {
+		tc = trace.AlibabaStyle(seed)
+	} else {
+		tc = trace.GoogleStyle(seed)
+	}
+	archetype := tc.Name
+	tc.Name = TenantID(index) + "/" + archetype
+	tc.Units = cfg.Units
+	tc.Days = cfg.Days
+	tc.Resources = []trace.Resource{trace.CPU}
+	return tc
+}
+
+// archetypeOf names the workload archetype of a tenant index.
+func archetypeOf(index int) string {
+	if index%2 == 0 {
+		return "alibaba"
+	}
+	return "google"
+}
+
+// buildForecaster constructs one tenant's untrained forecaster. The
+// quantile-MLP variant runs the allocation-free nn kernels per tenant;
+// its tiny dimensions keep a fleet build tractable while still
+// exercising the neural path.
+func buildForecaster(cfg Config, seed int64) (forecast.QuantileForecaster, forecast.Snapshotter) {
+	switch cfg.Forecaster {
+	case ForecasterNaive:
+		f := forecast.NewNaive(cfg.Horizon)
+		return f, f
+	case ForecasterQuantileMLP:
+		mc := forecast.DefaultMLPConfig()
+		mc.Context = 36
+		mc.Hidden = 12
+		mc.Epochs = 2
+		mc.MaxWindows = 64
+		mc.Seed = seed
+		f := forecast.NewQuantileMLP(mc, forecast.ScalingLevels)
+		return f, f
+	default: // seasonal-naive
+		f := forecast.NewSeasonalNaive(stepsPerDay())
+		return f, f
+	}
+}

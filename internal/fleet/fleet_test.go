@@ -1,0 +1,306 @@
+package fleet
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"robustscale/internal/obs"
+	"robustscale/internal/persist"
+)
+
+// testConfig is a small fleet that still exercises both archetypes and
+// multiple rounds: 8 tenants, one replay day (12 rounds of 12 steps).
+func testConfig(tenants int) Config {
+	cfg := DefaultConfig(tenants)
+	cfg.Days = 3
+	return cfg
+}
+
+func runFleet(t *testing.T, cfg Config) *Report {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestSeedDerivation(t *testing.T) {
+	seen := map[int64]int{}
+	for i := 0; i < 1000; i++ {
+		s := deriveSeed(42, i)
+		if s < 0 {
+			t.Fatalf("deriveSeed(42, %d) = %d, want non-negative", i, s)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("seed collision between tenants %d and %d", prev, i)
+		}
+		seen[s] = i
+	}
+	if deriveSeed(42, 7) != deriveSeed(42, 7) {
+		t.Error("derivation not deterministic")
+	}
+	if deriveSeed(42, 7) == deriveSeed(43, 7) {
+		t.Error("master seed ignored")
+	}
+}
+
+func TestTenantIDsAreValidNamespaces(t *testing.T) {
+	for _, i := range []int{0, 7, 999, 9999, 99999} {
+		if err := persist.ValidTenantID(TenantID(i)); err != nil {
+			t.Errorf("TenantID(%d): %v", i, err)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.Tenants = 0 },
+		func(c *Config) { c.Days = c.TrainDays },
+		func(c *Config) { c.Units = 0 },
+		func(c *Config) { c.Horizon = 0 },
+		func(c *Config) { c.Horizon = 10000 },
+		func(c *Config) { c.Theta = 0 },
+		func(c *Config) { c.Tau = 1.5 },
+		func(c *Config) { c.Strategy = "nope" },
+		func(c *Config) { c.Forecaster = "nope" },
+		func(c *Config) { c.Forecaster = ForecasterSeasonalNaive; c.TrainDays = 1; c.Days = 3 },
+		func(c *Config) { c.StateDir = "x"; c.CheckpointInterval = 0 },
+	}
+	for i, mutate := range cases {
+		cfg := testConfig(2)
+		mutate(&cfg)
+		if err := cfg.validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	cfg := testConfig(2)
+	if err := cfg.validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+// TestWorkerCountDeterminism is the package's core contract: the fleet
+// hash — and every per-tenant record behind it — must be bit-identical
+// for any worker count.
+func TestWorkerCountDeterminism(t *testing.T) {
+	var base *Report
+	for _, workers := range []int{1, 4, 7} {
+		cfg := testConfig(8)
+		cfg.Workers = workers
+		rep := runFleet(t, cfg)
+		if rep.Steps == 0 || rep.Rounds == 0 {
+			t.Fatalf("workers=%d: empty run (%d steps, %d rounds)", workers, rep.Steps, rep.Rounds)
+		}
+		if base == nil {
+			base = rep
+			continue
+		}
+		if rep.FleetHash != base.FleetHash {
+			t.Errorf("workers=%d: fleet hash %s != %s", workers, rep.FleetHash, base.FleetHash)
+		}
+		if len(rep.PerTenant) != len(base.PerTenant) {
+			t.Fatalf("workers=%d: %d tenant records, want %d", workers, len(rep.PerTenant), len(base.PerTenant))
+		}
+		for i, tr := range rep.PerTenant {
+			want := base.PerTenant[i]
+			if tr.AllocHash != want.AllocHash || tr.Violations != want.Violations ||
+				tr.CostNodeSteps != want.CostNodeSteps || tr.Steps != want.Steps {
+				t.Errorf("workers=%d: tenant %s diverged: %+v vs %+v", workers, tr.ID, tr, want)
+			}
+		}
+	}
+}
+
+// TestRunRepeatability pins that two identical runs in one process agree
+// exactly (no hidden global state leaking between fleets).
+func TestRunRepeatability(t *testing.T) {
+	a := runFleet(t, testConfig(6))
+	b := runFleet(t, testConfig(6))
+	if a.FleetHash != b.FleetHash {
+		t.Errorf("same config, different hashes: %s vs %s", a.FleetHash, b.FleetHash)
+	}
+}
+
+// TestStrategiesAndForecasters smoke-runs every supported combination on
+// a tiny fleet, including the nn (quantile-MLP) inference path.
+func TestStrategiesAndForecasters(t *testing.T) {
+	combos := []struct{ strategy, forecaster string }{
+		{StrategyRobust, ForecasterNaive},
+		{StrategyAdaptive, ForecasterSeasonalNaive},
+		{StrategyReactiveMax, ForecasterSeasonalNaive},
+		{StrategyRobust, ForecasterQuantileMLP},
+	}
+	for _, combo := range combos {
+		cfg := testConfig(2)
+		cfg.Strategy = combo.strategy
+		cfg.Forecaster = combo.forecaster
+		rep := runFleet(t, cfg)
+		if rep.Steps == 0 {
+			t.Errorf("%s/%s: no steps replayed", combo.strategy, combo.forecaster)
+		}
+	}
+}
+
+// TestDecisionRecordsCarryTenant: with capture enabled, each fleet round
+// lands a decision record stamped with its tenant's id.
+func TestDecisionRecordsCarryTenant(t *testing.T) {
+	obs.DefaultDecisions.SetEnabled(true)
+	obs.DefaultDecisions.Reset()
+	defer func() {
+		obs.DefaultDecisions.SetEnabled(false)
+		obs.DefaultDecisions.Reset()
+	}()
+	cfg := testConfig(3)
+	cfg.Workers = 1
+	rep := runFleet(t, cfg)
+	for i := 0; i < cfg.Tenants; i++ {
+		id := TenantID(i)
+		ds := obs.DefaultDecisions.FilterTenant(id, "", 0, -1)
+		if len(ds) == 0 {
+			t.Errorf("no decisions recorded for %s", id)
+		}
+	}
+	if rep.DecisionsTotal == 0 {
+		t.Error("report says no decisions captured")
+	}
+}
+
+// TestFleetMetricsTenantLabelled: the Prometheus dump carries the
+// per-tenant counter families with tenant labels.
+func TestFleetMetricsTenantLabelled(t *testing.T) {
+	runFleet(t, testConfig(3))
+	var b strings.Builder
+	if err := obs.Default.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	dump := b.String()
+	for _, want := range []string{
+		`robustscale_fleet_tenant_rounds_total{tenant="t00000"}`,
+		`robustscale_fleet_tenant_rounds_total{tenant="t00002"}`,
+		"robustscale_fleet_tenants",
+		"robustscale_fleet_rounds_total",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("metrics dump missing %q", want)
+		}
+	}
+}
+
+// TestKillRestartBitIdentical is the durability contract at fleet scale:
+// stop the whole fleet at a round boundary, restart from the per-tenant
+// checkpoints, and the completed run's fleet hash matches an
+// uninterrupted run exactly, with every tenant warm-starting.
+func TestKillRestartBitIdentical(t *testing.T) {
+	cfg := testConfig(6)
+	uninterrupted := runFleet(t, cfg)
+
+	dir := t.TempDir()
+	phase1 := cfg
+	phase1.StateDir = dir
+	phase1.MaxRounds = 5
+	rep1 := runFleet(t, phase1)
+	if rep1.Rounds != 5 {
+		t.Fatalf("phase 1 ran %d rounds, want 5", rep1.Rounds)
+	}
+
+	phase2 := cfg
+	phase2.StateDir = dir
+	rep2 := runFleet(t, phase2)
+	if rep2.WarmStarts != cfg.Tenants {
+		t.Fatalf("phase 2 warm-started %d/%d tenants", rep2.WarmStarts, cfg.Tenants)
+	}
+	if rep2.FleetHash != uninterrupted.FleetHash {
+		t.Errorf("restarted fleet hash %s != uninterrupted %s", rep2.FleetHash, uninterrupted.FleetHash)
+	}
+	if rep2.Steps != uninterrupted.Steps || rep2.Violations != uninterrupted.Violations ||
+		rep2.CostNodeSteps != uninterrupted.CostNodeSteps {
+		t.Errorf("restarted totals diverged: %d/%d/%d vs %d/%d/%d",
+			rep2.Steps, rep2.Violations, rep2.CostNodeSteps,
+			uninterrupted.Steps, uninterrupted.Violations, uninterrupted.CostNodeSteps)
+	}
+	for i, tr := range rep2.PerTenant {
+		if want := uninterrupted.PerTenant[i]; tr.AllocHash != want.AllocHash {
+			t.Errorf("tenant %s alloc hash %s != %s", tr.ID, tr.AllocHash, want.AllocHash)
+		}
+	}
+}
+
+// TestCorruptTenantFallsBackCold: corrupting one tenant's snapshots
+// costs only that tenant its warm start — every other tenant resumes
+// warm, the victim re-derives its decisions from its seed, and the final
+// fleet hash still matches an uninterrupted run.
+func TestCorruptTenantFallsBackCold(t *testing.T) {
+	cfg := testConfig(5)
+	uninterrupted := runFleet(t, cfg)
+
+	dir := t.TempDir()
+	phase1 := cfg
+	phase1.StateDir = dir
+	phase1.MaxRounds = 4
+	runFleet(t, phase1)
+
+	victim := TenantID(2)
+	victimDir, err := persist.TenantDir(dir, victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := filepath.Glob(filepath.Join(victimDir, "*"))
+	if err != nil || len(snaps) == 0 {
+		t.Fatalf("no snapshots in %s (err %v)", victimDir, err)
+	}
+	for _, path := range snaps {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)/2] ^= 0xff
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	phase2 := cfg
+	phase2.StateDir = dir
+	rep2 := runFleet(t, phase2)
+	if rep2.WarmStarts != cfg.Tenants-1 || rep2.ColdStarts != 1 {
+		t.Fatalf("warm/cold = %d/%d, want %d/1", rep2.WarmStarts, rep2.ColdStarts, cfg.Tenants-1)
+	}
+	if rep2.CorruptSnaps == 0 {
+		t.Error("corrupt snapshots not reported")
+	}
+	for _, tr := range rep2.PerTenant {
+		if tr.ID == victim && tr.WarmStart {
+			t.Errorf("victim %s warm-started from corrupt snapshots", victim)
+		}
+		if tr.ID != victim && !tr.WarmStart {
+			t.Errorf("bystander %s lost its warm start", tr.ID)
+		}
+	}
+	if rep2.FleetHash != uninterrupted.FleetHash {
+		t.Errorf("fleet hash after corrupt-tenant recovery %s != uninterrupted %s",
+			rep2.FleetHash, uninterrupted.FleetHash)
+	}
+}
+
+// TestMaxRoundsStopsAtBoundary pins the deterministic-stop contract the
+// kill-restart CI drill relies on.
+func TestMaxRoundsStopsAtBoundary(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.MaxRounds = 3
+	rep := runFleet(t, cfg)
+	if rep.Rounds != 3 {
+		t.Errorf("ran %d rounds, want 3", rep.Rounds)
+	}
+	wantSteps := int64(cfg.Tenants * 3 * cfg.Horizon)
+	if rep.Steps != wantSteps {
+		t.Errorf("replayed %d steps, want %d", rep.Steps, wantSteps)
+	}
+}

@@ -1,0 +1,37 @@
+package fleet
+
+import "robustscale/internal/obs"
+
+// Fleet instruments on the process-wide registry. The per-tenant vecs
+// reuse the single-label registry machinery; tenants cache their own
+// counter handles at build time so the per-step hot path never pays a
+// label lookup.
+var (
+	fleetTenantsGauge = obs.Default.Gauge(
+		"robustscale_fleet_tenants",
+		"Tenants managed by the fleet controller.")
+	fleetRoundsTotal = obs.Default.Counter(
+		"robustscale_fleet_rounds_total",
+		"Fleet-wide lock-step planning rounds completed.")
+	fleetTenantRounds = obs.Default.CounterVec(
+		"robustscale_fleet_tenant_rounds_total",
+		"Planning rounds completed, by tenant.",
+		"tenant")
+	fleetTenantViolations = obs.Default.CounterVec(
+		"robustscale_fleet_tenant_violations_total",
+		"Threshold violations observed in the fleet replay, by tenant.",
+		"tenant")
+	fleetWarmStarts = obs.Default.Counter(
+		"robustscale_fleet_warm_starts_total",
+		"Tenants that warm-started from their checkpoint namespace.")
+	fleetColdStarts = obs.Default.Counter(
+		"robustscale_fleet_cold_starts_total",
+		"Tenants that cold-started (no usable checkpoint).")
+	fleetCorruptSnapshots = obs.Default.Counter(
+		"robustscale_fleet_corrupt_snapshots_total",
+		"Per-tenant snapshot files rejected during fleet recovery.")
+	fleetPlanSeconds = obs.Default.Histogram(
+		"robustscale_fleet_plan_round_seconds",
+		"Wall-clock latency of one tenant planning round inside the fleet batch.",
+		obs.LatencyBuckets)
+)

@@ -1,0 +1,181 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"robustscale/internal/obs"
+)
+
+// TenantReport is the deterministic outcome of one tenant's replay.
+// Every field is a pure function of the fleet configuration (plus any
+// recovered checkpoints), so the records — and the fleet hash folded
+// over them — are bit-identical across worker counts and restarts.
+type TenantReport struct {
+	ID             string  `json:"id"`
+	Archetype      string  `json:"archetype"`
+	Seed           int64   `json:"seed"`
+	WarmStart      bool    `json:"warm_start"`
+	Rounds         int     `json:"rounds"`
+	Steps          int     `json:"steps"`
+	Violations     int     `json:"violations"`
+	ViolationRate  float64 `json:"violation_rate"`
+	CostNodeSteps  int64   `json:"cost_node_steps"`
+	FinalNodes     int     `json:"final_nodes"`
+	Holds          int     `json:"holds,omitempty"`
+	DegradedRounds int     `json:"degraded_rounds,omitempty"`
+	// AllocHash is the rolling FNV-1a hash over every allocation the
+	// tenant committed, carried across restarts.
+	AllocHash string `json:"alloc_hash"`
+}
+
+// Timing aggregates wall-clock planning latency. It is observational
+// only — scheduling noise makes it run-dependent — so determinism checks
+// must exclude it (hash `del(.timing)` or just .fleet_hash).
+type Timing struct {
+	Samples   int     `json:"samples"`
+	P50Millis float64 `json:"p50_ms"`
+	P90Millis float64 `json:"p90_ms"`
+	P99Millis float64 `json:"p99_ms"`
+}
+
+// Report is the aggregate outcome of a fleet run.
+type Report struct {
+	Tenants    int    `json:"tenants"`
+	Strategy   string `json:"strategy"`
+	Forecaster string `json:"forecaster"`
+	Workers    int    `json:"workers"`
+	// Rounds counts this process's lock-step fleet rounds; tenant totals
+	// below span whole lifetimes (across restarts).
+	Rounds        int     `json:"rounds"`
+	Steps         int64   `json:"steps"`
+	Violations    int64   `json:"violations"`
+	ViolationRate float64 `json:"violation_rate"`
+	CostNodeSteps int64   `json:"cost_node_steps"`
+	Holds         int64   `json:"holds"`
+	WarmStarts    int     `json:"warm_starts"`
+	ColdStarts    int     `json:"cold_starts"`
+	CorruptSnaps  int     `json:"corrupt_snapshots"`
+	// Per-tenant distribution of violation rate and cost (percentiles
+	// over tenants, deterministic).
+	ViolationRateP50 float64 `json:"violation_rate_p50"`
+	ViolationRateP90 float64 `json:"violation_rate_p90"`
+	ViolationRateP99 float64 `json:"violation_rate_p99"`
+	CostP50          float64 `json:"cost_p50"`
+	CostP90          float64 `json:"cost_p90"`
+	CostP99          float64 `json:"cost_p99"`
+	// DecisionsTotal counts decision records captured process-wide (0
+	// when capture is disabled); the count is deterministic even though
+	// ring order under parallelism is not.
+	DecisionsTotal uint64 `json:"decisions_total"`
+	// FleetHash folds every tenant's deterministic outcome (id, alloc
+	// hash, steps, violations, cost) in index order: one value that pins
+	// the entire fleet's decisions bit-for-bit.
+	FleetHash string         `json:"fleet_hash"`
+	Timing    *Timing        `json:"timing,omitempty"`
+	PerTenant []TenantReport `json:"per_tenant,omitempty"`
+}
+
+// report assembles the aggregate after the run loop exits.
+func (c *Controller) report() *Report {
+	r := &Report{
+		Tenants:        len(c.tenants),
+		Strategy:       c.cfg.Strategy,
+		Forecaster:     c.cfg.Forecaster,
+		Workers:        c.cfg.Workers,
+		Rounds:         c.rounds,
+		WarmStarts:     c.warmCount,
+		ColdStarts:     c.coldCount,
+		CorruptSnaps:   c.corrupt,
+		DecisionsTotal: obs.DefaultDecisions.Total(),
+	}
+	vrates := make([]float64, 0, len(c.tenants))
+	costs := make([]float64, 0, len(c.tenants))
+	var durations []float64
+	hash := uint64(fnvOffset)
+	for _, t := range c.tenants {
+		tr := TenantReport{
+			ID: t.ID, Archetype: t.Archetype, Seed: t.Seed,
+			WarmStart: t.warm, Rounds: t.Rounds(),
+			Steps: t.steps, Violations: t.violations,
+			CostNodeSteps: t.cost, FinalNodes: t.prevAlloc, Holds: t.holds,
+			AllocHash: fmt.Sprintf("%016x", t.allocHash),
+		}
+		if t.steps > 0 {
+			tr.ViolationRate = float64(t.violations) / float64(t.steps)
+		}
+		if t.guard != nil {
+			tr.DegradedRounds = t.guard.DegradedRounds()
+		}
+		r.Steps += int64(t.steps)
+		r.Violations += int64(t.violations)
+		r.CostNodeSteps += t.cost
+		r.Holds += int64(t.holds)
+		vrates = append(vrates, tr.ViolationRate)
+		costs = append(costs, float64(t.cost))
+		durations = append(durations, t.durations...)
+		hash = foldString(hash, t.ID)
+		hash = foldUint64(hash, t.allocHash)
+		hash = foldUint64(hash, uint64(t.steps))
+		hash = foldUint64(hash, uint64(t.violations))
+		hash = foldUint64(hash, uint64(t.cost))
+		if c.cfg.PerTenant {
+			r.PerTenant = append(r.PerTenant, tr)
+		}
+	}
+	if r.Steps > 0 {
+		r.ViolationRate = float64(r.Violations) / float64(r.Steps)
+	}
+	r.FleetHash = fmt.Sprintf("%016x", hash)
+	r.ViolationRateP50 = percentile(vrates, 50)
+	r.ViolationRateP90 = percentile(vrates, 90)
+	r.ViolationRateP99 = percentile(vrates, 99)
+	r.CostP50 = percentile(costs, 50)
+	r.CostP90 = percentile(costs, 90)
+	r.CostP99 = percentile(costs, 99)
+	if len(durations) > 0 {
+		r.Timing = &Timing{
+			Samples:   len(durations),
+			P50Millis: percentile(durations, 50) * 1e3,
+			P90Millis: percentile(durations, 90) * 1e3,
+			P99Millis: percentile(durations, 99) * 1e3,
+		}
+	}
+	return r
+}
+
+// foldString advances an FNV-1a hash over a string's bytes.
+func foldString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime
+	}
+	return h
+}
+
+// foldUint64 advances an FNV-1a hash over a value's 8 little-endian
+// bytes.
+func foldUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// percentile is the nearest-rank percentile of a sample (p in (0, 100]);
+// the input is not modified.
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

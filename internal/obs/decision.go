@@ -25,6 +25,12 @@ const (
 	BindingRateLimit = "rate-limit"
 )
 
+// DefaultTenant is the tenant id of a single-tenant control plane: the
+// daemon, the evaluation harness and the experiment runner stamp their
+// records with it unless told otherwise, so the schema carries the field
+// everywhere while single-tenant output stays stable.
+const DefaultTenant = "default"
+
 // Decision is the structured "why did we scale?" record of one planning
 // round: everything needed to audit an allocation against its forecast
 // inputs. Strategies fill the plan-shaped fields; the evaluation harness
@@ -34,6 +40,9 @@ type Decision struct {
 	Seq uint64 `json:"seq"`
 	// Time is the virtual time of the planning round.
 	Time time.Time `json:"time"`
+	// Tenant labels which tenant the round planned for. Single-tenant
+	// control loops use DefaultTenant.
+	Tenant string `json:"tenant,omitempty"`
 	// Strategy names the strategy that produced the plan.
 	Strategy string `json:"strategy"`
 	// Step is the series index of the planning origin; the round covers
@@ -231,9 +240,18 @@ func (s *DecisionStore) Decisions() []Decision {
 // matches all) and whose planned step range [Step, Step+Horizon)
 // intersects [from, to]; to < 0 leaves the range open above.
 func (s *DecisionStore) Filter(strategy string, from, to int) []Decision {
+	return s.FilterTenant("", strategy, from, to)
+}
+
+// FilterTenant is Filter additionally restricted to one tenant's records
+// (empty tenant matches all).
+func (s *DecisionStore) FilterTenant(tenant, strategy string, from, to int) []Decision {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.locked(func(d Decision) bool {
+		if tenant != "" && d.Tenant != tenant {
+			return false
+		}
 		if strategy != "" && d.Strategy != strategy {
 			return false
 		}
@@ -336,7 +354,8 @@ type decisionExport struct {
 
 // Handler returns an http.Handler serving the store as JSON. Query
 // parameters filter the records: ?strategy= matches the strategy name,
-// ?from= and ?to= bound the planned step range.
+// ?tenant= matches the tenant label, ?from= and ?to= bound the planned
+// step range.
 func (s *DecisionStore) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet {
@@ -365,7 +384,7 @@ func (s *DecisionStore) Handler() http.Handler {
 			Capacity:  s.Cap(),
 			Total:     s.Total(),
 			Dropped:   s.Dropped(),
-			Decisions: s.Filter(q.Get("strategy"), from, to),
+			Decisions: s.FilterTenant(q.Get("tenant"), q.Get("strategy"), from, to),
 		}
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(export); err != nil {

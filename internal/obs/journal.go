@@ -19,6 +19,9 @@ type Event struct {
 	// Time is the event timestamp — virtual time when recorded from the
 	// simulator, wall time otherwise.
 	Time time.Time `json:"time"`
+	// Tenant labels which tenant's control loop emitted the event; empty
+	// for process-wide events, so single-tenant output stays unchanged.
+	Tenant string `json:"tenant,omitempty"`
 	// Kind classifies the event ("scale", "violation", "fault",
 	// "forecast_error", ...).
 	Kind string `json:"kind"`
@@ -60,6 +63,13 @@ func (j *Journal) Record(kind, msg string, fields map[string]float64) {
 // the simulator, a parsed log time during replay, ...). The fields map is
 // copied, so callers may reuse theirs.
 func (j *Journal) RecordAt(t time.Time, kind, msg string, fields map[string]float64) {
+	j.RecordTenantAt(t, "", kind, msg, fields)
+}
+
+// RecordTenantAt is RecordAt with a tenant label, for control planes that
+// drive many tenants through one journal (the fleet controller) or a
+// daemon that wants its tenant id on every event.
+func (j *Journal) RecordTenantAt(t time.Time, tenant, kind, msg string, fields map[string]float64) {
 	var copied map[string]float64
 	if len(fields) > 0 {
 		copied = make(map[string]float64, len(fields))
@@ -69,7 +79,7 @@ func (j *Journal) RecordAt(t time.Time, kind, msg string, fields map[string]floa
 	}
 	j.mu.Lock()
 	j.seq++
-	j.buf[j.next] = Event{Seq: j.seq, Time: t, Kind: kind, Msg: msg, Fields: copied}
+	j.buf[j.next] = Event{Seq: j.seq, Time: t, Tenant: tenant, Kind: kind, Msg: msg, Fields: copied}
 	j.next = (j.next + 1) % len(j.buf)
 	if j.count < len(j.buf) {
 		j.count++
@@ -129,13 +139,19 @@ type journalExport struct {
 // journal a resumable cursor: postmortem tooling passes the last Seq it
 // saw instead of re-paging the full ring.
 func (j *Journal) EventsFiltered(kind string, sinceSeq uint64) []Event {
+	return j.EventsFilteredTenant("", kind, sinceSeq)
+}
+
+// EventsFilteredTenant is EventsFiltered additionally restricted to one
+// tenant's events (empty tenant matches all).
+func (j *Journal) EventsFilteredTenant(tenant, kind string, sinceSeq uint64) []Event {
 	events := j.Events()
-	if kind == "" && sinceSeq == 0 {
+	if tenant == "" && kind == "" && sinceSeq == 0 {
 		return events
 	}
 	out := events[:0]
 	for _, e := range events {
-		if e.Seq > sinceSeq && (kind == "" || e.Kind == kind) {
+		if e.Seq > sinceSeq && (kind == "" || e.Kind == kind) && (tenant == "" || e.Tenant == tenant) {
 			out = append(out, e)
 		}
 	}
@@ -143,8 +159,9 @@ func (j *Journal) EventsFiltered(kind string, sinceSeq uint64) []Event {
 }
 
 // Handler returns an http.Handler serving the journal as JSON. Query
-// parameters filter the events: ?kind= matches the event kind and
-// ?since_seq= returns only events with a larger sequence number.
+// parameters filter the events: ?kind= matches the event kind,
+// ?tenant= matches the tenant label, and ?since_seq= returns only
+// events with a larger sequence number.
 func (j *Journal) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet {
@@ -165,7 +182,7 @@ func (j *Journal) Handler() http.Handler {
 			Capacity: j.Cap(),
 			Total:    j.Total(),
 			Dropped:  j.Dropped(),
-			Events:   j.EventsFiltered(q.Get("kind"), sinceSeq),
+			Events:   j.EventsFilteredTenant(q.Get("tenant"), q.Get("kind"), sinceSeq),
 		}
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(export); err != nil {

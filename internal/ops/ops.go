@@ -47,6 +47,10 @@ func ObserveApply(d time.Duration) { stageApply.Observe(d.Seconds()) }
 
 // Status is a snapshot of the auto-scaler's state.
 type Status struct {
+	// Tenant is the tenant id this control loop plans for; a
+	// single-tenant daemon reports obs.DefaultTenant. Always present in
+	// the JSON so fleet tooling can key on it.
+	Tenant string `json:"tenant"`
 	// Strategy names the active scaling strategy.
 	Strategy string `json:"strategy"`
 	// Theta is the per-node workload threshold in effect.
@@ -94,9 +98,10 @@ type Registry struct {
 	status Status
 }
 
-// NewRegistry returns a registry pre-filled with the static fields.
+// NewRegistry returns a registry pre-filled with the static fields and
+// the default tenant id (override with Update for fleet members).
 func NewRegistry(strategy string, theta float64) *Registry {
-	return &Registry{status: Status{Strategy: strategy, Theta: theta}}
+	return &Registry{status: Status{Tenant: obs.DefaultTenant, Strategy: strategy, Theta: theta}}
 }
 
 // Update replaces the dynamic fields of the status. The provided function

@@ -39,8 +39,10 @@ import (
 const (
 	// Magic opens every snapshot file.
 	Magic = "RSCP"
-	// Version is the current snapshot format version.
-	Version = 1
+	// Version is the current snapshot format version. Version 2 added
+	// the tenant id to Fingerprint and the owner-defined Extra section
+	// to State (the fleet controller's loop accounting lives there).
+	Version = 2
 	// headerLen is magic(4) + version(4) + payload length(8) + crc32(4).
 	headerLen = 20
 	// DefaultMaxBytes bounds the decoded payload of one snapshot.
@@ -91,6 +93,12 @@ var (
 type Fingerprint struct {
 	// Strategy is the strategy flag value ("robust", "adaptive", ...).
 	Strategy string
+	// Tenant is the tenant id the snapshot belongs to ("default" for a
+	// single-tenant daemon). A fleet state directory holds one
+	// checkpoint namespace per tenant; the fingerprint check keeps a
+	// tenant from warm-starting into a neighbour's snapshot even if the
+	// namespaces are shuffled on disk.
+	Tenant string
 	// Dataset is the workload name ("alibaba", "google").
 	Dataset string
 	// Seed is the trace seed.
@@ -140,6 +148,11 @@ type State struct {
 	Journal []byte
 	// Decisions is the decision ring (obs.DecisionStore Save format).
 	Decisions []byte
+	// Extra is an owner-defined byte section for loop state that has no
+	// component of its own: the fleet controller checkpoints its rolling
+	// allocation hash and cost accounting here. persist never interprets
+	// it.
+	Extra []byte
 }
 
 // Encode frames the state as one snapshot: magic, version, payload

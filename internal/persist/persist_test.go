@@ -20,6 +20,7 @@ func testState() *State {
 		SavedAt: time.Date(2024, 3, 1, 12, 30, 0, 0, time.UTC),
 		Fingerprint: Fingerprint{
 			Strategy: "robust",
+			Tenant:   "default",
 			Dataset:  "alibaba",
 			Seed:     42,
 			Theta:    6.5,
@@ -40,6 +41,7 @@ func testState() *State {
 		Breaker:        []byte("breaker-state"),
 		Journal:        []byte("journal-ring"),
 		Decisions:      []byte("decision-ring"),
+		Extra:          []byte("loop-accounting"),
 	}
 }
 
@@ -285,7 +287,7 @@ func TestCheckpointCountersAdvance(t *testing.T) {
 // reproduce the fixture byte for byte. Any State or frame change that
 // breaks this requires a Version bump (and a new fixture).
 func TestGoldenFormat(t *testing.T) {
-	golden := filepath.Join("testdata", "checkpoint_v1.ckpt")
+	golden := filepath.Join("testdata", "checkpoint_v2.ckpt")
 	want := testState()
 	raw := encodeState(t, want)
 	if *updateGolden {

@@ -132,6 +132,18 @@ type EvalConfig struct {
 	// Start is the index of the first evaluated step; everything before
 	// it is visible history (and typically training data).
 	Start int
+	// Tenant labels the decision records and tenant-scoped counters of
+	// this evaluation; empty means obs.DefaultTenant, so single-tenant
+	// callers change nothing.
+	Tenant string
+}
+
+// tenant resolves the configured tenant id, defaulting the empty value.
+func (cfg EvalConfig) tenant() string {
+	if cfg.Tenant == "" {
+		return obs.DefaultTenant
+	}
+	return cfg.Tenant
 }
 
 // EvalResult is the outcome of a rolling evaluation.
@@ -189,7 +201,7 @@ func Evaluate(strategy Strategy, s *timeseries.Series, cfg EvalConfig) (*EvalRes
 		if sp.Active() || obs.DefaultDecisions.Enabled() {
 			at := s.TimeAt(origin)
 			sp.EndVirtual(at)
-			RecordDecision(strategy, origin, at, prev, plan)
+			RecordDecisionFor(strategy, cfg.tenant(), origin, at, prev, plan)
 		}
 		prev = plan[len(plan)-1]
 		realized := s.Values[origin : origin+cfg.Horizon]
@@ -208,6 +220,7 @@ func Evaluate(strategy Strategy, s *timeseries.Series, cfg EvalConfig) (*EvalRes
 	}
 	countActions(0, allocations)
 	violationsTotal.With(strategy.Name()).Add(float64(report.UnderProvisioned))
+	tenantViolations.With(cfg.tenant()).Add(float64(report.UnderProvisioned))
 	return &EvalResult{
 		Strategy:    strategy.Name(),
 		Report:      report,

@@ -43,6 +43,14 @@ var (
 		"robustscale_scaler_violations_total",
 		"Threshold violations observed in evaluation replays, by strategy.",
 		"strategy")
+
+	// tenantViolations is the tenant-labelled companion of
+	// violationsTotal: single-label vecs carry one dimension, so the
+	// per-strategy and per-tenant views are separate families.
+	tenantViolations = obs.Default.CounterVec(
+		"robustscale_scaler_tenant_violations_total",
+		"Threshold violations observed in evaluation replays, by tenant.",
+		"tenant")
 )
 
 // countPlan records one completed planning round for a strategy.
@@ -133,10 +141,16 @@ func pathDecision(d *obs.Decision, name string, theta float64, path []float64, p
 
 // RecordDecision stamps a strategy's last decision record with its round
 // context — planning origin, virtual time, previous allocation — and
-// records it on obs.DefaultDecisions. The evaluation harness and the
-// daemon call it once per planning round; strategies without a decision
-// record are a no-op.
+// records it on obs.DefaultDecisions under the default tenant. The
+// evaluation harness and the daemon call it once per planning round;
+// strategies without a decision record are a no-op.
 func RecordDecision(strategy Strategy, origin int, at time.Time, prev int, plan []int) {
+	RecordDecisionFor(strategy, obs.DefaultTenant, origin, at, prev, plan)
+}
+
+// RecordDecisionFor is RecordDecision with an explicit tenant label; the
+// fleet controller stamps each tenant's rounds with its id.
+func RecordDecisionFor(strategy Strategy, tenant string, origin int, at time.Time, prev int, plan []int) {
 	if !obs.DefaultDecisions.Enabled() {
 		return
 	}
@@ -149,6 +163,7 @@ func RecordDecision(strategy Strategy, origin int, at time.Time, prev int, plan 
 		return
 	}
 	rec := *d
+	rec.Tenant = tenant
 	rec.Step = origin
 	rec.Time = at
 	rec.PrevNodes = prev

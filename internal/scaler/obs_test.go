@@ -264,3 +264,33 @@ func TestEvaluateRecordsDecisions(t *testing.T) {
 		t.Errorf("round 0 time = %v, want %v", ds[0].Time, s.TimeAt(2))
 	}
 }
+
+func TestEvaluateTenantLabelling(t *testing.T) {
+	enableDecisions(t)
+	obs.DefaultDecisions.Reset()
+	defer obs.DefaultDecisions.Reset()
+
+	s := series(10, 20, 30, 40, 50, 60, 70, 80)
+	// An unset tenant resolves to the default label.
+	if _, err := Evaluate(&ReactiveMax{Window: 2, Theta: 10}, s, EvalConfig{Theta: 10, Horizon: 2, Start: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// A fleet member stamps its id on every record of its rounds.
+	if _, err := Evaluate(&ReactiveMax{Window: 2, Theta: 10}, s, EvalConfig{Theta: 10, Horizon: 2, Start: 2, Tenant: "tenant-0042"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range obs.DefaultDecisions.Decisions()[:3] {
+		if d.Tenant != obs.DefaultTenant {
+			t.Errorf("default-run decision tenant = %q, want %q", d.Tenant, obs.DefaultTenant)
+		}
+	}
+	got := obs.DefaultDecisions.FilterTenant("tenant-0042", "", 0, -1)
+	if len(got) != 3 {
+		t.Fatalf("FilterTenant returned %d decisions, want 3", len(got))
+	}
+	for _, d := range got {
+		if d.Tenant != "tenant-0042" {
+			t.Errorf("decision tenant = %q", d.Tenant)
+		}
+	}
+}
