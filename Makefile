@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race cover bench bench-compile bench-save bench-check fuzz fleet-smoke ci experiments examples clean
+.PHONY: all build test vet race cover bench bench-compile bench-save bench-check fuzz fleet-smoke slo-smoke ci experiments examples clean
 
 all: build vet test
 
@@ -56,6 +56,12 @@ fuzz:
 fleet-smoke:
 	scripts/fleet_smoke.sh
 
+# Fleet health plane drill (same script CI runs): deterministic
+# burn-rate alert firing under chaos, /readyz across a warm restart,
+# cardinality-capped exposition, SLO-on/off hash invariance.
+slo-smoke:
+	scripts/slo_smoke.sh
+
 # Everything the CI workflow checks, runnable locally in one shot.
 ci: build vet
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
@@ -64,6 +70,7 @@ ci: build vet
 	$(GO) test -race $(RACE_PKGS)
 	$(MAKE) bench-compile
 	$(MAKE) fleet-smoke
+	$(MAKE) slo-smoke
 
 # Regenerate every paper table/figure with the CLI runner.
 experiments:

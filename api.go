@@ -318,6 +318,58 @@ var (
 	RecordDecision = scaler.RecordDecision
 )
 
+// Fleet health plane: mergeable quantile sketches, heavy-hitter
+// tracking, SLO error budgets with burn-rate alerting, and health
+// probes.
+type (
+	// Sketch is a deterministic mergeable quantile sketch with bounded
+	// relative error (DDSketch-style log bucketing).
+	Sketch = obs.Sketch
+	// SketchSnapshot is a Sketch's sorted, serializable image.
+	SketchSnapshot = obs.SketchSnapshot
+	// TopK is a space-saving heavy-hitter tracker; TopEntry is one
+	// tracked key with its count and overestimate bound.
+	TopK     = obs.TopK
+	TopEntry = obs.TopEntry
+	// SLOTracker maintains a rolling error budget over virtual time and
+	// evaluates multi-window burn-rate alert rules deterministically.
+	SLOTracker = obs.SLOTracker
+	// SLOConfig configures an SLOTracker; SLOStatus is its queryable
+	// point-in-time state.
+	SLOConfig = obs.SLOConfig
+	SLOStatus = obs.SLOStatus
+	// BurnRule is one multi-window burn-rate alert rule; AlertEvent is
+	// one firing/resolved transition.
+	BurnRule   = obs.BurnRule
+	AlertEvent = obs.AlertEvent
+	// Health carries the liveness/readiness state behind /healthz and
+	// /readyz.
+	Health = obs.Health
+)
+
+// Health plane entry points.
+var (
+	// NewSketch returns a quantile sketch with the given relative
+	// accuracy (e.g. 0.01 for 1%).
+	NewSketch = obs.NewSketch
+	// NewTopK returns a space-saving tracker for the k heaviest keys.
+	NewTopK = obs.NewTopK
+	// NewSLOTracker returns an error-budget tracker for the config.
+	NewSLOTracker = obs.NewSLOTracker
+	// NewHealth returns a liveness/readiness probe pair.
+	NewHealth = obs.NewHealth
+	// DefaultBurnRules scales the classic page/ticket burn-rate pair to
+	// an error-budget window.
+	DefaultBurnRules = obs.DefaultBurnRules
+	// ParseBurnRules parses a "[name=]<factor>x:<long>/<short>,..."
+	// rule spec (the -burn-windows flag format).
+	ParseBurnRules = obs.ParseBurnRules
+)
+
+// DefaultSketchAlpha is the relative accuracy used by the fleet report's
+// sketches.
+const DefaultSketchAlpha = obs.DefaultSketchAlpha
+
 // Resilience: the guarded control loop and its fault-injection harness.
 type (
 	// Guard wraps a Strategy with forecast validation/repair and a

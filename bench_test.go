@@ -22,6 +22,7 @@ import (
 
 	"robustscale/internal/experiment"
 	"robustscale/internal/forecast"
+	"robustscale/internal/obs"
 	"robustscale/internal/optimize"
 	"robustscale/internal/scaler"
 	"robustscale/internal/timeseries"
@@ -524,6 +525,65 @@ func BenchmarkAblationSolver(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkSketchObserve measures the health plane's quantile sketch on
+// its hot path: one Observe per control-loop sample.
+func BenchmarkSketchObserve(b *testing.B) {
+	sk := obs.NewSketch(obs.DefaultSketchAlpha)
+	vals := sketchBenchValues(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.Observe(vals[i&4095])
+	}
+}
+
+// BenchmarkSketchMerge measures folding one shard's sketch into the
+// fleet aggregate, the per-tenant cost of assembling a fleet report.
+func BenchmarkSketchMerge(b *testing.B) {
+	shard := obs.NewSketch(obs.DefaultSketchAlpha)
+	for _, v := range sketchBenchValues(4096) {
+		shard.Observe(v)
+	}
+	agg := obs.NewSketch(obs.DefaultSketchAlpha)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := agg.Merge(shard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSketchQuantile measures a percentile query against a
+// populated sketch (the /slo and report read path).
+func BenchmarkSketchQuantile(b *testing.B) {
+	sk := obs.NewSketch(obs.DefaultSketchAlpha)
+	for _, v := range sketchBenchValues(65536) {
+		sk.Observe(v)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += sk.Percentile(99)
+	}
+	_ = sink
+}
+
+// sketchBenchValues generates a deterministic log-spread sample via a
+// xorshift generator (no math/rand dependency in the timed setup).
+func sketchBenchValues(n int) []float64 {
+	vals := make([]float64, n)
+	state := uint64(0x9e3779b97f4a7c15)
+	for i := range vals {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		vals[i] = 1e-3 + float64(state%1_000_000)/1e3
+	}
+	return vals
 }
 
 func benchName(prefix string, n int) string {

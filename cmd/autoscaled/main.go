@@ -28,7 +28,17 @@
 // Perfetto), /decisions (per-round "why did we scale?" records,
 // filterable by ?strategy= &from= &to= &tenant=) and /debug/pprof
 // (runtime profiles), and keeps serving after the replay until
-// interrupted. -tenant labels everything the daemon emits — /status,
+// interrupted. /healthz answers 200 as soon as the listener binds;
+// /readyz answers 503 until training (or warm-start restore) completes,
+// then 200 — probes can gate traffic on it. With -slo-target set (the
+// default, 1%), the daemon tracks a rolling error budget over
+// -slo-window replay steps and evaluates multi-window burn-rate alert
+// rules (-burn-windows overrides the defaults) on every step: /slo
+// serves the budget state, /alerts the firing rules plus transition
+// history, and every transition lands in the journal as an "alert"
+// event. -label-limit caps per-metric label cardinality; overflowing
+// label values collapse into a single "other" series.
+// -tenant labels everything the daemon emits — /status,
 // decision records, journal events and the checkpoint fingerprint —
 // so several daemons can share a dashboard; the default id is
 // "default".
@@ -92,6 +102,11 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON file here when the replay ends (implies tracing)")
 		explain    = flag.String("explain", "", `print the decision explanation for a series step index, or "latest", after the replay`)
 
+		sloTarget  = flag.Float64("slo-target", 0.01, "violation-rate SLO driving the error-budget tracker and burn-rate alerts (0 disables the SLO plane)")
+		sloWindow  = flag.Int("slo-window", 144, "rolling error-budget window in replay steps")
+		burnSpec   = flag.String("burn-windows", "", `burn-rate alert rules as "[name=]<factor>x:<long>/<short>,..." (empty = defaults scaled to -slo-window)`)
+		labelLimit = flag.Int("label-limit", obs.DefaultLabelLimit, `per-metric label cardinality cap; excess label values collapse into the "other" series (<= 0 = unlimited)`)
+
 		guardOn     = flag.Bool("guard", true, "wrap the strategy in the resilience guard (fan repair, fallback ladder)")
 		guardBlowup = flag.Float64("guard-blowup", 8, "sanity bound: clamp forecasts above this multiple of the recent history maximum")
 		guardSlack  = flag.Float64("guard-coverage-slack", 0.25, "calibration health: tolerated shortfall of rolling coverage below each nominal level")
@@ -137,6 +152,33 @@ func main() {
 	// /decisions), so capture is always on here; library consumers stay
 	// at the disabled default.
 	obs.DefaultDecisions.SetEnabled(true)
+	obs.Default.SetLabelLimit(*labelLimit)
+
+	// The SLO tracker exists before the listener binds so /slo and
+	// /alerts answer from the first request; it only starts consuming
+	// budget once the replay loop observes steps.
+	health := obs.NewHealth()
+	var slo *obs.SLOTracker
+	if *sloTarget > 0 {
+		var rules []obs.BurnRule
+		if *burnSpec != "" {
+			var perr error
+			if rules, perr = obs.ParseBurnRules(*burnSpec); perr != nil {
+				log.Fatalf("autoscaled: -burn-windows: %v", perr)
+			}
+			for _, r := range rules {
+				if r.Long > *sloWindow {
+					log.Fatalf("autoscaled: -burn-windows: rule %s long window %d exceeds -slo-window %d", r.Name, r.Long, *sloWindow)
+				}
+			}
+		}
+		if !(*sloTarget < 1) || *sloWindow < 1 {
+			log.Fatalf("autoscaled: need 0 < -slo-target < 1 and -slo-window >= 1, got %v/%d", *sloTarget, *sloWindow)
+		}
+		slo = obs.NewSLOTracker(obs.SLOConfig{Target: *sloTarget, Window: *sloWindow, Rules: rules}).InstrumentDefault()
+		slo.Journal = obs.DefaultJournal
+		slo.Tenant = *tenant
+	}
 
 	// Bind the observability listener before the (potentially long)
 	// training phase: an occupied or invalid -listen address fails fast
@@ -152,6 +194,12 @@ func main() {
 			log.Fatalf("autoscaled: cannot serve observability endpoint on %s: %v", *listen, err)
 		}
 		mux := http.NewServeMux()
+		mux.Handle("/healthz", health.LiveHandler())
+		mux.Handle("/readyz", health.ReadyHandler())
+		if slo != nil {
+			mux.Handle("/slo", slo.Handler())
+			mux.Handle("/alerts", slo.AlertsHandler())
+		}
 		mux.Handle("/status", registry.Handler())
 		mux.Handle("/metrics", registry.MetricsHandler())
 		mux.Handle("/journal", obs.DefaultJournal.Handler())
@@ -164,7 +212,7 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		httpSrv = &http.Server{Handler: mux}
 		go func() {
-			log.Printf("autoscaled: observability endpoint on http://%s (/status /metrics /journal /trace /decisions /debug/pprof)", ln.Addr())
+			log.Printf("autoscaled: observability endpoint on http://%s (/healthz /readyz /slo /alerts /status /metrics /journal /trace /decisions /debug/pprof)", ln.Addr())
 			if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 				log.Printf("autoscaled: observability endpoint: %v", err)
 			}
@@ -382,6 +430,9 @@ func main() {
 		restore("breaker", recovered.Breaker, applier.Breaker.Load)
 		restore("journal", recovered.Journal, obs.DefaultJournal.Load)
 		restore("decisions", recovered.Decisions, obs.DefaultDecisions.Load)
+		if slo != nil {
+			restore("slo", recovered.SLO, slo.Load)
+		}
 		if len(recovered.Calibration) > 0 {
 			if loaded, cerr := cluster.LoadCalibration(bytes.NewReader(recovered.Calibration)); cerr != nil {
 				log.Printf("autoscaled: restoring calibration state: %v (continuing fresh)", cerr)
@@ -448,6 +499,9 @@ func main() {
 		st.Breaker = blob("breaker", applier.Breaker.Save)
 		st.Journal = blob("journal", obs.DefaultJournal.Save)
 		st.Decisions = blob("decisions", obs.DefaultDecisions.Save)
+		if slo != nil {
+			st.SLO = blob("slo", slo.Save)
+		}
 		if _, err := mgr.Write(st); err != nil {
 			log.Printf("autoscaled: checkpoint at origin %d failed: %v", nextOrigin, err)
 			return
@@ -455,6 +509,10 @@ func main() {
 		lastCkpt = nextOrigin
 		registry.Update(func(s *ops.Status) { s.CheckpointWrites = int(persist.CheckpointWrites()) })
 	}
+
+	// Training (or warm-start restore) is done and the replay is about to
+	// consume steps: the daemon is ready. /readyz flips 503 -> 200 here.
+	health.SetReady(true)
 
 	// One reusable history view and plan buffer keep the steady-state
 	// round allocation-free for in-place strategies: the view shares the
@@ -547,13 +605,20 @@ func main() {
 			}
 			capacity := c.EffectiveCapacity(cpu.Step)
 			util := cpu.At(t) / capacity
+			bad := uint64(0)
 			if util > *theta {
 				violations++
+				bad = 1
 				log.Printf("%s VIOLATION: utilization %.1f > %.0f with %d nodes",
 					cpu.TimeAt(t).Format("Jan 02 15:04"), util, *theta, actual)
 				obs.DefaultJournal.RecordTenantAt(c.Now(), *tenant, "violation",
 					fmt.Sprintf("utilization %.1f > %.0f with %d nodes", util, *theta, actual),
 					map[string]float64{"utilization": util, "theta": *theta, "nodes": float64(actual)})
+			}
+			if slo != nil {
+				// One tick per replayed step, stamped with virtual time, so
+				// burn-rate firing rounds are a pure function of the replay.
+				slo.ObserveAt(c.Now(), bad, 1)
 			}
 			steps++
 			c.Advance(cpu.Step)
@@ -618,6 +683,18 @@ func main() {
 	if guard != nil {
 		fmt.Printf("resilience: %d degraded rounds, %d apply holds, %d node failures, final mode %s\n",
 			guard.DegradedRounds(), holds, c.Failures, guard.Mode())
+	}
+	if slo != nil {
+		// Every figure here is a pure function of the replay in virtual
+		// time, so identical runs print an identical line — the slo-smoke
+		// CI job diffs it across reruns.
+		st := slo.Status()
+		firstFire := "none"
+		if tick, ok := slo.FirstFiring(); ok {
+			firstFire = strconv.FormatUint(tick, 10)
+		}
+		fmt.Printf("slo: target %g window %d: %d/%d bad steps, budget remaining %.4f, %d transitions, %d active alerts, first firing tick %s\n",
+			st.Target, st.Window, st.Bad, st.Total, st.BudgetRemaining, st.Transitions, st.ActiveAlerts, firstFire)
 	}
 	if cal != nil {
 		snap := cal.Snapshot()

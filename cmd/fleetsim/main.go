@@ -18,6 +18,17 @@
 // uninterrupted run. The timing section is wall-clock and excluded from
 // that contract. -metrics dumps the Prometheus registry (tenant-labelled
 // fleet counters included) for scraping or CI assertions.
+//
+// With -slo-target set (the default, 1%), the controller tracks a
+// fleet-wide rolling error budget over -slo-window rounds and evaluates
+// burn-rate alerts (-burn-windows overrides the defaults); the summary
+// gains an "slo" section and enabling the plane never changes a single
+// allocation or the fleet hash. -label-limit caps per-metric label
+// cardinality — at 10k tenants the tenant-labelled series collapse into
+// "other" past the cap instead of exploding the scrape. -listen serves
+// the health surface (/healthz, /readyz flipping 503 -> 200 once the
+// fleet is built, /slo, /alerts, /metrics, /journal, /decisions) and
+// keeps serving after the run until interrupted.
 package main
 
 import (
@@ -26,9 +37,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -63,9 +77,22 @@ func main() {
 		metricsOut   = flag.String("metrics", "", "write the Prometheus metrics dump to this file after the run")
 		perTenant    = flag.Bool("per-tenant", true, "include per-tenant records in the summary")
 		decisions    = flag.Bool("decisions", true, "capture tenant-labelled decision records")
+
+		sloTarget  = flag.Float64("slo-target", def.SLOTarget, "fleet-wide violation-rate SLO driving the error-budget tracker and burn-rate alerts (0 disables the SLO plane; never changes decisions)")
+		sloWindow  = flag.Int("slo-window", def.SLOWindow, "rolling error-budget window in fleet rounds")
+		burnSpec   = flag.String("burn-windows", "", `burn-rate alert rules as "[name=]<factor>x:<long>/<short>,..." (empty = defaults scaled to -slo-window)`)
+		labelLimit = flag.Int("label-limit", obs.DefaultLabelLimit, `per-metric label cardinality cap; excess label values (e.g. tenant ids) collapse into the "other" series (<= 0 = unlimited)`)
+		listen     = flag.String("listen", "", "address for the fleet health surface (/healthz /readyz /slo /alerts /metrics /journal /decisions; empty disables)")
 	)
 	flag.Parse()
 
+	var burnRules []obs.BurnRule
+	if *burnSpec != "" {
+		var err error
+		if burnRules, err = obs.ParseBurnRules(*burnSpec); err != nil {
+			log.Fatalf("fleetsim: -burn-windows: %v", err)
+		}
+	}
 	cfg := fleet.Config{
 		Tenants: *tenants, Seed: *seed,
 		Days: *days, TrainDays: *trainDays, Units: *units,
@@ -74,17 +101,52 @@ func main() {
 		Workers: *workers, StateDir: *stateDir,
 		CheckpointInterval: *ckptInterval, Retain: *retain,
 		MaxRounds: *maxRounds, PerTenant: *perTenant,
+		SLOTarget: *sloTarget, SLOWindow: *sloWindow, BurnRules: burnRules,
 	}
 	obs.DefaultDecisions.SetEnabled(*decisions)
+	obs.Default.SetLabelLimit(*labelLimit)
 
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
+
+	// The health surface binds before the (potentially long) fleet build:
+	// /healthz and /metrics answer immediately, /readyz stays 503 until
+	// every tenant is built, and /slo and /alerts come alive with the
+	// controller's tracker.
+	health := obs.NewHealth()
+	var sloPtr atomic.Pointer[obs.SLOTracker]
+	var httpSrv *http.Server
+	if *listen != "" {
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			log.Fatalf("fleetsim: cannot serve health surface on %s: %v", *listen, err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/healthz", health.LiveHandler())
+		mux.Handle("/readyz", health.ReadyHandler())
+		mux.Handle("/slo", sloHandler(&sloPtr, (*obs.SLOTracker).Handler))
+		mux.Handle("/alerts", sloHandler(&sloPtr, (*obs.SLOTracker).AlertsHandler))
+		mux.Handle("/metrics", obs.Default.Handler())
+		mux.Handle("/journal", obs.DefaultJournal.Handler())
+		mux.Handle("/decisions", obs.DefaultDecisions.Handler())
+		httpSrv = &http.Server{Handler: mux}
+		go func() {
+			log.Printf("fleetsim: health surface on http://%s (/healthz /readyz /slo /alerts /metrics /journal /decisions)", ln.Addr())
+			if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				log.Printf("fleetsim: health surface: %v", err)
+			}
+		}()
+	}
 
 	t0 := time.Now()
 	ctrl, err := fleet.New(cfg)
 	if err != nil {
 		log.Fatalf("fleetsim: %v", err)
 	}
+	if slo := ctrl.SLO(); slo != nil {
+		sloPtr.Store(slo)
+	}
+	health.SetReady(true)
 	buildSecs := time.Since(t0).Seconds()
 	log.Printf("fleetsim: built %d tenants in %.2fs (strategy=%s forecaster=%s workers=%d)",
 		cfg.Tenants, buildSecs, cfg.Strategy, cfg.Forecaster, cfg.Workers)
@@ -106,6 +168,31 @@ func main() {
 			log.Fatalf("fleetsim: %v", err)
 		}
 	}
+	if *listen != "" && ctx.Err() == nil {
+		log.Printf("fleetsim: run complete; serving health surface until interrupted")
+		<-ctx.Done()
+	}
+	if httpSrv != nil {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			log.Printf("fleetsim: draining health surface: %v", err)
+		}
+	}
+}
+
+// sloHandler defers to the given SLOTracker handler once the controller
+// exists; until then (or with the SLO plane disabled) it answers 503 so
+// probes can tell "not yet" from "never".
+func sloHandler(p *atomic.Pointer[obs.SLOTracker], h func(*obs.SLOTracker) http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		slo := p.Load()
+		if slo == nil {
+			http.Error(w, "slo plane not available", http.StatusServiceUnavailable)
+			return
+		}
+		h(slo).ServeHTTP(w, req)
+	})
 }
 
 // writeSummary encodes the report as indented JSON to the file or

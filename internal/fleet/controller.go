@@ -86,9 +86,14 @@ type Tenant struct {
 	corrupt    int
 	err        error
 
-	histView  *timeseries.Series
-	planBuf   []int
-	durations []float64
+	histView *timeseries.Series
+	planBuf  []int
+	// dur streams planning latency into a mergeable sketch instead of an
+	// unbounded slice: O(buckets) memory per tenant at any fleet size.
+	dur *obs.Sketch
+	// sloBlob is the fleet SLO tracker state recovered from this
+	// tenant's checkpoint (only tenant 0 carries it).
+	sloBlob []byte
 
 	violCounter  *obs.Counter
 	roundCounter *obs.Counter
@@ -117,6 +122,23 @@ type Controller struct {
 	warmCount int
 	coldCount int
 	corrupt   int
+
+	// slo tracks the fleet-wide error budget over virtual time; nil when
+	// cfg.SLOTarget is 0. lastSteps/lastViol are the fleet totals at the
+	// previous round boundary, so each round observes only its delta.
+	slo       *obs.SLOTracker
+	lastSteps int64
+	lastViol  int64
+
+	// worstViol/worstCost stream each round's per-tenant violation and
+	// cost deltas into space-saving trackers: O(k) memory identifies the
+	// tenants eating the error budget and the spend, however large the
+	// fleet. Observed in index order after the round barrier, so the
+	// lists are deterministic across worker counts.
+	worstViol      *obs.TopK
+	worstCost      *obs.TopK
+	lastTenantViol []int
+	lastTenantCost []int64
 }
 
 // New builds the fleet: every tenant's trace is generated, its
@@ -126,6 +148,9 @@ type Controller struct {
 // pool; each tenant is built entirely from its own derived seed and its
 // own namespace, so the build is deterministic and order-independent.
 func New(cfg Config) (*Controller, error) {
+	if cfg.SLOTarget > 0 && cfg.SLOWindow <= 0 {
+		cfg.SLOWindow = DefaultSLOWindow
+	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -159,8 +184,39 @@ func New(cfg Config) (*Controller, error) {
 	fleetWarmStarts.Add(float64(c.warmCount))
 	fleetColdStarts.Add(float64(c.coldCount))
 	fleetCorruptSnapshots.Add(float64(c.corrupt))
+	c.worstViol = obs.NewTopK(worstListSize)
+	c.worstCost = obs.NewTopK(worstListSize)
+	c.lastTenantViol = make([]int, len(tenants))
+	c.lastTenantCost = make([]int64, len(tenants))
+	for i, t := range tenants {
+		c.lastTenantViol[i] = t.violations
+		c.lastTenantCost[i] = t.cost
+	}
+	if cfg.SLOTarget > 0 {
+		c.slo = obs.NewSLOTracker(obs.SLOConfig{
+			Target: cfg.SLOTarget, Window: cfg.SLOWindow, Rules: cfg.BurnRules,
+		}).InstrumentDefault()
+		c.slo.Journal = obs.DefaultJournal
+		// The tracker rides tenant 0's checkpoint; a restored blob resumes
+		// the budget mid-window, a mismatched one starts fresh.
+		if blob := tenants[0].sloBlob; len(blob) > 0 {
+			if err := c.slo.Load(bytes.NewReader(blob)); err != nil {
+				obs.DefaultJournal.RecordTenantAt(tenants[0].now(), "", "slo",
+					fmt.Sprintf("SLO snapshot rejected, starting budget fresh: %v", err), nil)
+			}
+		}
+		// Steps replayed before a restart were already observed by the
+		// saved tracker; baseline the deltas at the restored totals.
+		for _, t := range tenants {
+			c.lastSteps += int64(t.steps)
+			c.lastViol += int64(t.violations)
+		}
+	}
 	return c, nil
 }
+
+// SLO exposes the fleet's error-budget tracker (nil when disabled).
+func (c *Controller) SLO() *obs.SLOTracker { return c.slo }
 
 func b2f(v bool) float64 {
 	if v {
@@ -192,6 +248,7 @@ func buildTenant(cfg Config, index int) (*Tenant, error) {
 		origin: trainEnd, cursor: trainEnd,
 		alloc: 1, prevAlloc: 1,
 		allocHash:    fnvOffset,
+		dur:          obs.NewSketch(obs.DefaultSketchAlpha),
 		histView:     &timeseries.Series{Name: series.Name, Start: series.Start, Step: series.Step},
 		violCounter:  fleetTenantViolations.With(id),
 		roundCounter: fleetTenantRounds.With(id),
@@ -350,6 +407,7 @@ func (t *Tenant) restore(cfg Config, st *persist.State) {
 		t.alloc, t.prevAlloc = st.PrevAlloc, st.PrevAlloc
 	}
 	t.steps, t.violations, t.holds = st.Steps, st.Violations, st.Holds
+	t.sloBlob = st.SLO
 	if len(st.Extra) > 0 {
 		var extra loopExtra
 		if err := gob.NewDecoder(bytes.NewReader(st.Extra)).Decode(&extra); err == nil {
@@ -450,7 +508,7 @@ func (t *Tenant) planRound(cfg Config) {
 	t.origin = origin + h
 	t.roundCounter.Inc()
 	d := time.Since(start).Seconds()
-	t.durations = append(t.durations, d)
+	t.dur.Observe(d)
 	fleetPlanSeconds.Observe(d)
 }
 
@@ -485,6 +543,27 @@ func (c *Controller) Run(ctx context.Context) (*Report, error) {
 				return nil, t.err
 			}
 		}
+		// Health-plane observation happens after the round barrier, over
+		// per-tenant deltas read in index order — a pure function of the
+		// round's outcome, so heavy-hitter lists and alert firing ticks
+		// are worker-count independent.
+		var steps, viol int64
+		for i, t := range c.tenants {
+			steps += int64(t.steps)
+			viol += int64(t.violations)
+			if dv := t.violations - c.lastTenantViol[i]; dv > 0 {
+				c.worstViol.Observe(t.ID, float64(dv))
+			}
+			if dc := t.cost - c.lastTenantCost[i]; dc > 0 {
+				c.worstCost.Observe(t.ID, float64(dc))
+			}
+			c.lastTenantViol[i], c.lastTenantCost[i] = t.violations, t.cost
+		}
+		if c.slo != nil {
+			c.slo.ObserveAt(c.tenants[0].now(),
+				uint64(viol-c.lastViol), uint64(steps-c.lastSteps))
+			c.lastSteps, c.lastViol = steps, viol
+		}
 		c.rounds++
 		fleetRoundsTotal.Inc()
 		if cfg.StateDir != "" && c.rounds%cfg.CheckpointInterval == 0 {
@@ -500,15 +579,29 @@ func (c *Controller) Run(ctx context.Context) (*Report, error) {
 // checkpoint snapshots every tenant into its own namespace, batched
 // across the worker pool (each write touches only that tenant's
 // directory). A failed write logs through the journal and keeps flying.
+// The fleet SLO tracker is encoded once up front and rides tenant 0's
+// snapshot.
 func (c *Controller) checkpoint() {
+	var sloBlob []byte
+	if c.slo != nil {
+		var b bytes.Buffer
+		if err := c.slo.Save(&b); err == nil {
+			sloBlob = b.Bytes()
+		}
+	}
 	parallel.ForEachWorkerSpan("fleet-checkpoint", c.cfg.Workers, len(c.tenants), func(_, i int) {
-		c.tenants[i].writeCheckpoint()
+		var blob []byte
+		if i == 0 {
+			blob = sloBlob
+		}
+		c.tenants[i].writeCheckpoint(blob)
 	})
 	c.lastCkpt = c.rounds
 }
 
-// writeCheckpoint snapshots one tenant's full control-loop state.
-func (t *Tenant) writeCheckpoint() {
+// writeCheckpoint snapshots one tenant's full control-loop state; slo,
+// when non-nil, is the fleet SLO tracker blob (tenant 0 only).
+func (t *Tenant) writeCheckpoint(slo []byte) {
 	if t.mgr == nil {
 		return
 	}
@@ -542,6 +635,7 @@ func (t *Tenant) writeCheckpoint() {
 		st.Guard = blob(t.guard.Save)
 	}
 	st.Breaker = blob(t.applier.Breaker.Save)
+	st.SLO = slo
 	var extra bytes.Buffer
 	if err := gob.NewEncoder(&extra).Encode(loopExtra{AllocHash: t.allocHash, Cost: t.cost}); err == nil {
 		st.Extra = extra.Bytes()

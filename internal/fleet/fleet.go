@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"robustscale/internal/forecast"
+	"robustscale/internal/obs"
 	"robustscale/internal/persist"
 	"robustscale/internal/timeseries"
 	"robustscale/internal/trace"
@@ -80,7 +81,21 @@ type Config struct {
 	MaxRounds int
 	// PerTenant includes the per-tenant records in the report.
 	PerTenant bool
+	// SLOTarget is the fleet-wide violation-rate objective feeding the
+	// error-budget tracker and burn-rate alerts; 0 disables the SLO
+	// plane (the tracker never observes, so the fleet hash and every
+	// per-tenant decision are identical either way).
+	SLOTarget float64
+	// SLOWindow is the rolling error-budget window in fleet rounds;
+	// <= 0 defaults to DefaultSLOWindow when SLOTarget is set.
+	SLOWindow int
+	// BurnRules overrides the burn-rate alert rules; nil uses
+	// obs.DefaultBurnRules(SLOWindow).
+	BurnRules []obs.BurnRule
 }
+
+// DefaultSLOWindow is the default error-budget window in fleet rounds.
+const DefaultSLOWindow = 48
 
 // DefaultConfig returns a runnable fleet configuration for the given
 // tenant count: two training days feeding a seasonal-naive robust
@@ -102,6 +117,8 @@ func DefaultConfig(tenants int) Config {
 		CheckpointInterval: 1,
 		Retain:             persist.DefaultRetain,
 		PerTenant:          true,
+		SLOTarget:          0.01,
+		SLOWindow:          DefaultSLOWindow,
 	}
 }
 
@@ -148,6 +165,16 @@ func (cfg Config) validate() error {
 	}
 	if cfg.StateDir != "" && cfg.CheckpointInterval <= 0 {
 		return fmt.Errorf("fleet: non-positive checkpoint interval %d", cfg.CheckpointInterval)
+	}
+	if cfg.SLOTarget < 0 || cfg.SLOTarget >= 1 {
+		return fmt.Errorf("fleet: SLO target %v outside [0, 1)", cfg.SLOTarget)
+	}
+	if cfg.SLOTarget > 0 {
+		for _, r := range cfg.BurnRules {
+			if r.Factor <= 0 || r.Short < 1 || r.Long < r.Short || r.Long > cfg.SLOWindow {
+				return fmt.Errorf("fleet: burn rule %+v invalid for window %d", r, cfg.SLOWindow)
+			}
+		}
 	}
 	return nil
 }

@@ -39,6 +39,19 @@ type Timing struct {
 	P99Millis float64 `json:"p99_ms"`
 }
 
+// WorstTenant is one entry of a heavy-hitter list: a tenant, the
+// cumulative weight (violations, node-steps) the tracker observed for
+// it this process lifetime, and the space-saving overestimate bound —
+// the true weight lies in [Value-Err, Value].
+type WorstTenant struct {
+	ID    string  `json:"id"`
+	Value float64 `json:"value"`
+	Err   float64 `json:"err,omitempty"`
+}
+
+// worstListSize bounds the worst-tenant lists in the report.
+const worstListSize = 8
+
 // Report is the aggregate outcome of a fleet run.
 type Report struct {
 	Tenants    int    `json:"tenants"`
@@ -74,6 +87,14 @@ type Report struct {
 	FleetHash string         `json:"fleet_hash"`
 	Timing    *Timing        `json:"timing,omitempty"`
 	PerTenant []TenantReport `json:"per_tenant,omitempty"`
+	// WorstViolations and WorstCost are the heavy-hitter tenants from
+	// the space-saving trackers streamed over this process's rounds
+	// (deterministic: per-round deltas observed in index order).
+	WorstViolations []WorstTenant `json:"worst_violations,omitempty"`
+	WorstCost       []WorstTenant `json:"worst_cost,omitempty"`
+	// SLO is the error-budget state at the end of the run (nil when the
+	// SLO plane is disabled).
+	SLO *obs.SLOStatus `json:"slo,omitempty"`
 }
 
 // report assembles the aggregate after the run loop exits.
@@ -89,9 +110,13 @@ func (c *Controller) report() *Report {
 		CorruptSnaps:   c.corrupt,
 		DecisionsTotal: obs.DefaultDecisions.Total(),
 	}
-	vrates := make([]float64, 0, len(c.tenants))
-	costs := make([]float64, 0, len(c.tenants))
-	var durations []float64
+	// Distributions stream through mergeable sketches — O(buckets)
+	// memory however large the fleet — and heavy hitters through
+	// space-saving trackers. Observation happens in tenant index order,
+	// so every derived figure is deterministic.
+	vrSketch := obs.NewSketch(obs.DefaultSketchAlpha)
+	costSketch := obs.NewSketch(obs.DefaultSketchAlpha)
+	durSketch := obs.NewSketch(obs.DefaultSketchAlpha)
 	hash := uint64(fnvOffset)
 	for _, t := range c.tenants {
 		tr := TenantReport{
@@ -111,9 +136,9 @@ func (c *Controller) report() *Report {
 		r.Violations += int64(t.violations)
 		r.CostNodeSteps += t.cost
 		r.Holds += int64(t.holds)
-		vrates = append(vrates, tr.ViolationRate)
-		costs = append(costs, float64(t.cost))
-		durations = append(durations, t.durations...)
+		vrSketch.Observe(tr.ViolationRate)
+		costSketch.Observe(float64(t.cost))
+		_ = durSketch.Merge(t.dur)
 		hash = foldString(hash, t.ID)
 		hash = foldUint64(hash, t.allocHash)
 		hash = foldUint64(hash, uint64(t.steps))
@@ -127,21 +152,37 @@ func (c *Controller) report() *Report {
 		r.ViolationRate = float64(r.Violations) / float64(r.Steps)
 	}
 	r.FleetHash = fmt.Sprintf("%016x", hash)
-	r.ViolationRateP50 = percentile(vrates, 50)
-	r.ViolationRateP90 = percentile(vrates, 90)
-	r.ViolationRateP99 = percentile(vrates, 99)
-	r.CostP50 = percentile(costs, 50)
-	r.CostP90 = percentile(costs, 90)
-	r.CostP99 = percentile(costs, 99)
-	if len(durations) > 0 {
+	r.ViolationRateP50 = vrSketch.Percentile(50)
+	r.ViolationRateP90 = vrSketch.Percentile(90)
+	r.ViolationRateP99 = vrSketch.Percentile(99)
+	r.CostP50 = costSketch.Percentile(50)
+	r.CostP90 = costSketch.Percentile(90)
+	r.CostP99 = costSketch.Percentile(99)
+	if durSketch.Count() > 0 {
 		r.Timing = &Timing{
-			Samples:   len(durations),
-			P50Millis: percentile(durations, 50) * 1e3,
-			P90Millis: percentile(durations, 90) * 1e3,
-			P99Millis: percentile(durations, 99) * 1e3,
+			Samples:   int(durSketch.Count()),
+			P50Millis: durSketch.Percentile(50) * 1e3,
+			P90Millis: durSketch.Percentile(90) * 1e3,
+			P99Millis: durSketch.Percentile(99) * 1e3,
 		}
 	}
+	r.WorstViolations = worstEntries(c.worstViol)
+	r.WorstCost = worstEntries(c.worstCost)
+	if c.slo != nil {
+		st := c.slo.Status()
+		r.SLO = &st
+	}
 	return r
+}
+
+// worstEntries converts a heavy-hitter tracker into the report's list.
+func worstEntries(tk *obs.TopK) []WorstTenant {
+	top := tk.Top(0)
+	out := make([]WorstTenant, len(top))
+	for i, e := range top {
+		out[i] = WorstTenant{ID: e.Key, Value: e.Count, Err: e.Err}
+	}
+	return out
 }
 
 // foldString advances an FNV-1a hash over a string's bytes.

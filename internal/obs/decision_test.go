@@ -214,3 +214,54 @@ func TestDecisionHandler(t *testing.T) {
 		t.Errorf("POST status = %d, want 405", post.StatusCode)
 	}
 }
+
+func TestDecisionHandlerTenantFilter(t *testing.T) {
+	s := NewDecisionStore(8)
+	d1 := adaptiveDecision(120, 3)
+	d1.Tenant = "t00001"
+	s.Record(d1)
+	d2 := adaptiveDecision(121, 4)
+	d2.Tenant = "t00002"
+	s.Record(d2)
+	s.Record(Decision{Strategy: "reactive-max", Step: 122, Nodes: []int{2}, Tenant: "t00001"})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	var export struct {
+		Decisions []Decision `json:"decisions"`
+	}
+	get := func(query string) int {
+		resp, err := http.Get(srv.URL + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		export.Decisions = nil
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&export); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	if code := get("?tenant=t00001"); code != http.StatusOK || len(export.Decisions) != 2 {
+		t.Fatalf("tenant filter: code %d, %d decisions", code, len(export.Decisions))
+	}
+	for _, d := range export.Decisions {
+		if d.Tenant != "t00001" {
+			t.Errorf("tenant filter leaked decision %+v", d)
+		}
+	}
+	if code := get("?tenant=t00001&strategy=reactive-max"); code != http.StatusOK ||
+		len(export.Decisions) != 1 || export.Decisions[0].Step != 122 {
+		t.Errorf("tenant+strategy filter: code %d, %+v", code, export.Decisions)
+	}
+	if code := get("?tenant=t00001&from=120&to=121"); code != http.StatusOK ||
+		len(export.Decisions) != 1 || export.Decisions[0].Step != 120 {
+		t.Errorf("tenant+range filter: code %d, %+v", code, export.Decisions)
+	}
+	if code := get("?tenant=missing"); code != http.StatusOK || len(export.Decisions) != 0 {
+		t.Errorf("unknown tenant: code %d, %d decisions", code, len(export.Decisions))
+	}
+}

@@ -163,3 +163,57 @@ func TestJournalHandlerFilters(t *testing.T) {
 		t.Errorf("bad since_seq: code %d, want 400", code)
 	}
 }
+
+func TestJournalHandlerTenantFilter(t *testing.T) {
+	j := NewJournal(8)
+	now := time.Date(2024, 5, 1, 0, 0, 0, 0, time.UTC)
+	j.RecordTenantAt(now, "t00001", "scale", "up", nil)
+	j.RecordTenantAt(now, "t00002", "scale", "up", nil)
+	j.RecordTenantAt(now, "t00001", "alert", "page firing", nil)
+	j.RecordTenantAt(now, "", "scale", "down", nil)
+	srv := httptest.NewServer(j.Handler())
+	defer srv.Close()
+
+	var export struct {
+		Total  uint64  `json:"total"`
+		Events []Event `json:"events"`
+	}
+	get := func(query string) int {
+		resp, err := http.Get(srv.URL + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		export.Events = nil
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&export); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	if code := get("?tenant=t00001"); code != http.StatusOK || len(export.Events) != 2 {
+		t.Fatalf("tenant filter: code %d, %d events", code, len(export.Events))
+	}
+	for _, e := range export.Events {
+		if e.Tenant != "t00001" {
+			t.Errorf("tenant filter leaked event %+v", e)
+		}
+	}
+	if code := get("?tenant=t00001&kind=alert"); code != http.StatusOK ||
+		len(export.Events) != 1 || export.Events[0].Msg != "page firing" {
+		t.Errorf("tenant+kind filter: code %d, %+v", code, export.Events)
+	}
+	if code := get("?tenant=t00001&since_seq=1"); code != http.StatusOK ||
+		len(export.Events) != 1 || export.Events[0].Kind != "alert" {
+		t.Errorf("tenant+since_seq filter: code %d, %+v", code, export.Events)
+	}
+	if code := get("?tenant=t99999"); code != http.StatusOK || len(export.Events) != 0 {
+		t.Errorf("unknown tenant: code %d, %d events", code, len(export.Events))
+	}
+	// No tenant param returns all events, whatever their tenant label.
+	if code := get(""); code != http.StatusOK || len(export.Events) != 4 {
+		t.Errorf("unfiltered: code %d, %d events", code, len(export.Events))
+	}
+}

@@ -57,6 +57,22 @@ var LatencyBuckets = []float64{
 // instruments here; the daemon exposes it at /metrics.
 var Default = NewRegistry()
 
+// DefaultLabelLimit is the per-family label cardinality cap a new
+// Registry starts with. Generous enough that every series a few hundred
+// tenants produce stays individually labelled, small enough that a
+// 10k-tenant fleet cannot grow an unbounded exposition.
+const DefaultLabelLimit = 1024
+
+// OverflowLabel is the label value that absorbs observations for label
+// values beyond a family's cardinality cap.
+const OverflowLabel = "other"
+
+// overflowMetricName counts With() lookups routed to OverflowLabel,
+// labelled by the overflowing metric family. The family itself is
+// exempt from the cap (its cardinality is bounded by the number of
+// registered families).
+const overflowMetricName = "robustscale_metric_label_overflow_total"
+
 // atomicFloat is a float64 updated with compare-and-swap on its bit
 // pattern.
 type atomicFloat struct{ bits atomic.Uint64 }
@@ -158,42 +174,61 @@ type family struct {
 	kind   Kind
 	label  string    // label key; "" for unlabelled instruments
 	bounds []float64 // histogram bucket bounds
+	reg    *Registry
+	limit  atomic.Int64 // 0 = inherit registry limit, <0 = unlimited
 
 	mu       sync.Mutex
 	children map[string]interface{} // label value -> *Counter | *Gauge | *Histogram
 }
 
-func (f *family) counter(value string) *Counter {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if c, ok := f.children[value]; ok {
-		return c.(*Counter)
+// effLimit resolves the family's cardinality cap: a per-family override
+// wins over the registry default; zero or negative means unlimited.
+func (f *family) effLimit() int64 {
+	if l := f.limit.Load(); l != 0 {
+		if l < 0 {
+			return 0
+		}
+		return l
 	}
-	c := &Counter{}
+	return f.reg.labelLimit.Load()
+}
+
+// child returns the instrument for a label value, creating it with mk
+// on first use. When creating a new labelled child would exceed the
+// family's cardinality cap, the lookup is routed to the OverflowLabel
+// series instead (created on demand, always admitted) and the overflow
+// counter is incremented. The cap is checked under f.mu, so the number
+// of real children never exceeds the limit even under concurrent
+// first-use races.
+func (f *family) child(value string, mk func() interface{}) interface{} {
+	f.mu.Lock()
+	if c, ok := f.children[value]; ok {
+		f.mu.Unlock()
+		return c
+	}
+	if f.label != "" && value != OverflowLabel && f.name != overflowMetricName {
+		if limit := f.effLimit(); limit > 0 && int64(len(f.children)) >= limit {
+			f.mu.Unlock()
+			f.reg.noteOverflow(f.name)
+			return f.child(OverflowLabel, mk)
+		}
+	}
+	c := mk()
 	f.children[value] = c
+	f.mu.Unlock()
 	return c
 }
 
+func (f *family) counter(value string) *Counter {
+	return f.child(value, func() interface{} { return &Counter{} }).(*Counter)
+}
+
 func (f *family) gauge(value string) *Gauge {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if g, ok := f.children[value]; ok {
-		return g.(*Gauge)
-	}
-	g := &Gauge{}
-	f.children[value] = g
-	return g
+	return f.child(value, func() interface{} { return &Gauge{} }).(*Gauge)
 }
 
 func (f *family) histogram(value string) *Histogram {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if h, ok := f.children[value]; ok {
-		return h.(*Histogram)
-	}
-	h := newHistogram(f.bounds)
-	f.children[value] = h
-	return h
+	return f.child(value, func() interface{} { return newHistogram(f.bounds) }).(*Histogram)
 }
 
 // CounterVec is a counter family with one label dimension.
@@ -203,11 +238,20 @@ type CounterVec struct{ f *family }
 // first use. Cache the result on hot paths.
 func (v *CounterVec) With(value string) *Counter { return v.f.counter(value) }
 
+// SetLabelLimit overrides the family's cardinality cap: n > 0 caps the
+// number of distinct label values, n <= 0 removes the cap. Existing
+// children are kept either way.
+func (v *CounterVec) SetLabelLimit(n int) { v.f.setLimit(n) }
+
 // GaugeVec is a gauge family with one label dimension.
 type GaugeVec struct{ f *family }
 
 // With returns the gauge for the given label value.
 func (v *GaugeVec) With(value string) *Gauge { return v.f.gauge(value) }
+
+// SetLabelLimit overrides the family's cardinality cap; see
+// CounterVec.SetLabelLimit.
+func (v *GaugeVec) SetLabelLimit(n int) { v.f.setLimit(n) }
 
 // HistogramVec is a histogram family with one label dimension.
 type HistogramVec struct{ f *family }
@@ -215,15 +259,54 @@ type HistogramVec struct{ f *family }
 // With returns the histogram for the given label value.
 func (v *HistogramVec) With(value string) *Histogram { return v.f.histogram(value) }
 
+// SetLabelLimit overrides the family's cardinality cap; see
+// CounterVec.SetLabelLimit.
+func (v *HistogramVec) SetLabelLimit(n int) { v.f.setLimit(n) }
+
+func (f *family) setLimit(n int) {
+	if n <= 0 {
+		f.limit.Store(-1)
+		return
+	}
+	f.limit.Store(int64(n))
+}
+
 // Registry holds metric families and renders them in Prometheus text
 // format. The zero value is not usable; call NewRegistry.
 type Registry struct {
-	mu       sync.Mutex
-	families map[string]*family
+	mu         sync.Mutex
+	families   map[string]*family
+	labelLimit atomic.Int64 // per-family cap; <= 0 = unlimited
 }
 
-// NewRegistry returns an empty registry.
-func NewRegistry() *Registry { return &Registry{families: map[string]*family{}} }
+// NewRegistry returns an empty registry with the default per-family
+// label cardinality cap.
+func NewRegistry() *Registry {
+	r := &Registry{families: map[string]*family{}}
+	r.labelLimit.Store(DefaultLabelLimit)
+	return r
+}
+
+// SetLabelLimit replaces the registry-wide per-family label cardinality
+// cap. n <= 0 removes the cap. Families with their own SetLabelLimit
+// override are unaffected.
+func (r *Registry) SetLabelLimit(n int) {
+	if n <= 0 {
+		n = 0
+	}
+	r.labelLimit.Store(int64(n))
+}
+
+// LabelLimit returns the registry-wide cap (0 = unlimited).
+func (r *Registry) LabelLimit() int { return int(r.labelLimit.Load()) }
+
+// noteOverflow counts one With() lookup that was routed to the
+// overflow series of the named family. Called with no family lock held.
+func (r *Registry) noteOverflow(metric string) {
+	r.CounterVec(overflowMetricName,
+		"Metric lookups routed to the 'other' series because the per-family label cardinality cap was reached.",
+		"metric").With(metric).Inc()
+}
 
 // family registers or retrieves a metric family. Registration is
 // idempotent: asking again for the same name returns the existing family,
@@ -249,6 +332,7 @@ func (r *Registry) family(name, help string, kind Kind, label string, bounds []f
 	f := &family{
 		name: name, help: help, kind: kind, label: label,
 		bounds:   append([]float64(nil), bounds...),
+		reg:      r,
 		children: map[string]interface{}{},
 	}
 	r.families[name] = f
@@ -360,7 +444,11 @@ func (f *family) write(b *strings.Builder) {
 func writeSample(b *strings.Builder, name, labelKey, labelVal string, value float64) {
 	b.WriteString(name)
 	if labelKey != "" {
-		fmt.Fprintf(b, "{%s=%q}", labelKey, labelVal)
+		b.WriteByte('{')
+		b.WriteString(labelKey)
+		b.WriteString(`="`)
+		escapeLabel(b, labelVal)
+		b.WriteString(`"}`)
 	}
 	b.WriteByte(' ')
 	b.WriteString(formatFloat(value))
@@ -371,11 +459,33 @@ func writeBucket(b *strings.Builder, name, labelKey, labelVal, le string, count 
 	b.WriteString(name)
 	b.WriteString("_bucket{")
 	if labelKey != "" {
-		fmt.Fprintf(b, "%s=%q,", labelKey, labelVal)
+		b.WriteString(labelKey)
+		b.WriteString(`="`)
+		escapeLabel(b, labelVal)
+		b.WriteString(`",`)
 	}
 	fmt.Fprintf(b, "le=%q} ", le)
 	b.WriteString(strconv.FormatUint(count, 10))
 	b.WriteByte('\n')
+}
+
+// escapeLabel writes a label value per the Prometheus text format 0.0.4:
+// backslash, double-quote and line feed are escaped; every other byte
+// (including tabs and multi-byte UTF-8) passes through raw. Go's %q
+// would over-escape and produce scrape-visible differences.
+func escapeLabel(b *strings.Builder, v string) {
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
 }
 
 func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

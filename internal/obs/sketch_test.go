@@ -1,0 +1,305 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"testing"
+)
+
+// sortPercentile is the repo-wide nearest-rank convention (see
+// fleet.percentile): rank = round(p/100·n) − 1, clamped.
+func sortPercentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// sketchValues generates a deterministic pseudo-random positive sample
+// spanning several decades, like fleet cost/latency signals.
+func sketchValues(n int) []float64 {
+	xs := make([]float64, n)
+	state := uint64(0x9e3779b97f4a7c15)
+	for i := range xs {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		u := float64(state%1_000_000) / 1_000_000
+		xs[i] = math.Pow(10, -3+6*u) // 1e-3 .. 1e3
+	}
+	return xs
+}
+
+func TestSketchPercentileWithinAlpha(t *testing.T) {
+	alpha := DefaultSketchAlpha
+	xs := sketchValues(10000)
+	s := NewSketch(alpha)
+	for _, v := range xs {
+		s.Observe(v)
+	}
+	for _, p := range []float64{1, 10, 25, 50, 75, 90, 95, 99, 99.9, 100} {
+		exact := sortPercentile(xs, p)
+		got := s.Percentile(p)
+		if rel := math.Abs(got-exact) / exact; rel > alpha {
+			t.Errorf("p%v: sketch %v vs exact %v, relative error %v > %v", p, got, exact, rel, alpha)
+		}
+	}
+	if s.Count() != uint64(len(xs)) {
+		t.Errorf("count = %d, want %d", s.Count(), len(xs))
+	}
+}
+
+func TestSketchNegativeAndZero(t *testing.T) {
+	s := NewSketch(0.01)
+	xs := []float64{-100, -10, -1, 0, 0, 1, 10, 100}
+	for _, v := range xs {
+		s.Observe(v)
+	}
+	for _, p := range []float64{1, 25, 50, 75, 100} {
+		exact := sortPercentile(xs, p)
+		got := s.Percentile(p)
+		if exact == 0 {
+			if got != 0 {
+				t.Errorf("p%v: got %v, want exactly 0", p, got)
+			}
+			continue
+		}
+		if rel := math.Abs(got-exact) / math.Abs(exact); rel > 0.01 {
+			t.Errorf("p%v: sketch %v vs exact %v", p, got, exact)
+		}
+	}
+	if s.Min() != -100 || s.Max() != 100 {
+		t.Errorf("min/max = %v/%v, want -100/100", s.Min(), s.Max())
+	}
+}
+
+func TestSketchMergeMatchesSingle(t *testing.T) {
+	xs := sketchValues(5000)
+	whole := NewSketch(0.01)
+	for _, v := range xs {
+		whole.Observe(v)
+	}
+	// Split into 7 shards observed separately, then merge.
+	merged := NewSketch(0.01)
+	for shard := 0; shard < 7; shard++ {
+		part := NewSketch(0.01)
+		for i := shard; i < len(xs); i += 7 {
+			part.Observe(xs[i])
+		}
+		if err := merged.Merge(part); err != nil {
+			t.Fatalf("merge: %v", err)
+		}
+	}
+	ws, ms := whole.Snapshot(), merged.Snapshot()
+	if ws.Count != ms.Count || ws.Zero != ms.Zero {
+		t.Fatalf("counts differ: %+v vs %+v", ws.Count, ms.Count)
+	}
+	if len(ws.PosKeys) != len(ms.PosKeys) {
+		t.Fatalf("bucket sets differ: %d vs %d", len(ws.PosKeys), len(ms.PosKeys))
+	}
+	for i := range ws.PosKeys {
+		if ws.PosKeys[i] != ms.PosKeys[i] || ws.PosCounts[i] != ms.PosCounts[i] {
+			t.Fatalf("bucket %d differs: (%d,%d) vs (%d,%d)",
+				i, ws.PosKeys[i], ws.PosCounts[i], ms.PosKeys[i], ms.PosCounts[i])
+		}
+	}
+	for _, p := range []float64{50, 90, 99} {
+		if whole.Percentile(p) != merged.Percentile(p) {
+			t.Errorf("p%v differs after merge: %v vs %v", p, whole.Percentile(p), merged.Percentile(p))
+		}
+	}
+}
+
+func TestSketchMergeAlphaMismatch(t *testing.T) {
+	a, b := NewSketch(0.01), NewSketch(0.02)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("expected error merging sketches with different alpha")
+	}
+	if err := a.Merge(a); err == nil {
+		t.Fatal("expected error merging a sketch into itself")
+	}
+}
+
+func TestSketchSaveDeterministicAndRoundTrip(t *testing.T) {
+	build := func() *Sketch {
+		s := NewSketch(0.01)
+		for _, v := range sketchValues(2000) {
+			s.Observe(v)
+		}
+		s.Observe(0)
+		s.Observe(-4.5)
+		return s
+	}
+	var b1, b2 bytes.Buffer
+	if err := build().Save(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().Save(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("Save is not byte-deterministic across identical sketches")
+	}
+	orig := build()
+	loaded := NewSketch(0.01)
+	if err := loaded.Load(bytes.NewReader(b1.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{1, 50, 99} {
+		if loaded.Percentile(p) != orig.Percentile(p) {
+			t.Errorf("p%v differs after round-trip: %v vs %v", p, loaded.Percentile(p), orig.Percentile(p))
+		}
+	}
+	if loaded.Count() != orig.Count() || loaded.Sum() != orig.Sum() {
+		t.Error("count/sum differ after round-trip")
+	}
+	wrongAlpha := NewSketch(0.05)
+	if err := wrongAlpha.Load(bytes.NewReader(b1.Bytes())); err == nil {
+		t.Fatal("expected error loading snapshot with mismatched alpha")
+	}
+}
+
+func TestSketchEdgeCases(t *testing.T) {
+	s := NewSketch(0.01)
+	if s.Percentile(50) != 0 {
+		t.Error("empty sketch percentile should be 0")
+	}
+	s.Observe(math.NaN())
+	if s.Count() != 0 {
+		t.Error("NaN should be ignored")
+	}
+	s.Observe(math.Inf(1))
+	if s.Count() != 1 || math.IsInf(s.Percentile(100), 0) || math.IsNaN(s.Percentile(100)) {
+		t.Errorf("+Inf should clamp finite, got %v", s.Percentile(100))
+	}
+	s2 := NewSketch(0.01)
+	s2.ObserveN(3.5, 1000)
+	if s2.Count() != 1000 {
+		t.Errorf("ObserveN count = %d", s2.Count())
+	}
+	if rel := math.Abs(s2.Percentile(50)-3.5) / 3.5; rel > 0.01 {
+		t.Errorf("ObserveN median %v off 3.5", s2.Percentile(50))
+	}
+	if s2.Buckets() != 1 {
+		t.Errorf("single repeated value should occupy 1 bucket, got %d", s2.Buckets())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSketch(0) should panic")
+		}
+	}()
+	NewSketch(0)
+}
+
+func TestSketchBoundedMemory(t *testing.T) {
+	s := NewSketch(0.01)
+	for _, v := range sketchValues(50000) {
+		s.Observe(v)
+	}
+	// Six decades at α = 1% is ~log(1e6)/log(γ) ≈ 691 buckets.
+	if b := s.Buckets(); b > 800 {
+		t.Errorf("bucket count %d exceeds O(log range) expectation", b)
+	}
+}
+
+func TestTopKHeavyHitters(t *testing.T) {
+	tk := NewTopK(3)
+	// "c" and "a" are genuinely heavy; noise keys churn the third slot.
+	for i := 0; i < 100; i++ {
+		tk.Observe("c", 5)
+		tk.Observe("a", 3)
+		if i%2 == 0 {
+			tk.Observe("noise-"+string(rune('a'+i%26)), 1)
+		}
+	}
+	top := tk.Top(2)
+	if len(top) != 2 || top[0].Key != "c" || top[1].Key != "a" {
+		t.Fatalf("top-2 = %+v, want c then a", top)
+	}
+	if top[0].Count != 500 || top[0].Err != 0 {
+		t.Errorf("c count/err = %v/%v, want 500/0", top[0].Count, top[0].Err)
+	}
+	if got := tk.Top(0); len(got) != 3 {
+		t.Errorf("Top(0) returned %d entries, want all 3", len(got))
+	}
+}
+
+func TestTopKDeterministicEviction(t *testing.T) {
+	run := func() []TopEntry {
+		tk := NewTopK(2)
+		tk.Observe("x", 1)
+		tk.Observe("y", 1) // tie with x; "y" (greater key) is the victim
+		tk.Observe("z", 1)
+		return tk.Top(0)
+	}
+	a, b := run(), run()
+	if len(a) != 2 || a[0].Key != a[0].Key {
+		t.Fatalf("unexpected result %+v", a)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic eviction: %+v vs %+v", a, b)
+		}
+	}
+	keys := map[string]bool{}
+	for _, e := range a {
+		keys[e.Key] = true
+	}
+	if !keys["x"] || !keys["z"] || keys["y"] {
+		t.Errorf("expected {x, z} to survive (y evicted on tie), got %+v", a)
+	}
+}
+
+func TestTopKSaveLoad(t *testing.T) {
+	tk := NewTopK(4)
+	tk.Observe("a", 10)
+	tk.Observe("b", 7)
+	tk.Observe("c", 2)
+	var buf bytes.Buffer
+	if err := tk.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	tk2 := NewTopK(4)
+	tk2.Observe("a", 10)
+	tk2.Observe("b", 7)
+	tk2.Observe("c", 2)
+	if err := tk2.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("TopK Save is not byte-deterministic")
+	}
+	loaded := NewTopK(4)
+	if err := loaded.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	got, want := loaded.Top(0), tk.Top(0)
+	if len(got) != len(want) {
+		t.Fatalf("entry count %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("entry %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	// Loading into a smaller tracker keeps the heaviest entries.
+	small := NewTopK(2)
+	if err := small.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	st := small.Top(0)
+	if len(st) != 2 || st[0].Key != "a" || st[1].Key != "b" {
+		t.Errorf("downsized load kept %+v, want a,b", st)
+	}
+}

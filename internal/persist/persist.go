@@ -42,7 +42,9 @@ const (
 	// Version is the current snapshot format version. Version 2 added
 	// the tenant id to Fingerprint and the owner-defined Extra section
 	// to State (the fleet controller's loop accounting lives there).
-	Version = 2
+	// Version 3 added the SLO section carrying the error-budget tracker
+	// so warm restart resumes alerting where the previous run stopped.
+	Version = 3
 	// headerLen is magic(4) + version(4) + payload length(8) + crc32(4).
 	headerLen = 20
 	// DefaultMaxBytes bounds the decoded payload of one snapshot.
@@ -148,6 +150,10 @@ type State struct {
 	Journal []byte
 	// Decisions is the decision ring (obs.DecisionStore Save format).
 	Decisions []byte
+	// SLO is the error-budget tracker state (obs.SLOTracker Save
+	// format), so a warm restart neither forgets budget already spent
+	// nor re-fires alerts that were already firing.
+	SLO []byte
 	// Extra is an owner-defined byte section for loop state that has no
 	// component of its own: the fleet controller checkpoints its rolling
 	// allocation hash and cost accounting here. persist never interprets

@@ -41,6 +41,7 @@ func testState() *State {
 		Breaker:        []byte("breaker-state"),
 		Journal:        []byte("journal-ring"),
 		Decisions:      []byte("decision-ring"),
+		SLO:            []byte("slo-budget-window"),
 		Extra:          []byte("loop-accounting"),
 	}
 }
@@ -287,7 +288,7 @@ func TestCheckpointCountersAdvance(t *testing.T) {
 // reproduce the fixture byte for byte. Any State or frame change that
 // breaks this requires a Version bump (and a new fixture).
 func TestGoldenFormat(t *testing.T) {
-	golden := filepath.Join("testdata", "checkpoint_v2.ckpt")
+	golden := filepath.Join("testdata", "checkpoint_v3.ckpt")
 	want := testState()
 	raw := encodeState(t, want)
 	if *updateGolden {
