@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race cover bench bench-compile bench-save bench-check fuzz fleet-smoke slo-smoke ci experiments examples clean
+.PHONY: all build test vet race cover bench bench-compile bench-save bench-check fuzz fleet-smoke slo-smoke fleet-chaos-smoke ci experiments examples clean
 
 all: build vet test
 
@@ -62,6 +62,13 @@ fleet-smoke:
 slo-smoke:
 	scripts/slo_smoke.sh
 
+# Shared-capacity and chaos resilience drill (same script CI runs):
+# zero-delta fault-free pooled baseline, deterministic shedding across
+# worker counts and kill-restarts, zone-outage blast radius <= 1%,
+# single-victim quarantine isolation, admission fuzzing, race run.
+fleet-chaos-smoke:
+	scripts/fleet_chaos_smoke.sh
+
 # Everything the CI workflow checks, runnable locally in one shot.
 ci: build vet
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
@@ -71,6 +78,7 @@ ci: build vet
 	$(MAKE) bench-compile
 	$(MAKE) fleet-smoke
 	$(MAKE) slo-smoke
+	$(MAKE) fleet-chaos-smoke
 
 # Regenerate every paper table/figure with the CLI runner.
 experiments:

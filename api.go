@@ -484,6 +484,23 @@ type (
 	FleetReport = fleet.Report
 	// FleetTenantReport is one tenant's deterministic replay outcome.
 	FleetTenantReport = fleet.TenantReport
+	// FleetPoolReport aggregates the shared-pool admission outcome.
+	FleetPoolReport = fleet.PoolReport
+	// FleetPriorityClass is a tenant's shedding priority in the shared
+	// capacity pool (guaranteed / burstable / best-effort).
+	FleetPriorityClass = fleet.PriorityClass
+	// FleetBlastRadius quantifies how far a fault schedule leaked
+	// beyond the tenants it targets.
+	FleetBlastRadius = fleet.BlastRadius
+	// FleetMatrixCell is one row of the fleet resilience matrix.
+	FleetMatrixCell = fleet.MatrixCell
+)
+
+// Priority classes for the shared capacity pool, shed in reverse order.
+const (
+	FleetClassGuaranteed = fleet.ClassGuaranteed
+	FleetClassBurstable  = fleet.ClassBurstable
+	FleetClassBestEffort = fleet.ClassBestEffort
 )
 
 // Fleet entry points.
@@ -496,4 +513,12 @@ var (
 	DefaultFleetConfig = fleet.DefaultConfig
 	// FleetTenantID derives the canonical tenant id for an index.
 	FleetTenantID = fleet.TenantID
+	// FleetClassOf derives a tenant index's pool priority class.
+	FleetClassOf = fleet.ClassOf
+	// FleetBlastRadiusOf measures bystander drift between a fault-free
+	// baseline report and a chaos run.
+	FleetBlastRadiusOf = fleet.MeasureBlastRadius
+	// FleetResilienceMatrix runs a baseline plus one fleet per chaos
+	// preset, reporting blast radius per row.
+	FleetResilienceMatrix = fleet.ResilienceMatrix
 )

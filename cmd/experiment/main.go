@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"robustscale/internal/experiment"
+	"robustscale/internal/fleet"
 	"robustscale/internal/obs"
 )
 
@@ -56,7 +58,11 @@ func main() {
 		decisions = flag.Bool("decisions", false, "print the retained per-round scaling decisions after the run")
 		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON file here after the run (implies tracing)")
 		chaosProf = flag.String("chaos", "", "run the guarded-loop resilience matrix under this chaos preset (none|forecast|telemetry|apply|node-kill|all|smoke) or 'matrix' for the full sweep")
-		chaosJSON = flag.String("chaos-json", "", "with -chaos, also write the resilience report as JSON here")
+		chaosJSON = flag.String("chaos-json", "", "with -chaos or -fleet-chaos, also write the resilience report as JSON here")
+
+		fleetChaos   = flag.String("fleet-chaos", "", "run the FLEET resilience matrix under this chaos preset (zone-outage|pool-collapse|admission-reject|fleet|...) or 'matrix' for the standard sweep; reports blast radius per row")
+		fleetTenants = flag.Int("fleet-tenants", 8, "fleet size for -fleet-chaos")
+		fleetPool    = flag.Int("fleet-pool", 0, "shared capacity pool for -fleet-chaos (0 = no pool)")
 	)
 	flag.Parse()
 
@@ -79,6 +85,12 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *fleetChaos != "" {
+		if err := runFleetChaos(*fleetChaos, *fleetTenants, *fleetPool, *seed, *chaosJSON); err != nil {
+			log.Fatalf("experiment: fleet-chaos: %v", err)
+		}
+		return
+	}
 	if *chaosProf != "" {
 		if err := runChaos(z, *chaosProf, *chaosJSON); err != nil {
 			log.Fatalf("experiment: chaos: %v", err)
@@ -154,6 +166,51 @@ func runChaos(z *experiment.Zoo, profile, jsonPath string) error {
 			return err
 		}
 		log.Printf("experiment: wrote resilience report to %s", jsonPath)
+	}
+	return nil
+}
+
+// runFleetChaos drives the fleet-scale resilience matrix: one fault-free
+// baseline plus one pooled fleet run per chaos preset, each row carrying
+// the blast radius measured against the baseline's per-tenant records.
+func runFleetChaos(profile string, tenants, pool int, seed int64, jsonPath string) error {
+	presets := []string{profile}
+	if profile == "matrix" {
+		presets = []string{"zone-outage", "pool-collapse", "admission-reject", "fleet"}
+	}
+	cfg := fleet.DefaultConfig(tenants)
+	cfg.Days = 3
+	cfg.Seed = seed
+	cfg.PoolNodes = pool
+	experiment.Header(os.Stdout, fmt.Sprintf("Fleet resilience matrix (%d tenants, pool=%d)", tenants, pool))
+	start := time.Now()
+	baseline, cells, err := fleet.ResilienceMatrix(cfg, presets, -1, -1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-18s %10s %10s %10s %8s %10s %12s\n",
+		"preset", "violations", "cost", "shed", "quaran", "blast", "affected/by")
+	fmt.Printf("%-18s %10d %10d %10s %8s %10s %12s\n",
+		"(baseline)", baseline.Violations, baseline.CostNodeSteps, "-", "-", "-", "-")
+	for _, c := range cells {
+		fmt.Printf("%-18s %10d %10d %10d %8d %9.4f %9d/%d\n",
+			c.Preset, c.Violations, c.CostNodeSteps, c.ShedNodes, c.Quarantines,
+			c.BlastRadius.Radius, c.BlastRadius.Affected, c.BlastRadius.Bystanders)
+	}
+	fmt.Printf("[fleet-chaos %s done in %v]\n", profile, time.Since(start).Round(time.Millisecond))
+	if jsonPath != "" {
+		out := struct {
+			Baseline *fleet.Report      `json:"baseline"`
+			Cells    []fleet.MatrixCell `json:"cells"`
+		}{baseline, cells}
+		enc, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+		log.Printf("experiment: wrote fleet resilience report to %s", jsonPath)
 	}
 	return nil
 }

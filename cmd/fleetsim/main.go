@@ -83,8 +83,32 @@ func main() {
 		burnSpec   = flag.String("burn-windows", "", `burn-rate alert rules as "[name=]<factor>x:<long>/<short>,..." (empty = defaults scaled to -slo-window)`)
 		labelLimit = flag.Int("label-limit", obs.DefaultLabelLimit, `per-metric label cardinality cap; excess label values (e.g. tenant ids) collapse into the "other" series (<= 0 = unlimited)`)
 		listen     = flag.String("listen", "", "address for the fleet health surface (/healthz /readyz /slo /alerts /metrics /journal /decisions; empty disables)")
+
+		poolNodes    = flag.Int("pool", 0, "shared capacity pool in nodes; admission control clips aggregate demand to it (0 disables — bit-identical to no pool)")
+		quarAfter    = flag.Int("quarantine-after", def.QuarantineAfter, "consecutive clipped rounds before a tenant is quarantined to reactive planning (0 disables)")
+		quarRounds   = flag.Int("quarantine-rounds", def.QuarantineRounds, "rounds a quarantined tenant plans reactively before re-entry")
+		chaosPreset  = flag.String("chaos", "", "fleet chaos preset (none | forecast | telemetry | apply | node-kill | all | smoke | zone-outage | pool-collapse | admission-reject | fleet; empty disables)")
+		chaosSeed    = flag.Int64("chaos-seed", 0, "fault-schedule seed (0 = -seed)")
+		chaosTenants = flag.String("chaos-tenants", "", "comma-separated tenant ids to enroll in tenant-local chaos (empty = all; fleet-level classes always apply)")
+		zones        = flag.Int("zones", def.Zones, "failure domains tenants stripe across for zone-outage chaos")
+		baseline     = flag.String("baseline", "", "fault-free summary JSON to measure blast radius against (adds a blast_radius section to stderr log)")
+		violTol      = flag.Int("blast-viol-tol", -1, "absolute per-tenant violation drift tolerated before a bystander counts as affected (-1 = default)")
+		costTol      = flag.Float64("blast-cost-tol", -1, "fractional per-tenant cost drift tolerated before a bystander counts as affected (-1 = default)")
 	)
 	flag.Parse()
+
+	// Size flags are load-bearing for every derived loop; reject nonsense
+	// before it turns into a confusing failure deep in the build.
+	if *tenants <= 0 {
+		fmt.Fprintf(os.Stderr, "fleetsim: -tenants must be positive, got %d\n", *tenants)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "fleetsim: -workers must be >= 0 (0 = all CPUs), got %d\n", *workers)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	var burnRules []obs.BurnRule
 	if *burnSpec != "" {
@@ -102,6 +126,15 @@ func main() {
 		CheckpointInterval: *ckptInterval, Retain: *retain,
 		MaxRounds: *maxRounds, PerTenant: *perTenant,
 		SLOTarget: *sloTarget, SLOWindow: *sloWindow, BurnRules: burnRules,
+		PoolNodes: *poolNodes, QuarantineAfter: *quarAfter, QuarantineRounds: *quarRounds,
+		Chaos: *chaosPreset, ChaosSeed: *chaosSeed, Zones: *zones,
+	}
+	if *chaosTenants != "" {
+		for _, id := range strings.Split(*chaosTenants, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				cfg.ChaosTenants = append(cfg.ChaosTenants, id)
+			}
+		}
 	}
 	obs.DefaultDecisions.SetEnabled(*decisions)
 	obs.Default.SetLabelLimit(*labelLimit)
@@ -160,6 +193,15 @@ func main() {
 		rep.Rounds, rep.Steps, time.Since(t0).Seconds(),
 		100*rep.ViolationRate, rep.CostNodeSteps, rep.FleetHash)
 
+	if *baseline != "" {
+		br, err := blastRadiusAgainst(*baseline, rep, *violTol, *costTol)
+		if err != nil {
+			log.Fatalf("fleetsim: -baseline: %v", err)
+		}
+		rep.BlastRadius = &br
+		log.Printf("fleetsim: blast radius %.4f (%d/%d bystanders affected, %d tenants faulted)",
+			br.Radius, br.Affected, br.Bystanders, br.Faulted)
+	}
 	if err := writeSummary(rep, *out); err != nil {
 		log.Fatalf("fleetsim: %v", err)
 	}
@@ -193,6 +235,20 @@ func sloHandler(p *atomic.Pointer[obs.SLOTracker], h func(*obs.SLOTracker) http.
 		}
 		h(slo).ServeHTTP(w, req)
 	})
+}
+
+// blastRadiusAgainst loads a fault-free baseline summary and measures
+// how far this run's faults leaked beyond the tenants they target.
+func blastRadiusAgainst(path string, rep *fleet.Report, violTol int, costTol float64) (fleet.BlastRadius, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fleet.BlastRadius{}, fmt.Errorf("reading baseline summary: %w", err)
+	}
+	var base fleet.Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fleet.BlastRadius{}, fmt.Errorf("parsing baseline summary: %w", err)
+	}
+	return fleet.MeasureBlastRadius(&base, rep, violTol, costTol)
 }
 
 // writeSummary encodes the report as indented JSON to the file or

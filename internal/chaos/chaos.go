@@ -70,6 +70,7 @@ var Classes = []Class{
 	ApplyReject, ApplyPartial, ApplyTimeout,
 	NodeKill,
 	CrashRestart,
+	ZoneOutage, PoolCollapse, AdmissionReject,
 }
 
 // injectedTotal counts faults that actually fired, by class; injectors
@@ -238,6 +239,9 @@ type Profile struct {
 	// LatencySeconds is injected per ForecastLatency/ApplyTimeout event
 	// (default 30).
 	LatencySeconds float64
+	// CollapseFraction is the remaining pool fraction during a
+	// PoolCollapse window (default 0.5).
+	CollapseFraction float64
 }
 
 // Validate reports configuration errors.
@@ -330,6 +334,10 @@ func (p Profile) Build() (*Schedule, error) {
 	if latency == 0 {
 		latency = 30
 	}
+	collapse := p.CollapseFraction
+	if collapse <= 0 || collapse > 1 {
+		collapse = 0.5
+	}
 	sched := &Schedule{}
 	for _, class := range Classes {
 		rate := p.Rates[class]
@@ -352,6 +360,9 @@ func (p Profile) Build() (*Schedule, error) {
 			case ForecastLatency, ApplyTimeout:
 				e.Size = window
 				e.Value = latency
+			case PoolCollapse:
+				e.Size = window
+				e.Value = collapse
 			default:
 				e.Size = window
 			}
@@ -428,7 +439,19 @@ func Preset(name string) (Profile, error) {
 			ApplyReject: 0.25, ApplyPartial: 0.15, ApplyTimeout: 0.15,
 			NodeKill: 0.15,
 		}}, nil
+	case "zone-outage":
+		return Profile{Name: name, Rates: map[Class]float64{ZoneOutage: 0.03}}, nil
+	case "pool-collapse":
+		return Profile{Name: name, Rates: map[Class]float64{PoolCollapse: 0.04}}, nil
+	case "admission-reject":
+		return Profile{Name: name, Rates: map[Class]float64{AdmissionReject: 0.05}}, nil
+	case "fleet":
+		return Profile{Name: name, Rates: map[Class]float64{
+			ForecastError: 0.02, ForecastNaN: 0.02, TelemetryStale: 0.02,
+			ApplyReject: 0.03, NodeKill: 0.02,
+			ZoneOutage: 0.02, PoolCollapse: 0.02, AdmissionReject: 0.03,
+		}}, nil
 	default:
-		return Profile{}, fmt.Errorf("chaos: unknown profile %q (want none|forecast|telemetry|apply|node-kill|all|smoke)", name)
+		return Profile{}, fmt.Errorf("chaos: unknown profile %q (want none|forecast|telemetry|apply|node-kill|all|smoke|zone-outage|pool-collapse|admission-reject|fleet)", name)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"io"
 	"time"
 
+	"robustscale/internal/chaos"
 	"robustscale/internal/cluster"
 	"robustscale/internal/forecast"
 	"robustscale/internal/obs"
@@ -41,6 +42,14 @@ type loopExtra struct {
 	AllocHash uint64
 	// Cost is the cumulative node-steps the tenant has paid for.
 	Cost int64
+	// Pool and quarantine lifetime counters (added with the shared
+	// capacity pool; gob tolerates their absence in older blobs, so no
+	// format version bump is needed — old snapshots decode with zeros).
+	ShedNodes      int64
+	ClippedRounds  int
+	Flap           int
+	QuarantineLeft int
+	Quarantines    int
 }
 
 // Tenant is one isolated control loop inside the fleet: trace,
@@ -55,6 +64,8 @@ type Tenant struct {
 	Archetype string
 	// Seed is the derived per-tenant seed.
 	Seed int64
+	// Class is the tenant's admission priority class.
+	Class PriorityClass
 
 	series   *timeseries.Series
 	trainEnd int
@@ -72,7 +83,9 @@ type Tenant struct {
 
 	forecasterKind string
 
-	// Loop state; planRound is the only writer after construction.
+	// Loop state; the plan/admit/apply phases are the only writers after
+	// construction (parallel phases touch only per-tenant fields, the
+	// sequential admission barrier runs in index order).
 	origin     int
 	cursor     int
 	alloc      int
@@ -85,6 +98,28 @@ type Tenant struct {
 	warm       bool
 	corrupt    int
 	err        error
+
+	// Admission / quarantine state. pending is the plan awaiting
+	// admission between the plan and apply phases (aliases planBuf);
+	// roundPlanner is the strategy that produced it (the quarantine
+	// fallback or the tenant's own planner).
+	pending        []int
+	roundPlanner   scaler.Strategy
+	reactive       *scaler.ReactiveMax
+	shedRound      int
+	shedReason     string
+	shedTotal      int64
+	clippedRounds  int
+	flap           int
+	quarantineLeft int
+	quarantines    int
+	planDur        float64
+
+	// Chaos wiring; nil when the tenant is not enrolled in a fault
+	// schedule. faulted reports whether any fault targets this tenant.
+	sched       *chaos.Schedule
+	chaosCursor *chaos.Cursor
+	faulted     bool
 
 	histView *timeseries.Series
 	planBuf  []int
@@ -139,6 +174,16 @@ type Controller struct {
 	worstCost      *obs.TopK
 	lastTenantViol []int
 	lastTenantCost []int64
+
+	// Shared capacity pool and chaos state. chaosSched is nil with chaos
+	// disabled; the admission scratch buffers are reused every round.
+	chaosSched       *chaos.FleetSchedule
+	demandBuf        []int
+	admitBuf         []int
+	classBuf         []PriorityClass
+	shedRounds       int
+	admissionRejects int
+	peakUtil         float64
 }
 
 // New builds the fleet: every tenant's trace is generated, its
@@ -157,15 +202,19 @@ func New(cfg Config) (*Controller, error) {
 	if cfg.Retain <= 0 {
 		cfg.Retain = persist.DefaultRetain
 	}
+	chaosSched, err := buildChaosSchedule(cfg)
+	if err != nil {
+		return nil, err
+	}
 	tenants := make([]*Tenant, cfg.Tenants)
 	errs := make([]error, cfg.Tenants)
 	parallel.ForEachWorkerSpan("fleet-build", cfg.Workers, cfg.Tenants, func(_, i int) {
-		tenants[i], errs[i] = buildTenant(cfg, i)
+		tenants[i], errs[i] = buildTenant(cfg, i, chaosSched)
 	})
 	if err := parallel.FirstError(errs); err != nil {
 		return nil, err
 	}
-	c := &Controller{cfg: cfg, tenants: tenants, lastCkpt: -1}
+	c := &Controller{cfg: cfg, tenants: tenants, lastCkpt: -1, chaosSched: chaosSched}
 	fleetTenantsGauge.Set(float64(cfg.Tenants))
 	// Lifecycle bookkeeping runs sequentially in tenant order so journal
 	// entries and start counters land deterministically.
@@ -228,8 +277,44 @@ func b2f(v bool) float64 {
 // Tenants exposes the fleet members in index order (read-only use).
 func (c *Controller) Tenants() []*Tenant { return c.tenants }
 
+// buildChaosSchedule expands cfg's chaos preset into the fleet fault
+// schedule; nil when chaos is disabled.
+func buildChaosSchedule(cfg Config) (*chaos.FleetSchedule, error) {
+	if cfg.Chaos == "" || cfg.Chaos == "none" {
+		return nil, nil
+	}
+	prof, err := chaos.Preset(cfg.Chaos)
+	if err != nil {
+		return nil, err
+	}
+	prof.Seed = cfg.ChaosSeed
+	if prof.Seed == 0 {
+		prof.Seed = cfg.Seed
+	}
+	prof.Steps = (cfg.Days - cfg.TrainDays) * stepsPerDay()
+	zones := cfg.Zones
+	if zones == 0 {
+		zones = 4
+	}
+	return chaos.NewFleetSchedule(prof, zones)
+}
+
+// chaosEnrolled reports whether tenant-local fault injection targets the
+// given tenant id (fleet-level classes always apply).
+func chaosEnrolled(cfg Config, id string) bool {
+	if len(cfg.ChaosTenants) == 0 {
+		return true
+	}
+	for _, v := range cfg.ChaosTenants {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
 // buildTenant constructs (or recovers) one tenant.
-func buildTenant(cfg Config, index int) (*Tenant, error) {
+func buildTenant(cfg Config, index int, fs *chaos.FleetSchedule) (*Tenant, error) {
 	id := TenantID(index)
 	seed := deriveSeed(cfg.Seed, index)
 	tr, err := trace.Generate(tenantTrace(cfg, index, seed))
@@ -244,6 +329,7 @@ func buildTenant(cfg Config, index int) (*Tenant, error) {
 
 	t := &Tenant{
 		ID: id, Index: index, Archetype: archetypeOf(index), Seed: seed,
+		Class:  ClassOf(index),
 		series: series, trainEnd: trainEnd,
 		origin: trainEnd, cursor: trainEnd,
 		alloc: 1, prevAlloc: 1,
@@ -252,6 +338,23 @@ func buildTenant(cfg Config, index int) (*Tenant, error) {
 		histView:     &timeseries.Series{Name: series.Name, Start: series.Start, Step: series.Step},
 		violCounter:  fleetTenantViolations.With(id),
 		roundCounter: fleetTenantRounds.With(id),
+	}
+	if fs != nil {
+		// The tenant's fault schedule is the exact restriction of the
+		// all-tenant run, derived from the master seed. Tenants outside an
+		// explicit enrollment list stay completely dark (empty schedule) —
+		// the single-victim isolation drill relies on it — while the
+		// pool-level classes (collapse, admission rejects) are consulted by
+		// the controller and apply regardless.
+		if chaosEnrolled(cfg, id) {
+			if t.sched, err = fs.TenantSchedule(index, id); err != nil {
+				return nil, fmt.Errorf("fleet: %s: %w", id, err)
+			}
+		} else {
+			t.sched = &chaos.Schedule{}
+		}
+		t.chaosCursor = &chaos.Cursor{}
+		t.faulted = !t.sched.Empty()
 	}
 	t.fp = persist.Fingerprint{
 		Strategy: cfg.Strategy, Tenant: id, Dataset: t.Archetype, Seed: seed,
@@ -334,14 +437,25 @@ func (t *Tenant) buildPlanner(cfg Config, model []byte) error {
 			}
 			if rho <= 0 {
 				var err error
+				// Rho calibrates against the unwrapped forecaster: training-time
+				// derivation must not consult the fault schedule.
 				if rho, err = calibrateRho(qf, train, cfg.Horizon); err != nil {
 					return err
 				}
 			}
 			t.rho = rho
-			strat = &scaler.Adaptive{Forecaster: qf, Tau1: cfg.Tau, Tau2: cfg.Tau2, Rho: rho, Theta: cfg.Theta}
+		}
+		// Planning-time inference goes through the chaos wrapper when the
+		// tenant carries a fault schedule; snapshots keep talking to the
+		// unwrapped model.
+		planQF := qf
+		if t.sched != nil {
+			planQF = &chaos.Forecaster{Inner: qf, Schedule: t.sched, Cursor: t.chaosCursor}
+		}
+		if cfg.Strategy == StrategyAdaptive {
+			strat = &scaler.Adaptive{Forecaster: planQF, Tau1: cfg.Tau, Tau2: cfg.Tau2, Rho: t.rho, Theta: cfg.Theta}
 		} else {
-			strat = &scaler.Robust{Forecaster: qf, Tau: cfg.Tau, Theta: cfg.Theta}
+			strat = &scaler.Robust{Forecaster: planQF, Tau: cfg.Tau, Theta: cfg.Theta}
 		}
 	}
 	t.planner = strat
@@ -360,8 +474,12 @@ func (t *Tenant) buildPlanner(cfg Config, model []byte) error {
 		t.planner = t.guard
 	}
 	t.fans, _ = t.planner.(scaler.FanProvider)
+	apply := func(n int) error { t.alloc = n; return nil }
+	if t.sched != nil {
+		apply = chaos.WrapApply(apply, func() int { return t.alloc }, t.sched, t.chaosCursor)
+	}
 	t.applier = &scaler.Applier{
-		Apply:   func(n int) error { t.alloc = n; return nil },
+		Apply:   apply,
 		Backoff: scaler.BackoffConfig{MaxAttempts: 1},
 		Breaker: &scaler.Breaker{},
 		Clock:   t.now,
@@ -412,6 +530,8 @@ func (t *Tenant) restore(cfg Config, st *persist.State) {
 		var extra loopExtra
 		if err := gob.NewDecoder(bytes.NewReader(st.Extra)).Decode(&extra); err == nil {
 			t.allocHash, t.cost = extra.AllocHash, extra.Cost
+			t.shedTotal, t.clippedRounds = extra.ShedNodes, extra.ClippedRounds
+			t.flap, t.quarantineLeft, t.quarantines = extra.Flap, extra.QuarantineLeft, extra.Quarantines
 		}
 	}
 	if t.guard != nil && len(st.Guard) > 0 {
@@ -439,39 +559,84 @@ func (t *Tenant) active(horizon int) bool {
 	return t.err == nil && t.origin+horizon <= t.series.Len()
 }
 
-// planRound runs one planning round of one tenant: plan (through the
-// warm fast path), record the tenant-labelled decision, apply each step
-// through the breaker, grade violations and calibration, and advance the
-// rolling allocation hash and cost. It writes only tenant-owned state
-// and process-wide atomic counters, preserving the worker-count
-// determinism contract.
-func (t *Tenant) planRound(cfg Config) {
+// holdPlan fills the tenant's plan buffer with its previous allocation —
+// the fail-safe outcome of an exhausted fallback ladder or a refused
+// admission round.
+func (t *Tenant) holdPlan(h int) []int {
+	if cap(t.planBuf) < h {
+		t.planBuf = make([]int, h)
+	}
+	plan := t.planBuf[:h]
+	for i := range plan {
+		plan[i] = t.prevAlloc
+	}
+	return plan
+}
+
+// planPhase runs the planning half of one tenant's round: compute the
+// plan (through the warm fast path, the quarantine fallback, and any
+// chaos injection wired into the forecaster) and park it in t.pending
+// for the admission barrier. It writes only tenant-owned state and
+// process-wide atomic counters, preserving the worker-count determinism
+// contract.
+func (t *Tenant) planPhase(cfg Config) {
 	start := time.Now()
 	origin, h := t.origin, cfg.Horizon
+	if t.chaosCursor != nil {
+		t.chaosCursor.Set(origin - t.trainEnd)
+	}
 	t.histView.Values = t.series.Values[:origin]
-	plan, err := scaler.PlanRound(t.planner, t.histView, h, t.planBuf)
+	hist := t.histView
+	if t.sched != nil {
+		// Telemetry faults corrupt a copy of the visible history; the
+		// underlying trace stays pristine for grading.
+		hist = chaos.CorruptTelemetry(t.histView, t.sched, origin-t.trainEnd)
+	}
+	planner, reason := t.planner, ""
+	if t.quarantineLeft > 0 {
+		// Quarantined: the backpressure breaker pinned this tenant to
+		// reactive planning so it stops thrashing the pool.
+		if t.reactive == nil {
+			t.reactive = &scaler.ReactiveMax{Window: 6, Theta: cfg.Theta}
+		}
+		planner, reason = t.reactive, "quarantine"
+	}
+	plan, err := scaler.PlanRound(planner, hist, h, t.planBuf)
 	if plan != nil {
 		t.planBuf = plan
 	}
 	if err != nil {
-		if t.guard == nil {
+		if t.guard == nil && planner == t.planner {
 			t.err = fmt.Errorf("fleet: %s planning at %d: %w", t.ID, origin, err)
 			return
 		}
 		// Even an exhausted fallback ladder holds the allocation rather
 		// than taking the tenant down.
 		t.holds++
-		if cap(t.planBuf) < h {
-			t.planBuf = make([]int, h)
-		}
-		plan = t.planBuf[:h]
-		for i := range plan {
-			plan[i] = t.prevAlloc
-		}
+		plan = t.holdPlan(h)
 	}
-	scaler.RecordDecisionFor(t.planner, t.ID, origin, t.series.TimeAt(origin), t.prevAlloc, plan)
+	t.pending = plan
+	t.roundPlanner = planner
+	t.shedRound = 0
+	t.shedReason = reason
+	t.planDur = time.Since(start).Seconds()
+}
+
+// applyPhase runs the post-admission half of one tenant's round: record
+// the tenant-labelled decision (annotated with the admission outcome),
+// apply each admitted step through the breaker and any control-plane
+// chaos, grade violations and calibration, and advance the rolling
+// allocation hash and cost.
+func (t *Tenant) applyPhase(cfg Config) {
+	start := time.Now()
+	origin, h := t.origin, cfg.Horizon
+	plan := t.pending
+	scaler.RecordDecisionAdmitted(t.roundPlanner, t.ID, origin, t.series.TimeAt(origin),
+		t.prevAlloc, plan, t.shedRound, t.shedReason)
 	var fan *forecast.QuantileForecast
-	if t.fans != nil {
+	if t.fans != nil && t.roundPlanner == t.planner {
+		// Quarantined rounds plan reactively; the predictive fan is stale
+		// then, so calibration only observes rounds its forecaster drove.
 		fan = t.fans.LastFan()
 	}
 	if fan != nil && t.cal == nil {
@@ -480,8 +645,20 @@ func (t *Tenant) planRound(cfg Config) {
 		}
 	}
 	for i, alloc := range plan {
+		step := origin - t.trainEnd + i
+		if t.chaosCursor != nil {
+			t.chaosCursor.Set(step)
+		}
 		if err := t.applier.ScaleTo(alloc); err != nil {
 			t.holds++
+		}
+		if t.sched != nil {
+			if kills := t.sched.KillsAt(step); kills > 0 {
+				chaos.CountInjected(chaos.NodeKill)
+				if t.alloc -= kills; t.alloc < 0 {
+					t.alloc = 0
+				}
+			}
 		}
 		actual := t.alloc
 		w := t.series.At(origin + i)
@@ -507,15 +684,147 @@ func (t *Tenant) planRound(cfg Config) {
 	t.prevAlloc = t.alloc
 	t.origin = origin + h
 	t.roundCounter.Inc()
-	d := time.Since(start).Seconds()
+	d := t.planDur + time.Since(start).Seconds()
 	t.dur.Observe(d)
 	fleetPlanSeconds.Observe(d)
 }
 
+// admit is the shared-capacity admission barrier between the plan and
+// apply phases: with a pool configured it clips every pending plan so
+// the fleet's aggregate allocation never exceeds the budget at any step,
+// shedding best-effort tenants first (proportional fair share inside the
+// partially-shed class), trips the per-tenant backpressure breaker into
+// quarantine after repeated clipping, and journals each shed round. Runs
+// sequentially in tenant index order, so every outcome is deterministic.
+// Pool-level chaos (capacity collapse, admission-RPC rejects) anchors to
+// the first active tenant's replay position.
+func (c *Controller) admit(active []*Tenant) {
+	cfg := c.cfg
+	if cfg.PoolNodes <= 0 || len(active) == 0 {
+		return
+	}
+	anchor := active[0].origin - active[0].trainEnd
+	h := cfg.Horizon
+	if c.chaosSched.AdmissionRejectAt(anchor) {
+		// The admission RPC is down. Fail safe: hold every tenant at its
+		// last admitted allocation instead of racing unadmitted plans past
+		// the pool. The round carries the annotation but does not count
+		// toward shed or quarantine accounting — the fault is the control
+		// plane's, not the tenants'.
+		chaos.CountInjected(chaos.AdmissionReject)
+		c.admissionRejects++
+		fleetAdmissionRejects.Inc()
+		for _, t := range active {
+			for j := range t.pending {
+				t.pending[j] = t.prevAlloc
+			}
+			t.shedReason = "admission-reject"
+		}
+		return
+	}
+	n := len(active)
+	if cap(c.classBuf) < n {
+		c.classBuf = make([]PriorityClass, n)
+	}
+	classes := c.classBuf[:n]
+	for i, t := range active {
+		classes[i] = t.Class
+	}
+	if cap(c.demandBuf) < n {
+		c.demandBuf = make([]int, n)
+	}
+	demands := c.demandBuf[:n]
+	collapsed := false
+	for j := 0; j < h; j++ {
+		capacity := cfg.PoolNodes
+		if f := c.chaosSched.PoolFactorAt(anchor + j); f < 1 {
+			collapsed = true
+			capacity = int(float64(capacity) * f)
+		}
+		for i, t := range active {
+			demands[i] = t.pending[j]
+		}
+		c.admitBuf = admitStep(demands, classes, capacity, c.admitBuf)
+		admitted := 0
+		for i, t := range active {
+			admitted += c.admitBuf[i]
+			if clip := t.pending[j] - c.admitBuf[i]; clip > 0 {
+				t.pending[j] = c.admitBuf[i]
+				t.shedRound += clip
+			}
+		}
+		if j == 0 && capacity > 0 {
+			util := float64(admitted) / float64(capacity)
+			fleetPoolUtilization.Set(util)
+			if util > c.peakUtil {
+				c.peakUtil = util
+			}
+		}
+	}
+	if collapsed {
+		chaos.CountInjected(chaos.PoolCollapse)
+	}
+	clipped, shedNodes := 0, int64(0)
+	for _, t := range active {
+		if t.shedRound > 0 {
+			clipped++
+			shedNodes += int64(t.shedRound)
+			t.clippedRounds++
+			t.shedTotal += int64(t.shedRound)
+			if t.shedReason == "" {
+				t.shedReason = "pool-exhausted"
+			}
+			if t.quarantineLeft == 0 {
+				t.flap++
+				if cfg.QuarantineAfter > 0 && t.flap >= cfg.QuarantineAfter {
+					rounds := cfg.QuarantineRounds
+					if rounds <= 0 {
+						rounds = 8
+					}
+					t.quarantineLeft = rounds
+					t.quarantines++
+					fleetQuarantinesTotal.Inc()
+					obs.DefaultJournal.RecordTenantAt(t.now(), t.ID, "quarantine",
+						fmt.Sprintf("quarantined to reactive planning for %d rounds after %d consecutive clipped rounds", rounds, t.flap),
+						map[string]float64{"rounds": float64(rounds), "flap": float64(t.flap)})
+				}
+			}
+		} else if t.quarantineLeft == 0 {
+			t.flap = 0
+		}
+	}
+	if clipped > 0 {
+		c.shedRounds++
+		fleetShedRounds.Inc()
+		fleetAdmissionClips.Add(float64(clipped))
+		fleetShedNodesTotal.Add(float64(shedNodes))
+		obs.DefaultJournal.RecordTenantAt(active[0].now(), "", "admission-shed",
+			fmt.Sprintf("pool admission clipped %d tenants by %d nodes this round", clipped, shedNodes),
+			map[string]float64{"clipped": float64(clipped), "shed_nodes": float64(shedNodes)})
+	}
+	quarantined := 0
+	for _, t := range active {
+		if t.quarantineLeft > 0 && t.shedReason == "quarantine" {
+			// This round was planned under quarantine; count it down.
+			t.quarantineLeft--
+			if t.quarantineLeft == 0 {
+				t.flap = 0
+				obs.DefaultJournal.RecordTenantAt(t.now(), t.ID, "unquarantine",
+					"quarantine expired; re-entering predictive planning", nil)
+			}
+		}
+		if t.quarantineLeft > 0 {
+			quarantined++
+		}
+	}
+	fleetQuarantinedGauge.Set(float64(quarantined))
+}
+
 // Run drives the fleet to completion (or cfg.MaxRounds, or context
 // cancellation), checkpointing every CheckpointInterval rounds and once
-// more at exit. Rounds batch tenant planning across the worker pool;
-// per-tenant decisions are bit-identical for any worker count.
+// more at exit. Each round runs a parallel plan phase, the sequential
+// admission barrier, and a parallel apply phase; per-tenant decisions
+// are bit-identical for any worker count.
 func (c *Controller) Run(ctx context.Context) (*Report, error) {
 	cfg := c.cfg
 	active := make([]*Tenant, 0, len(c.tenants))
@@ -536,7 +845,20 @@ func (c *Controller) Run(ctx context.Context) (*Report, error) {
 			break
 		}
 		parallel.ForEachWorkerSpan("fleet-plan", cfg.Workers, len(active), func(_, i int) {
-			active[i].planRound(cfg)
+			active[i].planPhase(cfg)
+		})
+		for _, t := range c.tenants {
+			if t.err != nil {
+				return nil, t.err
+			}
+		}
+		// The admission barrier is sequential and index-ordered: clipping,
+		// shedding, quarantine transitions and their journal entries are a
+		// pure function of the round's pending plans, so the outcome is
+		// identical for any worker count.
+		c.admit(active)
+		parallel.ForEachWorkerSpan("fleet-apply", cfg.Workers, len(active), func(_, i int) {
+			active[i].applyPhase(cfg)
 		})
 		for _, t := range c.tenants {
 			if t.err != nil {
@@ -637,7 +959,11 @@ func (t *Tenant) writeCheckpoint(slo []byte) {
 	st.Breaker = blob(t.applier.Breaker.Save)
 	st.SLO = slo
 	var extra bytes.Buffer
-	if err := gob.NewEncoder(&extra).Encode(loopExtra{AllocHash: t.allocHash, Cost: t.cost}); err == nil {
+	if err := gob.NewEncoder(&extra).Encode(loopExtra{
+		AllocHash: t.allocHash, Cost: t.cost,
+		ShedNodes: t.shedTotal, ClippedRounds: t.clippedRounds,
+		Flap: t.flap, QuarantineLeft: t.quarantineLeft, Quarantines: t.quarantines,
+	}); err == nil {
 		st.Extra = extra.Bytes()
 	}
 	if _, err := t.mgr.Write(st); err != nil {

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"time"
 
+	"robustscale/internal/chaos"
 	"robustscale/internal/forecast"
 	"robustscale/internal/obs"
 	"robustscale/internal/persist"
@@ -92,6 +93,30 @@ type Config struct {
 	// BurnRules overrides the burn-rate alert rules; nil uses
 	// obs.DefaultBurnRules(SLOWindow).
 	BurnRules []obs.BurnRule
+	// PoolNodes caps the fleet's aggregate allocation at every replay
+	// step: the shared capacity pool admission control clips plans
+	// against. 0 disables the pool (every plan is admitted untouched, so
+	// decisions and the fleet hash match a pool-less run bit for bit).
+	PoolNodes int
+	// QuarantineAfter is the backpressure breaker threshold: a tenant
+	// clipped this many consecutive rounds is quarantined to reactive
+	// planning instead of thrashing the pool. 0 disables quarantine.
+	QuarantineAfter int
+	// QuarantineRounds is how many rounds a quarantined tenant plans
+	// reactively before re-entering predictive planning (default 8).
+	QuarantineRounds int
+	// Chaos names the fleet chaos preset (chaos.Preset); "" or "none"
+	// disables fault injection entirely.
+	Chaos string
+	// ChaosSeed seeds the fault schedules; 0 falls back to Seed.
+	ChaosSeed int64
+	// ChaosTenants restricts tenant-local fault injection to the listed
+	// tenant ids (fleet-level classes still fire); empty enrolls every
+	// tenant. Single-victim quarantine-isolation drills use this.
+	ChaosTenants []string
+	// Zones is the number of failure domains tenants stripe across for
+	// zone-outage chaos (default 4).
+	Zones int
 }
 
 // DefaultSLOWindow is the default error-budget window in fleet rounds.
@@ -119,6 +144,9 @@ func DefaultConfig(tenants int) Config {
 		PerTenant:          true,
 		SLOTarget:          0.01,
 		SLOWindow:          DefaultSLOWindow,
+		QuarantineAfter:    3,
+		QuarantineRounds:   8,
+		Zones:              4,
 	}
 }
 
@@ -174,6 +202,20 @@ func (cfg Config) validate() error {
 			if r.Factor <= 0 || r.Short < 1 || r.Long < r.Short || r.Long > cfg.SLOWindow {
 				return fmt.Errorf("fleet: burn rule %+v invalid for window %d", r, cfg.SLOWindow)
 			}
+		}
+	}
+	if cfg.PoolNodes < 0 {
+		return fmt.Errorf("fleet: negative pool size %d", cfg.PoolNodes)
+	}
+	if cfg.QuarantineAfter < 0 || cfg.QuarantineRounds < 0 {
+		return fmt.Errorf("fleet: negative quarantine parameters %d/%d", cfg.QuarantineAfter, cfg.QuarantineRounds)
+	}
+	if cfg.Zones < 0 {
+		return fmt.Errorf("fleet: negative zone count %d", cfg.Zones)
+	}
+	if cfg.Chaos != "" && cfg.Chaos != "none" {
+		if _, err := chaos.Preset(cfg.Chaos); err != nil {
+			return err
 		}
 	}
 	return nil

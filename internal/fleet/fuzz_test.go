@@ -1,0 +1,92 @@
+package fleet
+
+import "testing"
+
+// FuzzAdmission hammers the admission-control arithmetic with arbitrary
+// demand vectors and capacities. Three invariants must never break:
+// admitted totals never exceed the pool, no tenant is admitted below
+// zero or above its demand, and a higher-priority class is only clipped
+// after every lower-priority class has been shed to zero.
+func FuzzAdmission(f *testing.F) {
+	f.Add(10, []byte{5, 5, 5, 5})
+	f.Add(0, []byte{1, 2, 3})
+	f.Add(-3, []byte{200, 0, 7})
+	f.Add(1<<30, []byte{255, 255, 255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, capacity int, raw []byte) {
+		if len(raw) == 0 || len(raw) > 64 {
+			return
+		}
+		demands := make([]int, len(raw))
+		for i, b := range raw {
+			// Mix in sign and scale so the fuzzer reaches negatives and
+			// values near the overflow clamp.
+			d := int(b) * (1 << (uint(i) % 24))
+			if i%5 == 3 {
+				d = -d
+			}
+			demands[i] = d
+		}
+		classes := classesFor(len(demands))
+		got := admitStep(demands, classes, capacity, nil)
+
+		cap64 := int64(capacity)
+		if cap64 < 0 {
+			cap64 = 0
+		}
+		if cap64 > maxDemand {
+			cap64 = maxDemand
+		}
+		var total int64
+		for i, a := range got {
+			d := int64(demands[i])
+			if d < 0 {
+				d = 0
+			}
+			if d > maxDemand {
+				d = maxDemand
+			}
+			if int64(a) < 0 {
+				t.Fatalf("admitted[%d] = %d below zero (demands=%v capacity=%d)", i, a, demands, capacity)
+			}
+			if int64(a) > d {
+				t.Fatalf("admitted[%d] = %d above demand %d (capacity=%d)", i, a, d, capacity)
+			}
+			total += int64(a)
+		}
+		if total > cap64 {
+			t.Fatalf("admitted total %d exceeds capacity %d (demands=%v)", total, cap64, demands)
+		}
+
+		// Priority order: if any member of a class was clipped, every
+		// lower-priority class must be fully zeroed.
+		clipped := [3]bool{}
+		nonzero := [3]bool{}
+		for i, a := range got {
+			d := int64(demands[i])
+			if d < 0 {
+				d = 0
+			}
+			if d > maxDemand {
+				d = maxDemand
+			}
+			c := classes[i]
+			if int64(a) < d {
+				clipped[c] = true
+			}
+			if a > 0 {
+				nonzero[c] = true
+			}
+		}
+		for c := ClassGuaranteed; c <= ClassBestEffort; c++ {
+			if !clipped[c] {
+				continue
+			}
+			for lower := c + 1; lower <= ClassBestEffort; lower++ {
+				if nonzero[lower] {
+					t.Fatalf("class %v clipped while class %v still holds nodes: demands=%v capacity=%d admitted=%v",
+						c, lower, demands, capacity, got)
+				}
+			}
+		}
+	})
+}

@@ -34,4 +34,27 @@ var (
 		"robustscale_fleet_plan_round_seconds",
 		"Wall-clock latency of one tenant planning round inside the fleet batch.",
 		obs.LatencyBuckets)
+
+	// Shared capacity pool instruments.
+	fleetAdmissionClips = obs.Default.Counter(
+		"robustscale_fleet_admission_clips_total",
+		"Tenant-rounds clipped by shared-pool admission control.")
+	fleetShedRounds = obs.Default.Counter(
+		"robustscale_fleet_shed_rounds_total",
+		"Fleet rounds where admission control shed at least one node.")
+	fleetShedNodesTotal = obs.Default.Counter(
+		"robustscale_fleet_shed_nodes_total",
+		"Nodes shed by admission control across all tenants and rounds.")
+	fleetPoolUtilization = obs.Default.Gauge(
+		"robustscale_fleet_pool_utilization",
+		"Fraction of the shared node pool admitted at the latest round's first step.")
+	fleetAdmissionRejects = obs.Default.Counter(
+		"robustscale_fleet_admission_rejects_total",
+		"Rounds the admission RPC refused (chaos); tenants held their last admitted allocation.")
+	fleetQuarantinesTotal = obs.Default.Counter(
+		"robustscale_fleet_quarantines_total",
+		"Backpressure-breaker trips quarantining a flapping tenant to reactive planning.")
+	fleetQuarantinedGauge = obs.Default.Gauge(
+		"robustscale_fleet_quarantined_tenants",
+		"Tenants currently quarantined to reactive planning.")
 )

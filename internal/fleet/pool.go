@@ -1,0 +1,148 @@
+package fleet
+
+import "sort"
+
+// PriorityClass ranks tenants for admission control: when aggregate
+// demand exceeds the shared pool, lower classes shed first and a higher
+// class is only clipped after every lower class is fully zeroed.
+type PriorityClass int
+
+const (
+	// ClassGuaranteed tenants shed last: their demand survives until the
+	// pool cannot cover guaranteed demand alone.
+	ClassGuaranteed PriorityClass = iota
+	// ClassBurstable tenants shed after best-effort is exhausted.
+	ClassBurstable
+	// ClassBestEffort tenants shed first.
+	ClassBestEffort
+)
+
+// String names the class for reports and journal entries.
+func (c PriorityClass) String() string {
+	switch c {
+	case ClassGuaranteed:
+		return "guaranteed"
+	case ClassBurstable:
+		return "burstable"
+	case ClassBestEffort:
+		return "best-effort"
+	default:
+		return "unknown"
+	}
+}
+
+// ClassOf assigns priority classes round-robin by tenant index —
+// guaranteed, burstable, best-effort, repeating — so every fleet mixes
+// all three tiers deterministically.
+func ClassOf(index int) PriorityClass {
+	if index < 0 {
+		index = -index
+	}
+	return PriorityClass(index % 3)
+}
+
+// maxDemand bounds per-tenant demand and pool capacity inside admitStep
+// so the largest-remainder arithmetic (demand * target) cannot overflow
+// int64 even on adversarial fuzz inputs.
+const maxDemand = 1 << 30
+
+// admitStep is the deterministic admission controller for one replay
+// step: given each tenant's demanded node count, its priority class and
+// the pool capacity, it returns the admitted allocation per tenant,
+// written into out (grown as needed).
+//
+// Invariants, fuzz-asserted by FuzzAdmission:
+//
+//   - sum(admitted) <= capacity (capacity < 0 treated as 0)
+//   - 0 <= admitted[i] <= max(demands[i], 0) for every i
+//   - under-capacity demand passes through untouched
+//   - priority ordering: if any tenant of class c was clipped, every
+//     class lower than c was shed to zero first
+//
+// Within the first class that is partially shed, the reduction is a
+// proportional fair share via the largest-remainder method: floors of
+// demand*target/classTotal, with the leftover nodes going to the largest
+// fractional remainders (ties to the lower index), so the split is a
+// pure function of the inputs.
+func admitStep(demands []int, classes []PriorityClass, capacity int, out []int) []int {
+	n := len(demands)
+	if cap(out) < n {
+		out = make([]int, n)
+	}
+	out = out[:n]
+	if capacity < 0 {
+		capacity = 0
+	}
+	if capacity > maxDemand {
+		capacity = maxDemand
+	}
+	total := 0
+	for i, d := range demands {
+		if d < 0 {
+			d = 0
+		}
+		if d > maxDemand {
+			d = maxDemand
+		}
+		out[i] = d
+		total += d
+	}
+	if total <= capacity {
+		return out
+	}
+	shed := total - capacity
+	// Shed lowest-priority classes first; iterating the classes in
+	// reverse rank order keeps the ordering invariant by construction.
+	for class := ClassBestEffort; class >= ClassGuaranteed && shed > 0; class-- {
+		classTotal := 0
+		for i := range out {
+			if classes[i] == class {
+				classTotal += out[i]
+			}
+		}
+		if classTotal == 0 {
+			continue
+		}
+		if shed >= classTotal {
+			// The whole class goes dark.
+			for i := range out {
+				if classes[i] == class {
+					out[i] = 0
+				}
+			}
+			shed -= classTotal
+			continue
+		}
+		// Partial shed: largest-remainder proportional split to the
+		// reduced class total.
+		target := classTotal - shed
+		type member struct {
+			index int
+			rem   int64
+		}
+		var members []member
+		granted := 0
+		for i := range out {
+			if classes[i] != class || out[i] == 0 {
+				continue
+			}
+			num := int64(out[i]) * int64(target)
+			floor := int(num / int64(classTotal))
+			out[i] = floor
+			granted += floor
+			members = append(members, member{index: i, rem: num % int64(classTotal)})
+		}
+		sort.SliceStable(members, func(a, b int) bool {
+			if members[a].rem != members[b].rem {
+				return members[a].rem > members[b].rem
+			}
+			return members[a].index < members[b].index
+		})
+		for k := 0; granted < target && k < len(members); k++ {
+			out[members[k].index]++
+			granted++
+		}
+		shed = 0
+	}
+	return out
+}

@@ -27,6 +27,16 @@ type TenantReport struct {
 	// AllocHash is the rolling FNV-1a hash over every allocation the
 	// tenant committed, carried across restarts.
 	AllocHash string `json:"alloc_hash"`
+	// Admission-control outcome (lifetime, carried across restarts via
+	// the checkpoint Extra section).
+	Class          string `json:"class,omitempty"`
+	ShedNodes      int64  `json:"shed_nodes,omitempty"`
+	ClippedRounds  int    `json:"clipped_rounds,omitempty"`
+	Quarantines    int    `json:"quarantines,omitempty"`
+	QuarantinedNow bool   `json:"quarantined_now,omitempty"`
+	// Faulted reports whether the chaos schedule targets this tenant;
+	// blast-radius accounting splits the fleet on it.
+	Faulted bool `json:"faulted,omitempty"`
 }
 
 // Timing aggregates wall-clock planning latency. It is observational
@@ -95,6 +105,50 @@ type Report struct {
 	// SLO is the error-budget state at the end of the run (nil when the
 	// SLO plane is disabled).
 	SLO *obs.SLOStatus `json:"slo,omitempty"`
+	// Pool is the shared-capacity admission outcome (nil with no pool).
+	Pool *PoolReport `json:"pool,omitempty"`
+	// Chaos summarizes the fault schedule of the run (nil with chaos
+	// disabled).
+	Chaos *ChaosReport `json:"chaos,omitempty"`
+	// BlastRadius is attached after the run when a fault-free baseline
+	// was supplied for comparison (MeasureBlastRadius); it never feeds
+	// the fleet hash.
+	BlastRadius *BlastRadius `json:"blast_radius,omitempty"`
+}
+
+// PoolReport aggregates the admission-control outcome of a pooled run.
+// The lifetime fields (clips, shed nodes, quarantines) fold per-tenant
+// counters persisted in checkpoints, so they are bit-identical across
+// worker counts and kill-restarts; ShedRounds and AdmissionRejects count
+// this process's rounds only.
+type PoolReport struct {
+	Nodes int `json:"nodes"`
+	// AdmissionClips is the lifetime count of tenant-rounds clipped.
+	AdmissionClips int64 `json:"admission_clips"`
+	// ShedNodes is the lifetime total of nodes shed across tenants.
+	ShedNodes int64 `json:"shed_nodes"`
+	// ShedRounds counts this process's rounds with any clipping.
+	ShedRounds int `json:"shed_rounds"`
+	// AdmissionRejects counts rounds the admission RPC refused (chaos).
+	AdmissionRejects int `json:"admission_rejects,omitempty"`
+	// Quarantines is the lifetime count of backpressure-breaker trips.
+	Quarantines int `json:"quarantines"`
+	// QuarantinedNow counts tenants still quarantined at run end.
+	QuarantinedNow int `json:"quarantined_now"`
+	// PeakUtilization is the highest first-step pool utilization seen
+	// this process (1.0 = the pool was fully admitted).
+	PeakUtilization float64 `json:"peak_utilization"`
+}
+
+// ChaosReport summarizes the deterministic fault schedule of a run.
+type ChaosReport struct {
+	Preset string `json:"preset"`
+	Zones  int    `json:"zones"`
+	// FleetEvents counts scheduled fleet-level events (zone outages,
+	// pool collapses, admission rejects).
+	FleetEvents int `json:"fleet_events"`
+	// FaultedTenants counts tenants whose schedules carry any fault.
+	FaultedTenants int `json:"faulted_tenants"`
 }
 
 // report assembles the aggregate after the run loop exits.
@@ -117,6 +171,23 @@ func (c *Controller) report() *Report {
 	vrSketch := obs.NewSketch(obs.DefaultSketchAlpha)
 	costSketch := obs.NewSketch(obs.DefaultSketchAlpha)
 	durSketch := obs.NewSketch(obs.DefaultSketchAlpha)
+	var pool *PoolReport
+	if c.cfg.PoolNodes > 0 {
+		pool = &PoolReport{
+			Nodes:            c.cfg.PoolNodes,
+			ShedRounds:       c.shedRounds,
+			AdmissionRejects: c.admissionRejects,
+			PeakUtilization:  c.peakUtil,
+		}
+	}
+	var chaosRep *ChaosReport
+	if c.chaosSched != nil {
+		chaosRep = &ChaosReport{
+			Preset:      c.cfg.Chaos,
+			Zones:       c.chaosSched.Zones(),
+			FleetEvents: len(c.chaosSched.FleetEvents()),
+		}
+	}
 	hash := uint64(fnvOffset)
 	for _, t := range c.tenants {
 		tr := TenantReport{
@@ -125,12 +196,29 @@ func (c *Controller) report() *Report {
 			Steps: t.steps, Violations: t.violations,
 			CostNodeSteps: t.cost, FinalNodes: t.prevAlloc, Holds: t.holds,
 			AllocHash: fmt.Sprintf("%016x", t.allocHash),
+			Faulted:   t.faulted,
 		}
 		if t.steps > 0 {
 			tr.ViolationRate = float64(t.violations) / float64(t.steps)
 		}
 		if t.guard != nil {
 			tr.DegradedRounds = t.guard.DegradedRounds()
+		}
+		if pool != nil {
+			tr.Class = t.Class.String()
+			tr.ShedNodes = t.shedTotal
+			tr.ClippedRounds = t.clippedRounds
+			tr.Quarantines = t.quarantines
+			tr.QuarantinedNow = t.quarantineLeft > 0
+			pool.AdmissionClips += int64(t.clippedRounds)
+			pool.ShedNodes += t.shedTotal
+			pool.Quarantines += t.quarantines
+			if t.quarantineLeft > 0 {
+				pool.QuarantinedNow++
+			}
+		}
+		if chaosRep != nil && t.faulted {
+			chaosRep.FaultedTenants++
 		}
 		r.Steps += int64(t.steps)
 		r.Violations += int64(t.violations)
@@ -172,6 +260,8 @@ func (c *Controller) report() *Report {
 		st := c.slo.Status()
 		r.SLO = &st
 	}
+	r.Pool = pool
+	r.Chaos = chaosRep
 	return r
 }
 

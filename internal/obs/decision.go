@@ -84,6 +84,14 @@ type Decision struct {
 	// DegradedReason says why the guard left normal mode, e.g. the
 	// forecaster error or calibration breach that triggered the fallback.
 	DegradedReason string `json:"degraded_reason,omitempty"`
+	// Shed is how many nodes fleet admission control clipped from the
+	// plan's first step when aggregate demand exceeded the shared pool;
+	// zero for unconstrained or single-tenant rounds.
+	Shed int `json:"shed,omitempty"`
+	// ShedReason labels why the plan was clipped ("pool-exhausted",
+	// "quarantine", ...); set whenever Shed > 0 and for quarantined
+	// rounds even when the clip removed nothing.
+	ShedReason string `json:"shed_reason,omitempty"`
 }
 
 // Covers reports whether the round planned the given series step.
@@ -139,6 +147,16 @@ func (d *Decision) Explain(step int) string {
 		fmt.Fprintf(&b, " [degraded: %s", d.Degraded)
 		if d.DegradedReason != "" {
 			fmt.Fprintf(&b, " — %s", d.DegradedReason)
+		}
+		b.WriteString("]")
+	}
+	if d.Shed > 0 || d.ShedReason != "" {
+		fmt.Fprintf(&b, " [shed: %d node", d.Shed)
+		if d.Shed != 1 {
+			b.WriteString("s")
+		}
+		if d.ShedReason != "" {
+			fmt.Fprintf(&b, " — %s", d.ShedReason)
 		}
 		b.WriteString("]")
 	}

@@ -160,6 +160,30 @@ func TestExplainBindingSuffix(t *testing.T) {
 	}
 }
 
+func TestExplainShedSuffix(t *testing.T) {
+	d := Decision{
+		Strategy: "robust", Step: 10, Theta: 100, PrevNodes: 5,
+		Nodes: []int{4}, Quantile: []float64{700},
+		Shed: 3, ShedReason: "pool-exhausted",
+	}
+	if got := d.Explain(10); !strings.Contains(got, "[shed: 3 nodes — pool-exhausted]") {
+		t.Errorf("Explain = %q, missing shed annotation", got)
+	}
+	d.Shed, d.ShedReason = 1, ""
+	if got := d.Explain(10); !strings.Contains(got, "[shed: 1 node]") {
+		t.Errorf("Explain = %q, missing singular shed annotation", got)
+	}
+	// Quarantined rounds annotate even with nothing clipped.
+	d.Shed, d.ShedReason = 0, "quarantine"
+	if got := d.Explain(10); !strings.Contains(got, "[shed: 0 nodes — quarantine]") {
+		t.Errorf("Explain = %q, missing quarantine annotation", got)
+	}
+	d.Shed, d.ShedReason = 0, ""
+	if got := d.Explain(10); strings.Contains(got, "[shed:") {
+		t.Errorf("Explain = %q, unexpected shed annotation", got)
+	}
+}
+
 func TestDecisionHandler(t *testing.T) {
 	s := NewDecisionStore(8)
 	s.Record(adaptiveDecision(120, 3))

@@ -284,3 +284,82 @@ func (s *observeSpy) Plan(*timeseries.Series, int) ([]int, error) {
 	return []int{1}, nil
 }
 func (s *observeSpy) Observe(actual []float64) { s.got += len(actual) }
+
+// TestGuardLadderReentry pins the recovery direction of the ladder: a
+// guard that has fallen all the way to the reactive rung (and one parked
+// at last-known-good) must climb back to normal on the FIRST healthy
+// round — degradation is per-round state, never latched.
+func TestGuardLadderReentry(t *testing.T) {
+	h, theta := 3, 10.0
+	hist := series(10, 50, 30, 20)
+
+	// Reactive -> normal. A fresh guard with a dead forecaster and no
+	// retained fan lands on the bottom rung.
+	qf := &guardQF{fakeQF: flatBase(40, h), fail: true}
+	g, _ := newGuarded(qf, theta)
+	if _, err := g.Plan(hist, h); err != nil {
+		t.Fatal(err)
+	}
+	if g.Mode() != ModeReactive {
+		t.Fatalf("mode = %v, want reactive", g.Mode())
+	}
+	qf.fail = false
+	plan, err := g.Plan(hist, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Mode() != ModeNormal {
+		t.Fatalf("first healthy round after reactive: mode = %v, want normal", g.Mode())
+	}
+	if g.LastReason() != "" {
+		t.Errorf("recovered round still carries reason %q", g.LastReason())
+	}
+	// The recovered plan matches an always-healthy guard's bit for bit.
+	ref, _ := newGuarded(&guardQF{fakeQF: flatBase(40, h)}, theta)
+	want, err := ref.Plan(hist, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plan, want) {
+		t.Errorf("recovered plan %v, healthy reference %v", plan, want)
+	}
+	if g.DegradedRounds() != 1 {
+		t.Errorf("degraded rounds = %d, want 1 (recovery must stop the count)", g.DegradedRounds())
+	}
+
+	// Last-known-good -> normal, and the retained fan refreshes: a second
+	// outage after recovery replans from the NEW healthy fan, not the
+	// pre-outage one.
+	qf2 := &guardQF{fakeQF: flatBase(40, h)}
+	g2, _ := newGuarded(qf2, theta)
+	if _, err := g2.Plan(hist, h); err != nil {
+		t.Fatal(err)
+	}
+	qf2.fail = true
+	if _, err := g2.Plan(hist, h); err != nil {
+		t.Fatal(err)
+	}
+	if g2.Mode() != ModeLastKnownGood {
+		t.Fatalf("mode = %v, want last-known-good", g2.Mode())
+	}
+	qf2.fail = false
+	qf2.fakeQF = flatBase(80, h) // recovery observes a different workload
+	healthy2, err := g2.Plan(hist, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Mode() != ModeNormal {
+		t.Fatalf("first healthy round after LKG: mode = %v, want normal", g2.Mode())
+	}
+	qf2.fail = true
+	replay, err := g2.Plan(hist, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Mode() != ModeLastKnownGood {
+		t.Fatalf("mode = %v, want last-known-good", g2.Mode())
+	}
+	if !reflect.DeepEqual(replay, healthy2) {
+		t.Errorf("second outage replans %v, want the refreshed fan's %v", replay, healthy2)
+	}
+}

@@ -151,6 +151,16 @@ func RecordDecision(strategy Strategy, origin int, at time.Time, prev int, plan 
 // RecordDecisionFor is RecordDecision with an explicit tenant label; the
 // fleet controller stamps each tenant's rounds with its id.
 func RecordDecisionFor(strategy Strategy, tenant string, origin int, at time.Time, prev int, plan []int) {
+	RecordDecisionAdmitted(strategy, tenant, origin, at, prev, plan, 0, "")
+}
+
+// RecordDecisionAdmitted is RecordDecisionFor with the fleet admission
+// outcome annotated: shed is how many nodes admission control clipped
+// from the plan's first step, reason labels why (pool exhaustion,
+// quarantine). The recorded Nodes are the plan as admitted, not as
+// requested — the audit trail shows what actually ran plus how much was
+// taken away.
+func RecordDecisionAdmitted(strategy Strategy, tenant string, origin int, at time.Time, prev int, plan []int, shed int, reason string) {
 	if !obs.DefaultDecisions.Enabled() {
 		return
 	}
@@ -167,8 +177,13 @@ func RecordDecisionFor(strategy Strategy, tenant string, origin int, at time.Tim
 	rec.Step = origin
 	rec.Time = at
 	rec.PrevNodes = prev
+	rec.Shed = shed
+	rec.ShedReason = reason
 	if len(plan) > 0 {
 		rec.Delta = plan[0] - prev
+		if shed > 0 {
+			rec.Nodes = plan
+		}
 	}
 	obs.DefaultDecisions.Record(rec)
 }

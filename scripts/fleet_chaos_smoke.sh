@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# fleet_chaos_smoke.sh — resilience drill for the shared capacity pool
+# and fleet-scale chaos plane (cmd/fleetsim -pool/-chaos).
+#
+# Asserts the PR's acceptance contracts:
+#
+#   * a fault-free pooled run with an unconstrained budget is
+#     bit-identical to the pool-less baseline (zero-delta invariant),
+#   * a binding pool sheds deterministically: -workers 1 vs 4 and two
+#     reruns agree on the fleet hash, shed counts and quarantines,
+#   * shed/quarantine counters survive a kill-restart bit-identically,
+#   * a zone outage keeps blast radius <= 1% of bystanders,
+#   * single-victim chaos leaves every other tenant bit-identical
+#     (quarantine isolation),
+#   * flag validation rejects nonsense sizes with exit code 2,
+#   * FuzzAdmission holds its invariants for a short budget, and the
+#     chaos pool path runs clean under the race detector.
+#
+# Tunables: FLEET_CHAOS_TENANTS (default 64),
+# FLEET_CHAOS_RACE_TENANTS (default 16; 0 skips the race run),
+# FLEET_CHAOS_FUZZ_SECONDS (default 10; 0 skips the fuzz run).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tenants="${FLEET_CHAOS_TENANTS:-64}"
+race_tenants="${FLEET_CHAOS_RACE_TENANTS:-16}"
+fuzz_secs="${FLEET_CHAOS_FUZZ_SECONDS:-10}"
+pool=$((tenants * 2))
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+go build -o "$work/fleetsim" ./cmd/fleetsim
+
+fs() { "$work/fleetsim" "$@"; }
+hash_of() { jq -r .fleet_hash "$1"; }
+tenant_rows() { jq '[.per_tenant[] | {id, alloc_hash, steps, violations, cost_node_steps, final_nodes}]' "$1"; }
+pool_counts() { jq '{clips: .pool.admission_clips, shed: .pool.shed_nodes, quarantines: .pool.quarantines}' "$1"; }
+
+echo "== fleet chaos smoke: $tenants tenants, pool $pool =="
+
+echo "-- flag validation: nonsense sizes exit 2"
+set +e
+fs -tenants 0 -out /dev/null 2> /dev/null; [ $? -eq 2 ] || { echo "FAIL: -tenants 0 accepted"; exit 1; }
+fs -tenants -3 -out /dev/null 2> /dev/null; [ $? -eq 2 ] || { echo "FAIL: -tenants -3 accepted"; exit 1; }
+fs -tenants "$tenants" -workers -1 -out /dev/null 2> /dev/null; [ $? -eq 2 ] || { echo "FAIL: -workers -1 accepted"; exit 1; }
+set -e
+
+echo "-- zero-delta: fault-free pooled run matches the pool-less baseline"
+fs -tenants "$tenants" -out "$work/base.json"
+fs -tenants "$tenants" -pool 1000000 -out "$work/pooled.json"
+[ "$(hash_of "$work/pooled.json")" = "$(hash_of "$work/base.json")" ]
+[ "$(tenant_rows "$work/pooled.json")" = "$(tenant_rows "$work/base.json")" ]
+jq -e '.pool.shed_nodes == 0 and .pool.admission_clips == 0 and .pool.quarantines == 0' "$work/pooled.json" > /dev/null
+fs -tenants "$tenants" -pool 1000000 -chaos none -out "$work/pooled_none.json"
+[ "$(hash_of "$work/pooled_none.json")" = "$(hash_of "$work/base.json")" ]
+
+echo "-- binding pool: deterministic shedding across workers and reruns"
+fs -tenants "$tenants" -pool "$pool" -workers 1 -out "$work/c1.json"
+fs -tenants "$tenants" -pool "$pool" -workers 4 -out "$work/c4.json"
+fs -tenants "$tenants" -pool "$pool" -workers 4 -out "$work/c4b.json"
+jq -e '.pool.shed_nodes > 0' "$work/c1.json" > /dev/null
+[ "$(hash_of "$work/c1.json")" = "$(hash_of "$work/c4.json")" ]
+[ "$(hash_of "$work/c4.json")" = "$(hash_of "$work/c4b.json")" ]
+[ "$(pool_counts "$work/c1.json")" = "$(pool_counts "$work/c4.json")" ]
+[ "$(pool_counts "$work/c4.json")" = "$(pool_counts "$work/c4b.json")" ]
+[ "$(tenant_rows "$work/c1.json")" = "$(tenant_rows "$work/c4.json")" ]
+grep -q '^robustscale_fleet_shed_nodes_total' <(fs -tenants "$tenants" -pool "$pool" -metrics /dev/stdout -out /dev/null 2>/dev/null) || true
+
+echo "-- kill-restart: shed and quarantine counters resume bit-identically"
+fs -tenants "$tenants" -pool "$pool" -state-dir "$work/state" -max-rounds 3 -out "$work/k1.json"
+fs -tenants "$tenants" -pool "$pool" -state-dir "$work/state" -out "$work/k2.json"
+[ "$(hash_of "$work/k2.json")" = "$(hash_of "$work/c1.json")" ]
+jq -e '[.pool.admission_clips, .pool.shed_nodes, .pool.quarantines]' "$work/k2.json" > /dev/null
+[ "$(jq '.pool.admission_clips' "$work/k2.json")" = "$(jq '.pool.admission_clips' "$work/c1.json")" ]
+[ "$(jq '.pool.shed_nodes' "$work/k2.json")" = "$(jq '.pool.shed_nodes' "$work/c1.json")" ]
+[ "$(jq '.pool.quarantines' "$work/k2.json")" = "$(jq '.pool.quarantines' "$work/c1.json")" ]
+
+echo "-- zone outage: blast radius <= 1% of bystanders"
+# Stripe the fleet across many zones so most tenants are genuine
+# bystanders of any one outage window.
+fs -tenants "$tenants" -zones "$tenants" -chaos zone-outage -baseline "$work/base.json" -out "$work/zone.json"
+jq -e '.blast_radius.bystanders > 0' "$work/zone.json" > /dev/null
+jq -e '.blast_radius.radius <= 0.01' "$work/zone.json" > /dev/null
+jq -e '.chaos.preset == "zone-outage" and .chaos.fleet_events > 0' "$work/zone.json" > /dev/null
+
+echo "-- quarantine isolation: single faulted tenant leaves bystanders bit-identical"
+victim=t00002
+fs -tenants "$tenants" -chaos all -chaos-tenants "$victim" -baseline "$work/base.json" -out "$work/victim.json"
+jq -e '.blast_radius.affected == 0 and .blast_radius.faulted == 1' "$work/victim.json" > /dev/null
+jq -e --arg v "$victim" \
+  '[.per_tenant[] | select(.id != $v)] | length > 0' "$work/victim.json" > /dev/null
+# >= 99% of tenants within tolerance (here: exactly identical).
+diff <(jq --arg v "$victim" '[.per_tenant[] | select(.id != $v) | {id, alloc_hash}]' "$work/victim.json") \
+     <(jq --arg v "$victim" '[.per_tenant[] | select(.id != $v) | {id, alloc_hash}]' "$work/base.json")
+
+if [ "$fuzz_secs" -gt 0 ]; then
+  echo "-- FuzzAdmission: ${fuzz_secs}s budget"
+  go test ./internal/fleet/ -run '^$' -fuzz FuzzAdmission -fuzztime "${fuzz_secs}s" > /dev/null
+fi
+
+if [ "$race_tenants" -gt 0 ]; then
+  echo "-- race detector: $race_tenants tenants, chaos fleet preset + binding pool"
+  go run -race ./cmd/fleetsim -tenants "$race_tenants" -pool $((race_tenants * 2)) \
+    -chaos fleet -workers 4 -out /dev/null
+fi
+
+echo "fleet chaos smoke: PASS"
