@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race cover bench bench-compile bench-save bench-check fuzz fleet-smoke slo-smoke fleet-chaos-smoke ci experiments examples clean
+.PHONY: all build test vet race cover bench bench-compile bench-save bench-check fuzz fleet-smoke slo-smoke fleet-chaos-smoke wake-smoke ci experiments examples clean
 
 all: build vet test
 
@@ -69,6 +69,13 @@ slo-smoke:
 fleet-chaos-smoke:
 	scripts/fleet_chaos_smoke.sh
 
+# Serverless wake-from-zero drill (same script CI runs): fault-free
+# scale-to-zero bit-identical across worker counts, wake-storm p99
+# inside the SLO budget, zero wake-fault blast radius, kill-restart
+# mid-wake bit-identity, park/wake fuzzing, race run.
+wake-smoke:
+	scripts/wake_smoke.sh
+
 # Everything the CI workflow checks, runnable locally in one shot.
 ci: build vet
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
@@ -79,6 +86,7 @@ ci: build vet
 	$(MAKE) fleet-smoke
 	$(MAKE) slo-smoke
 	$(MAKE) fleet-chaos-smoke
+	$(MAKE) wake-smoke
 
 # Regenerate every paper table/figure with the CLI runner.
 experiments:

@@ -60,6 +60,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/gob"
 	"flag"
 	"fmt"
 	"io"
@@ -120,6 +121,12 @@ func main() {
 
 		chaosProf = flag.String("chaos", "", "inject deterministic faults from this preset during the replay (forecast|telemetry|apply|node-kill|all|smoke)")
 		chaosSeed = flag.Int64("chaos-seed", 0, "chaos schedule seed (0 = use -seed)")
+
+		serverless    = flag.Bool("serverless", false, "serverless mode: the wake guard parks an idle tenant's plan to zero (the physical cluster holds a one-node floor) and wakes it when demand returns")
+		idleEps       = flag.Float64("idle-eps", 0, "workload level below which the tenant counts as idle (0 = theta/10)")
+		parkAfter     = flag.Int("park-after", 0, "consecutive idle rounds before parking (0 = default 3)")
+		wakeDebounce  = flag.Int("wake-debounce", 0, "rounds after a wake during which parking is refused (0 = default 2)")
+		keepWarmAfter = flag.Int("keep-warm-after", 0, "consecutive wake failures tripping the wake breaker into keep-warm (0 = default 3)")
 
 		stateDir     = flag.String("state-dir", "", "checkpoint directory for durable warm restarts (empty disables durability)")
 		stateRetain  = flag.Int("state-retain", persist.DefaultRetain, "checkpoint snapshots to retain in -state-dir")
@@ -281,8 +288,14 @@ func main() {
 	// instead of retraining. A checkpoint is resumable only if it came
 	// from an identical run configuration and its origin lands on a round
 	// boundary of this replay.
+	fpDataset := *dataset
+	if *serverless {
+		// Park/wake state cannot resume into (or from) a non-serverless
+		// loop; a distinct dataset tag makes such checkpoints cold-start.
+		fpDataset += "+serverless"
+	}
 	fp := persist.Fingerprint{
-		Tenant: *tenant, Strategy: *strategy, Dataset: *dataset, Seed: *seed,
+		Tenant: *tenant, Strategy: *strategy, Dataset: fpDataset, Seed: *seed,
 		Theta: *theta, Horizon: *horizon, Tau: *tau, Tau2: *tau2,
 	}
 	var mgr *persist.Manager
@@ -386,6 +399,31 @@ func main() {
 		Clock:   c.Now,
 	}
 
+	// Serverless mode: the wake guard shapes every plan through the
+	// park/wake hysteresis. The physical cluster keeps its one-node
+	// minimum while parked — the zero lives in the plan and the status
+	// surface, which is exactly what a pooled serverless backend would
+	// see from this control loop.
+	var wakeGuard *scaler.WakeGuard
+	effIdleEps := *idleEps
+	if effIdleEps <= 0 {
+		effIdleEps = *theta / 10
+	}
+	parkedSteps := 0
+	if *serverless {
+		wakeGuard = &scaler.WakeGuard{
+			Config: scaler.WakeGuardConfig{
+				MinIdleRounds:      *parkAfter,
+				WakeDebounceRounds: *wakeDebounce,
+				KeepWarmAfterFails: *keepWarmAfter,
+			},
+			Tenant: *tenant,
+			Clock:  c.Now,
+		}
+		log.Printf("autoscaled: serverless mode: park after %d idle rounds below %.2f, wake debounce %d rounds",
+			*parkAfter, effIdleEps, *wakeDebounce)
+	}
+
 	log.Printf("autoscaled: strategy=%s theta=%.0f horizon=%d replaying %d steps of %s",
 		planner.Name(), *theta, planHorizon, replaySteps, cpu.Name)
 
@@ -432,6 +470,15 @@ func main() {
 		restore("decisions", recovered.Decisions, obs.DefaultDecisions.Load)
 		if slo != nil {
 			restore("slo", recovered.SLO, slo.Load)
+		}
+		if wakeGuard != nil && len(recovered.Extra) > 0 {
+			var ex daemonExtra
+			if derr := gob.NewDecoder(bytes.NewReader(recovered.Extra)).Decode(&ex); derr != nil {
+				log.Printf("autoscaled: restoring wake state: %v (continuing fresh)", derr)
+			} else {
+				parkedSteps = ex.ParkedSteps
+				restore("wake guard", ex.Wake, wakeGuard.Load)
+			}
 		}
 		if len(recovered.Calibration) > 0 {
 			if loaded, cerr := cluster.LoadCalibration(bytes.NewReader(recovered.Calibration)); cerr != nil {
@@ -497,6 +544,15 @@ func main() {
 			st.Guard = blob("guard", guard.Save)
 		}
 		st.Breaker = blob("breaker", applier.Breaker.Save)
+		if wakeGuard != nil {
+			ex := daemonExtra{Wake: blob("wake guard", wakeGuard.Save), ParkedSteps: parkedSteps}
+			var b bytes.Buffer
+			if err := gob.NewEncoder(&b).Encode(ex); err != nil {
+				log.Printf("autoscaled: checkpoint: snapshotting wake state failed: %v", err)
+			} else {
+				st.Extra = b.Bytes()
+			}
+		}
 		st.Journal = blob("journal", obs.DefaultJournal.Save)
 		st.Decisions = blob("decisions", obs.DefaultDecisions.Save)
 		if slo != nil {
@@ -554,7 +610,27 @@ func main() {
 				plan[i] = prevAlloc
 			}
 		}
-		scaler.RecordDecisionFor(planner, *tenant, origin, c.Now(), prevAlloc, plan)
+		if wakeGuard != nil {
+			// Idleness is judged on the genuine trace (not the chaos-
+			// corrupted view) plus the plan: a telemetry fault must not park
+			// a loaded tenant.
+			idle := true
+			for _, v := range plan {
+				if v > 1 {
+					idle = false
+					break
+				}
+			}
+			for i := origin - planHorizon; idle && i < origin; i++ {
+				if i >= 0 && cpu.At(i) > effIdleEps {
+					idle = false
+				}
+			}
+			tr := wakeGuard.Shape(plan, idle)
+			scaler.RecordDecisionAdmitted(planner, *tenant, origin, c.Now(), prevAlloc, plan, 0, wakeReasonOf(tr))
+		} else {
+			scaler.RecordDecisionFor(planner, *tenant, origin, c.Now(), prevAlloc, plan)
+		}
 		// The status registry publishes tails of the plan for the whole
 		// round while the fast path rewrites its buffer next round, so it
 		// gets its own copy.
@@ -584,6 +660,13 @@ func main() {
 						fmt.Sprintf("failure event killed %d node(s)", kills),
 						map[string]float64{"killed": float64(kills), "nodes": float64(c.Size())})
 				}
+			}
+			if wakeGuard != nil && alloc <= 0 {
+				// Parked: the plan is zero but the simulated cluster enforces
+				// a one-node physical floor, so hold it there and account the
+				// step as parked instead of applying a zero.
+				parkedSteps++
+				alloc = 1
 			}
 			applyStart := time.Now()
 			applySpan := obs.DefaultTracer.Start("apply")
@@ -638,6 +721,13 @@ func main() {
 					s.DegradationReason = guard.LastReason()
 					s.DegradedRounds = guard.DegradedRounds()
 				}
+				if wakeGuard != nil {
+					s.Parked = wakeGuard.Parked()
+					s.KeepWarm = wakeGuard.BreakerOpen()
+					s.Parks = int(wakeGuard.Parks())
+					s.Wakes = int(wakeGuard.Wakes())
+					s.ParkedSteps = parkedSteps
+				}
 			})
 			applySpan.EndVirtual(c.Now())
 			ops.ObserveApply(time.Since(applyStart))
@@ -659,6 +749,12 @@ func main() {
 			log.Printf("%s summary: %d/%d steps, %d violations (%.2f%%), %d scale-outs, %d scale-ins",
 				cpu.TimeAt(origin).Format("Jan 02"), steps, replaySteps,
 				violations, 100*float64(violations)/float64(steps), c.ScaleOuts, c.ScaleIns)
+		}
+		if wakeGuard != nil && !wakeGuard.Parked() {
+			// The simulated apply path provisions instantly, so every round
+			// the tenant is awake counts as a healthy wake result and keeps
+			// the wake breaker closed.
+			wakeGuard.OnWakeResult(true)
 		}
 		nextOrigin = origin + planHorizon
 		rounds++
@@ -683,6 +779,10 @@ func main() {
 	if guard != nil {
 		fmt.Printf("resilience: %d degraded rounds, %d apply holds, %d node failures, final mode %s\n",
 			guard.DegradedRounds(), holds, c.Failures, guard.Mode())
+	}
+	if wakeGuard != nil {
+		fmt.Printf("serverless: %d parks, %d wakes, %d blocked parks, %d parked steps, parked now %v\n",
+			wakeGuard.Parks(), wakeGuard.Wakes(), wakeGuard.BlockedParks(), parkedSteps, wakeGuard.Parked())
 	}
 	if slo != nil {
 		// Every figure here is a pure function of the replay in virtual
@@ -731,6 +831,30 @@ func main() {
 			log.Printf("autoscaled: draining observability endpoint: %v", err)
 		}
 	}
+}
+
+// daemonExtra is the owner-defined checkpoint section: wake-guard state
+// and the parked-step tally, so a warm restart resumes the park/wake
+// machine instead of treating a parked tenant as freshly active.
+type daemonExtra struct {
+	Wake        []byte
+	ParkedSteps int
+}
+
+// wakeReasonOf maps a wake transition to the decision-record annotation
+// narrated by -explain; an ordinary active round stays unannotated.
+func wakeReasonOf(tr scaler.WakeTransition) string {
+	switch tr {
+	case scaler.WakePark:
+		return "parked"
+	case scaler.WakeKeepWarm:
+		return "keep-warm"
+	case scaler.WakeWake:
+		return "wake"
+	case scaler.WakeHold:
+		return "wake-hold"
+	}
+	return ""
 }
 
 // printExplanation resolves the -explain argument — a series step index

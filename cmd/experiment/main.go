@@ -60,9 +60,10 @@ func main() {
 		chaosProf = flag.String("chaos", "", "run the guarded-loop resilience matrix under this chaos preset (none|forecast|telemetry|apply|node-kill|all|smoke) or 'matrix' for the full sweep")
 		chaosJSON = flag.String("chaos-json", "", "with -chaos or -fleet-chaos, also write the resilience report as JSON here")
 
-		fleetChaos   = flag.String("fleet-chaos", "", "run the FLEET resilience matrix under this chaos preset (zone-outage|pool-collapse|admission-reject|fleet|...) or 'matrix' for the standard sweep; reports blast radius per row")
-		fleetTenants = flag.Int("fleet-tenants", 8, "fleet size for -fleet-chaos")
-		fleetPool    = flag.Int("fleet-pool", 0, "shared capacity pool for -fleet-chaos (0 = no pool)")
+		fleetChaos      = flag.String("fleet-chaos", "", "run the FLEET resilience matrix under this chaos preset (zone-outage|pool-collapse|admission-reject|fleet|...) or 'matrix' for the standard sweep; reports blast radius per row")
+		fleetTenants    = flag.Int("fleet-tenants", 8, "fleet size for -fleet-chaos")
+		fleetPool       = flag.Int("fleet-pool", 0, "shared capacity pool for -fleet-chaos (0 = no pool)")
+		fleetServerless = flag.Bool("fleet-serverless", false, "run -fleet-chaos in serverless mode; 'matrix' adds the wake-fault rows (wake, wake-storm) and the table gains wake-latency columns")
 	)
 	flag.Parse()
 
@@ -86,7 +87,7 @@ func main() {
 	}
 
 	if *fleetChaos != "" {
-		if err := runFleetChaos(*fleetChaos, *fleetTenants, *fleetPool, *seed, *chaosJSON); err != nil {
+		if err := runFleetChaos(*fleetChaos, *fleetTenants, *fleetPool, *fleetServerless, *seed, *chaosJSON); err != nil {
 			log.Fatalf("experiment: fleet-chaos: %v", err)
 		}
 		return
@@ -173,29 +174,50 @@ func runChaos(z *experiment.Zoo, profile, jsonPath string) error {
 // runFleetChaos drives the fleet-scale resilience matrix: one fault-free
 // baseline plus one pooled fleet run per chaos preset, each row carrying
 // the blast radius measured against the baseline's per-tenant records.
-func runFleetChaos(profile string, tenants, pool int, seed int64, jsonPath string) error {
+func runFleetChaos(profile string, tenants, pool int, serverless bool, seed int64, jsonPath string) error {
 	presets := []string{profile}
 	if profile == "matrix" {
 		presets = []string{"zone-outage", "pool-collapse", "admission-reject", "fleet"}
+		if serverless {
+			// Wake faults only mean something when tenants cross the zero
+			// boundary; the default matrix is unchanged otherwise.
+			presets = append(presets, "wake", "wake-storm")
+		}
 	}
 	cfg := fleet.DefaultConfig(tenants)
 	cfg.Days = 3
 	cfg.Seed = seed
 	cfg.PoolNodes = pool
-	experiment.Header(os.Stdout, fmt.Sprintf("Fleet resilience matrix (%d tenants, pool=%d)", tenants, pool))
+	cfg.Serverless = serverless
+	if serverless {
+		// The serverless archetypes carry small per-tenant workloads; the
+		// default threshold would pin every tenant at one node and no
+		// tenant would ever park or size up.
+		cfg.Days = 4
+		cfg.Theta = 8
+	}
+	experiment.Header(os.Stdout, fmt.Sprintf("Fleet resilience matrix (%d tenants, pool=%d, serverless=%v)", tenants, pool, serverless))
 	start := time.Now()
 	baseline, cells, err := fleet.ResilienceMatrix(cfg, presets, -1, -1)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-18s %10s %10s %10s %8s %10s %12s\n",
-		"preset", "violations", "cost", "shed", "quaran", "blast", "affected/by")
+	wakeCols := ""
+	if serverless {
+		wakeCols = fmt.Sprintf(" %9s %9s %7s", "wakefail", "wake p99", "wakeSLO")
+	}
+	fmt.Printf("%-18s %10s %10s %10s %8s %10s %12s%s\n",
+		"preset", "violations", "cost", "shed", "quaran", "blast", "affected/by", wakeCols)
 	fmt.Printf("%-18s %10d %10d %10s %8s %10s %12s\n",
 		"(baseline)", baseline.Violations, baseline.CostNodeSteps, "-", "-", "-", "-")
 	for _, c := range cells {
-		fmt.Printf("%-18s %10d %10d %10d %8d %9.4f %9d/%d\n",
+		row := fmt.Sprintf("%-18s %10d %10d %10d %8d %9.4f %9d/%d",
 			c.Preset, c.Violations, c.CostNodeSteps, c.ShedNodes, c.Quarantines,
 			c.BlastRadius.Radius, c.BlastRadius.Affected, c.BlastRadius.Bystanders)
+		if serverless {
+			row += fmt.Sprintf(" %9d %8.0fs %7v", c.WakeFailures, c.WakeP99Seconds, c.WakeSLOMet)
+		}
+		fmt.Println(row)
 	}
 	fmt.Printf("[fleet-chaos %s done in %v]\n", profile, time.Since(start).Round(time.Millisecond))
 	if jsonPath != "" {

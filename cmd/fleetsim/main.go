@@ -19,6 +19,14 @@
 // that contract. -metrics dumps the Prometheus registry (tenant-labelled
 // fleet counters included) for scraping or CI assertions.
 //
+// -serverless switches the fleet to the scale-to-zero model: idle
+// tenants park to zero nodes after -park-after idle rounds, returning
+// demand wakes them with a -wake-seconds cold-start penalty, and the
+// planner sizes nodes jointly with count. The summary gains a
+// "serverless" section (parks, wakes, wake-failure and latency
+// percentiles, wake_slo_met against -wake-slo) and the wake chaos
+// presets ("wake", "wake-storm") become meaningful.
+//
 // With -slo-target set (the default, 1%), the controller tracks a
 // fleet-wide rolling error budget over -slo-window rounds and evaluates
 // burn-rate alerts (-burn-windows overrides the defaults); the summary
@@ -94,6 +102,16 @@ func main() {
 		baseline     = flag.String("baseline", "", "fault-free summary JSON to measure blast radius against (adds a blast_radius section to stderr log)")
 		violTol      = flag.Int("blast-viol-tol", -1, "absolute per-tenant violation drift tolerated before a bystander counts as affected (-1 = default)")
 		costTol      = flag.Float64("blast-cost-tol", -1, "fractional per-tenant cost drift tolerated before a bystander counts as affected (-1 = default)")
+
+		serverless    = flag.Bool("serverless", false, "serverless fleet: idle tenants scale to zero, wake from zero with a latency/cost penalty, and size nodes jointly with count (enables the wake chaos presets)")
+		idleEps       = flag.Float64("idle-eps", 0, "workload level below which a serverless tenant counts as idle (0 = theta/10)")
+		parkAfter     = flag.Int("park-after", 0, "consecutive idle rounds before a serverless tenant parks to zero (0 = default 3)")
+		wakeDebounce  = flag.Int("wake-debounce", 0, "rounds after a wake during which parking is refused (flap guard; 0 = default 2)")
+		keepWarmAfter = flag.Int("keep-warm-after", 0, "consecutive wake failures tripping the wake breaker into keep-warm degradation (0 = default 3)")
+		wakeCooldown  = flag.Int("wake-breaker-cooldown", 0, "rounds the wake breaker stays open before a half-open probe (0 = default 6)")
+		wakeSeconds   = flag.Float64("wake-seconds", 0, "fault-free cold-wake provisioning latency in seconds (0 = default 30)")
+		wakeCost      = flag.Float64("wake-cost", 0, "cost units charged per wake from zero (0 = default 2)")
+		wakeSLO       = flag.Float64("wake-slo", 0, "p99 wake-latency SLO in seconds for the summary's wake_slo_met verdict (0 = default 1800)")
 	)
 	flag.Parse()
 
@@ -128,6 +146,10 @@ func main() {
 		SLOTarget: *sloTarget, SLOWindow: *sloWindow, BurnRules: burnRules,
 		PoolNodes: *poolNodes, QuarantineAfter: *quarAfter, QuarantineRounds: *quarRounds,
 		Chaos: *chaosPreset, ChaosSeed: *chaosSeed, Zones: *zones,
+		Serverless: *serverless, IdleEps: *idleEps,
+		ParkAfterRounds: *parkAfter, WakeDebounceRounds: *wakeDebounce,
+		KeepWarmAfterFails: *keepWarmAfter, WakeBreakerCooldown: *wakeCooldown,
+		WakeSeconds: *wakeSeconds, WakeCost: *wakeCost, WakeSLOSeconds: *wakeSLO,
 	}
 	if *chaosTenants != "" {
 		for _, id := range strings.Split(*chaosTenants, ",") {
@@ -192,6 +214,11 @@ func main() {
 	log.Printf("fleetsim: replayed %d rounds (%d tenant-steps) in %.2fs; violations %.3f%%, cost %d node-steps, fleet hash %s",
 		rep.Rounds, rep.Steps, time.Since(t0).Seconds(),
 		100*rep.ViolationRate, rep.CostNodeSteps, rep.FleetHash)
+	if s := rep.Serverless; s != nil {
+		log.Printf("fleetsim: serverless: %d parks, %d wakes (%d failed, %d breaker trips), %d parked steps; wake p99 %.0fs vs SLO %.0fs (met=%v)",
+			s.Parks, s.Wakes, s.WakeFailures, s.BreakerTrips, s.ParkedSteps,
+			s.WakeP99Seconds, s.WakeSLOSeconds, s.WakeSLOMet)
+	}
 
 	if *baseline != "" {
 		br, err := blastRadiusAgainst(*baseline, rep, *violTol, *costTol)

@@ -61,6 +61,20 @@ const (
 	// restartable harness (RunRestartable) consumes it by tearing the
 	// loop down and recovering from disk.
 	CrashRestart Class = "crash-restart"
+
+	// The serverless wake taxonomy: faults striking the zero->nonzero
+	// transition, where a parked tenant has no capacity to degrade onto.
+
+	// WakeStall stretches an in-flight wake-from-zero by Event.Value
+	// extra seconds (cold-start pathology: image pull, slow checkpoint
+	// restore, placement retry).
+	WakeStall Class = "wake-stall"
+	// WakeFail makes a wake-from-zero attempt fail outright for the
+	// window; the tenant stays at zero capacity and must retry.
+	WakeFail Class = "wake-fail"
+	// PartialProvision grants only half of a requested resize or wake
+	// fleet for the window (capacity arrives, but not all of it).
+	PartialProvision Class = "partial-provision"
 )
 
 // Classes lists every fault class in taxonomy order.
@@ -71,6 +85,7 @@ var Classes = []Class{
 	NodeKill,
 	CrashRestart,
 	ZoneOutage, PoolCollapse, AdmissionReject,
+	WakeStall, WakeFail, PartialProvision, WakeStorm,
 }
 
 // injectedTotal counts faults that actually fired, by class; injectors
@@ -197,6 +212,31 @@ func (s *Schedule) ApplyFaultAt(step int) bool {
 	return false
 }
 
+// WakeStallAt returns the extra cold-start seconds an in-flight wake
+// suffers at the step (0 with no active WakeStall window).
+func (s *Schedule) WakeStallAt(step int) float64 {
+	if e, ok := s.ActiveAt(step, WakeStall); ok {
+		if e.Value > 0 {
+			return e.Value
+		}
+		return 900
+	}
+	return 0
+}
+
+// WakeFailAt reports whether wake-from-zero attempts fail at the step.
+func (s *Schedule) WakeFailAt(step int) bool {
+	_, ok := s.ActiveAt(step, WakeFail)
+	return ok
+}
+
+// PartialProvisionAt reports whether resizes and wakes deliver only part
+// of the requested fleet at the step.
+func (s *Schedule) PartialProvisionAt(step int) bool {
+	_, ok := s.ActiveAt(step, PartialProvision)
+	return ok
+}
+
 // KillsAt returns how many nodes the schedule kills at exactly this step.
 func (s *Schedule) KillsAt(step int) int {
 	if s == nil {
@@ -242,6 +282,10 @@ type Profile struct {
 	// CollapseFraction is the remaining pool fraction during a
 	// PoolCollapse window (default 0.5).
 	CollapseFraction float64
+	// WakeStallSeconds is the extra cold-start latency injected per
+	// WakeStall event (default 900 — 1.5 replay steps at the default
+	// 10-minute aggregation, enough to push a wake past its step).
+	WakeStallSeconds float64
 }
 
 // Validate reports configuration errors.
@@ -338,6 +382,10 @@ func (p Profile) Build() (*Schedule, error) {
 	if collapse <= 0 || collapse > 1 {
 		collapse = 0.5
 	}
+	stall := p.WakeStallSeconds
+	if stall == 0 {
+		stall = 900
+	}
 	sched := &Schedule{}
 	for _, class := range Classes {
 		rate := p.Rates[class]
@@ -363,6 +411,9 @@ func (p Profile) Build() (*Schedule, error) {
 			case PoolCollapse:
 				e.Size = window
 				e.Value = collapse
+			case WakeStall:
+				e.Size = window
+				e.Value = stall
 			default:
 				e.Size = window
 			}
@@ -439,6 +490,14 @@ func Preset(name string) (Profile, error) {
 			ApplyReject: 0.25, ApplyPartial: 0.15, ApplyTimeout: 0.15,
 			NodeKill: 0.15,
 		}}, nil
+	case "wake":
+		return Profile{Name: name, Rates: map[Class]float64{
+			WakeStall: 0.05, WakeFail: 0.04, PartialProvision: 0.04,
+		}}, nil
+	case "wake-storm":
+		return Profile{Name: name, Rates: map[Class]float64{
+			WakeStorm: 0.02, WakeStall: 0.03, WakeFail: 0.03,
+		}}, nil
 	case "zone-outage":
 		return Profile{Name: name, Rates: map[Class]float64{ZoneOutage: 0.03}}, nil
 	case "pool-collapse":
@@ -452,6 +511,6 @@ func Preset(name string) (Profile, error) {
 			ZoneOutage: 0.02, PoolCollapse: 0.02, AdmissionReject: 0.03,
 		}}, nil
 	default:
-		return Profile{}, fmt.Errorf("chaos: unknown profile %q (want none|forecast|telemetry|apply|node-kill|all|smoke|zone-outage|pool-collapse|admission-reject|fleet)", name)
+		return Profile{}, fmt.Errorf("chaos: unknown profile %q (want none|forecast|telemetry|apply|node-kill|all|smoke|wake|wake-storm|zone-outage|pool-collapse|admission-reject|fleet)", name)
 	}
 }

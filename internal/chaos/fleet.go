@@ -29,10 +29,15 @@ const (
 	// AdmissionReject makes the admission RPC refuse every clip/shed
 	// decision for the window: tenants hold their previous allocation.
 	AdmissionReject Class = "admission-reject"
+	// WakeStorm is a correlated flash crowd: every parked tenant is
+	// forced awake simultaneously for the window, stressing cold-start
+	// latency and pool admission at the same instant — the serverless
+	// failure mode scale-to-zero fleets fear most.
+	WakeStorm Class = "wake-storm"
 )
 
 // FleetClasses lists the fleet-level classes in taxonomy order.
-var FleetClasses = []Class{ZoneOutage, PoolCollapse, AdmissionReject}
+var FleetClasses = []Class{ZoneOutage, PoolCollapse, AdmissionReject, WakeStorm}
 
 // fleetClass reports whether the class strikes the fleet layer (and so
 // draws from the master seed) rather than a single tenant's loop.
@@ -201,5 +206,15 @@ func (fs *FleetSchedule) AdmissionRejectAt(step int) bool {
 		return false
 	}
 	_, ok := fs.fleet.ActiveAt(step, AdmissionReject)
+	return ok
+}
+
+// WakeStormAt reports whether a correlated flash crowd is forcing every
+// parked tenant awake at the step.
+func (fs *FleetSchedule) WakeStormAt(step int) bool {
+	if fs == nil {
+		return false
+	}
+	_, ok := fs.fleet.ActiveAt(step, WakeStorm)
 	return ok
 }

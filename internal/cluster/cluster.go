@@ -11,6 +11,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -18,6 +19,11 @@ import (
 	"robustscale/internal/obs"
 	"robustscale/internal/timeseries"
 )
+
+// ErrNegativeTarget is returned by ScaleTo for a negative node target —
+// always a caller bug (an unclamped delta or a sign error), never a
+// condition to hold through, so it is typed for errors.Is checks.
+var ErrNegativeTarget = errors.New("cluster: negative scale target")
 
 // Fleet-level counters on the process-wide registry; every simulated
 // cluster feeds them, mirroring what a real control plane would emit.
@@ -131,6 +137,9 @@ func (c *Cluster) WarmupDuration() time.Duration {
 // stateless — their state lives in shared storage). The paper's premise is
 // that this is the cheap operation disaggregation buys.
 func (c *Cluster) ScaleTo(n int) error {
+	if n < 0 {
+		return fmt.Errorf("%w: %d nodes", ErrNegativeTarget, n)
+	}
 	if n < 1 {
 		return fmt.Errorf("cluster: cannot scale to %d nodes", n)
 	}

@@ -50,6 +50,15 @@ type loopExtra struct {
 	Flap           int
 	QuarantineLeft int
 	Quarantines    int
+	// Serverless wake state (added with scale-to-zero; absent in older
+	// blobs, decoding to nil/zero): the wake-guard hysteresis machine,
+	// the per-tenant plant mid-wake state, the wake-latency sketch and
+	// the parked-step total. Restoring them is what lets a kill mid-wake
+	// resume bit-identically.
+	Wake        []byte
+	Plant       []byte
+	WakeLat     []byte
+	ParkedSteps int64
 }
 
 // Tenant is one isolated control loop inside the fleet: trace,
@@ -121,6 +130,17 @@ type Tenant struct {
 	chaosCursor *chaos.Cursor
 	faulted     bool
 
+	// Serverless state; all nil/zero unless cfg.Serverless. The plant is
+	// the tenant's ground-truth capacity machine; wakeGuard shapes plans
+	// with park/wake hysteresis; wakeLat streams completed-wake latency
+	// into a mergeable sketch; wakeReason annotates the round's decision
+	// record for -explain.
+	wakeGuard   *scaler.WakeGuard
+	sless       *cluster.Serverless
+	wakeLat     *obs.Sketch
+	parkedSteps int64
+	wakeReason  string
+
 	histView *timeseries.Series
 	planBuf  []int
 	// dur streams planning latency into a mergeable sketch instead of an
@@ -132,6 +152,9 @@ type Tenant struct {
 
 	violCounter  *obs.Counter
 	roundCounter *obs.Counter
+	wakeStarts   *obs.Counter
+	wakeFailures *obs.Counter
+	wakeLatHist  *obs.Histogram
 }
 
 // now is the tenant's virtual clock, feeding its guard and breaker.
@@ -195,6 +218,32 @@ type Controller struct {
 func New(cfg Config) (*Controller, error) {
 	if cfg.SLOTarget > 0 && cfg.SLOWindow <= 0 {
 		cfg.SLOWindow = DefaultSLOWindow
+	}
+	if cfg.Serverless {
+		if cfg.IdleEps == 0 {
+			cfg.IdleEps = cfg.Theta / 10
+		}
+		if cfg.WakeSeconds == 0 {
+			cfg.WakeSeconds = 30
+		}
+		if cfg.WakeCost == 0 {
+			cfg.WakeCost = 2
+		}
+		if cfg.ParkAfterRounds == 0 {
+			cfg.ParkAfterRounds = 3
+		}
+		if cfg.WakeDebounceRounds == 0 {
+			cfg.WakeDebounceRounds = 2
+		}
+		if cfg.KeepWarmAfterFails == 0 {
+			cfg.KeepWarmAfterFails = 3
+		}
+		if cfg.WakeBreakerCooldown == 0 {
+			cfg.WakeBreakerCooldown = 6
+		}
+		if cfg.WakeSLOSeconds == 0 {
+			cfg.WakeSLOSeconds = 1800
+		}
 	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -328,7 +377,7 @@ func buildTenant(cfg Config, index int, fs *chaos.FleetSchedule) (*Tenant, error
 	trainEnd := cfg.TrainDays * stepsPerDay()
 
 	t := &Tenant{
-		ID: id, Index: index, Archetype: archetypeOf(index), Seed: seed,
+		ID: id, Index: index, Archetype: archetypeOf(cfg, index), Seed: seed,
 		Class:  ClassOf(index),
 		series: series, trainEnd: trainEnd,
 		origin: trainEnd, cursor: trainEnd,
@@ -338,6 +387,30 @@ func buildTenant(cfg Config, index int, fs *chaos.FleetSchedule) (*Tenant, error
 		histView:     &timeseries.Series{Name: series.Name, Start: series.Start, Step: series.Step},
 		violCounter:  fleetTenantViolations.With(id),
 		roundCounter: fleetTenantRounds.With(id),
+	}
+	if cfg.Serverless {
+		t.wakeGuard = &scaler.WakeGuard{
+			Config: scaler.WakeGuardConfig{
+				MinIdleRounds:         cfg.ParkAfterRounds,
+				WakeDebounceRounds:    cfg.WakeDebounceRounds,
+				KeepWarmAfterFails:    cfg.KeepWarmAfterFails,
+				BreakerCooldownRounds: cfg.WakeBreakerCooldown,
+			},
+			Tenant: id,
+			Clock:  t.now,
+		}
+		t.sless, err = cluster.NewServerless(cluster.ServerlessConfig{
+			WakeSeconds: cfg.WakeSeconds,
+			StepSeconds: series.Step.Seconds(),
+			WakeCost:    cfg.WakeCost,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fleet: %s: %w", id, err)
+		}
+		t.wakeLat = obs.NewSketch(obs.DefaultSketchAlpha)
+		t.wakeStarts = fleetWakeStarts.With(id)
+		t.wakeFailures = fleetWakeFailures.With(id)
+		t.wakeLatHist = fleetWakeLatency.With(id)
 	}
 	if fs != nil {
 		// The tenant's fault schedule is the exact restriction of the
@@ -532,6 +605,16 @@ func (t *Tenant) restore(cfg Config, st *persist.State) {
 			t.allocHash, t.cost = extra.AllocHash, extra.Cost
 			t.shedTotal, t.clippedRounds = extra.ShedNodes, extra.ClippedRounds
 			t.flap, t.quarantineLeft, t.quarantines = extra.Flap, extra.QuarantineLeft, extra.Quarantines
+			t.parkedSteps = extra.ParkedSteps
+			if t.wakeGuard != nil && len(extra.Wake) > 0 {
+				_ = t.wakeGuard.Load(bytes.NewReader(extra.Wake))
+			}
+			if t.sless != nil && len(extra.Plant) > 0 {
+				_ = t.sless.Load(bytes.NewReader(extra.Plant))
+			}
+			if t.wakeLat != nil && len(extra.WakeLat) > 0 {
+				_ = t.wakeLat.Load(bytes.NewReader(extra.WakeLat))
+			}
 		}
 	}
 	if t.guard != nil && len(st.Guard) > 0 {
@@ -619,7 +702,55 @@ func (t *Tenant) planPhase(cfg Config) {
 	t.roundPlanner = planner
 	t.shedRound = 0
 	t.shedReason = reason
+	if t.wakeGuard != nil {
+		// Park/wake hysteresis shapes the plan before admission: an idle
+		// tenant's plan goes to zero (after the hysteresis clears), a
+		// parked tenant's returning demand wakes it, and an open wake
+		// breaker floors everything at the keep-warm count. Only
+		// tenant-owned state is touched, so the parallel phase stays
+		// worker-count deterministic.
+		t.wakeReason = wakeAnnotation(t.wakeGuard.Shape(plan, t.idleNow(cfg)))
+	}
 	t.planDur = time.Since(start).Seconds()
+}
+
+// idleNow is the serverless idleness verdict for the round: the plan has
+// no step above the one-node floor and the realized workload over the
+// trailing horizon never rose above the idle threshold. Judging genuine
+// history (not the chaos-corrupted view) keeps telemetry faults from
+// spuriously parking a loaded tenant.
+func (t *Tenant) idleNow(cfg Config) bool {
+	for _, v := range t.pending {
+		if v > 1 {
+			return false
+		}
+	}
+	lo := t.origin - cfg.Horizon
+	if lo < 0 {
+		lo = 0
+	}
+	for i := lo; i < t.origin; i++ {
+		if t.series.At(i) > cfg.IdleEps {
+			return false
+		}
+	}
+	return true
+}
+
+// wakeAnnotation maps a wake transition to the decision-record reason
+// narrated by -explain; an ordinary active round stays unannotated.
+func wakeAnnotation(tr scaler.WakeTransition) string {
+	switch tr {
+	case scaler.WakePark:
+		return "parked"
+	case scaler.WakeKeepWarm:
+		return "keep-warm"
+	case scaler.WakeWake:
+		return "wake"
+	case scaler.WakeHold:
+		return "wake-hold"
+	}
+	return ""
 }
 
 // applyPhase runs the post-admission half of one tenant's round: record
@@ -631,8 +762,12 @@ func (t *Tenant) applyPhase(cfg Config) {
 	start := time.Now()
 	origin, h := t.origin, cfg.Horizon
 	plan := t.pending
+	reason := t.shedReason
+	if reason == "" {
+		reason = t.wakeReason
+	}
 	scaler.RecordDecisionAdmitted(t.roundPlanner, t.ID, origin, t.series.TimeAt(origin),
-		t.prevAlloc, plan, t.shedRound, t.shedReason)
+		t.prevAlloc, plan, t.shedRound, reason)
 	var fan *forecast.QuantileForecast
 	if t.fans != nil && t.roundPlanner == t.planner {
 		// Quarantined rounds plan reactively; the predictive fan is stale
@@ -662,16 +797,20 @@ func (t *Tenant) applyPhase(cfg Config) {
 		}
 		actual := t.alloc
 		w := t.series.At(origin + i)
-		eff := actual
-		if eff < 1 {
-			eff = 1
+		if t.sless != nil {
+			t.serverlessStep(cfg, step, actual, w)
+		} else {
+			eff := actual
+			if eff < 1 {
+				eff = 1
+			}
+			if w/float64(eff) > cfg.Theta {
+				t.violations++
+				t.violCounter.Inc()
+			}
+			t.cost += int64(actual)
+			t.allocHash = (t.allocHash ^ uint64(uint(actual))) * fnvPrime
 		}
-		if w/float64(eff) > cfg.Theta {
-			t.violations++
-			t.violCounter.Inc()
-		}
-		t.cost += int64(actual)
-		t.allocHash = (t.allocHash ^ uint64(uint(actual))) * fnvPrime
 		t.steps++
 		t.cursor++
 		if fan != nil && t.cal != nil && i < fan.Horizon() {
@@ -684,9 +823,59 @@ func (t *Tenant) applyPhase(cfg Config) {
 	t.prevAlloc = t.alloc
 	t.origin = origin + h
 	t.roundCounter.Inc()
+	t.wakeReason = ""
 	d := t.planDur + time.Since(start).Seconds()
 	t.dur.Observe(d)
 	fleetPlanSeconds.Observe(d)
+}
+
+// serverlessStep feeds one admitted step through the tenant's plant: the
+// scalar allocation becomes the demanded capacity in base-node units,
+// the plant resolves it to a joint (count x size) decision under any
+// scheduled wake faults, and the outcome — not the requested plan — is
+// what gets graded, costed, hashed and fed back into the wake breaker.
+// A parked or still-cold step has zero capacity; it only counts as a
+// violation when the workload was genuinely above the idle threshold.
+func (t *Tenant) serverlessStep(cfg Config, step, demand int, w float64) {
+	var f cluster.WakeFault
+	if t.sched != nil {
+		f.StallSeconds = t.sched.WakeStallAt(step)
+		f.Fail = t.sched.WakeFailAt(step)
+		f.Partial = t.sched.PartialProvisionAt(step)
+	}
+	out := t.sless.Step(demand, f)
+	if out.Stalled {
+		chaos.CountInjected(chaos.WakeStall)
+	}
+	if out.PartialApplied {
+		chaos.CountInjected(chaos.PartialProvision)
+	}
+	if out.WakeStarted {
+		t.wakeStarts.Inc()
+	}
+	if out.WakeFailed {
+		chaos.CountInjected(chaos.WakeFail)
+		t.wakeFailures.Inc()
+		t.wakeGuard.OnWakeResult(false)
+	}
+	if out.WakeCompleted {
+		t.wakeGuard.OnWakeResult(true)
+		t.wakeLat.Observe(out.WakeLatencySeconds)
+		t.wakeLatHist.Observe(out.WakeLatencySeconds)
+	}
+	if out.Parked {
+		t.parkedSteps++
+	}
+	violated := w > cfg.IdleEps
+	if out.CapacityUnits > 0 {
+		violated = w/out.CapacityUnits > cfg.Theta
+	}
+	if violated {
+		t.violations++
+		t.violCounter.Inc()
+	}
+	t.cost += int64(out.CostUnits)
+	t.allocHash = (t.allocHash ^ uint64(uint(out.Nodes*16+out.Size))) * fnvPrime
 }
 
 // admit is the shared-capacity admission barrier between the plan and
@@ -820,6 +1009,41 @@ func (c *Controller) admit(active []*Tenant) {
 	fleetQuarantinedGauge.Set(float64(quarantined))
 }
 
+// injectWakeStorm applies a scheduled correlated flash crowd: every
+// parked tenant is forced awake and its pending plan floored at one
+// node, so the whole parked population cold-starts simultaneously —
+// stressing wake latency and pool admission in the same round. Runs
+// sequentially in index order between the plan phase and the admission
+// barrier; a fleet without the serverless model never parks, so the
+// storm window has nothing to strike and the round is untouched.
+func (c *Controller) injectWakeStorm(active []*Tenant) {
+	if !c.cfg.Serverless || c.chaosSched == nil || len(active) == 0 {
+		return
+	}
+	anchor := active[0].origin - active[0].trainEnd
+	if !c.chaosSched.WakeStormAt(anchor) {
+		return
+	}
+	chaos.CountInjected(chaos.WakeStorm)
+	forced := 0
+	for _, t := range active {
+		if t.wakeGuard == nil || !t.wakeGuard.ForceWake() {
+			continue
+		}
+		forced++
+		t.wakeReason = "wake-storm"
+		for j := range t.pending {
+			if t.pending[j] < 1 {
+				t.pending[j] = 1
+			}
+		}
+	}
+	fleetWakeStorms.Inc()
+	obs.DefaultJournal.RecordTenantAt(active[0].now(), "", "wake-storm",
+		fmt.Sprintf("wake storm forced %d parked tenant(s) awake simultaneously", forced),
+		map[string]float64{"forced": float64(forced)})
+}
+
 // Run drives the fleet to completion (or cfg.MaxRounds, or context
 // cancellation), checkpointing every CheckpointInterval rounds and once
 // more at exit. Each round runs a parallel plan phase, the sequential
@@ -855,7 +1079,10 @@ func (c *Controller) Run(ctx context.Context) (*Report, error) {
 		// The admission barrier is sequential and index-ordered: clipping,
 		// shedding, quarantine transitions and their journal entries are a
 		// pure function of the round's pending plans, so the outcome is
-		// identical for any worker count.
+		// identical for any worker count. Wake storms fire first so the
+		// flash crowd's forced wakes contend for pool admission the same
+		// round they strike.
+		c.injectWakeStorm(active)
 		c.admit(active)
 		parallel.ForEachWorkerSpan("fleet-apply", cfg.Workers, len(active), func(_, i int) {
 			active[i].applyPhase(cfg)
@@ -870,6 +1097,7 @@ func (c *Controller) Run(ctx context.Context) (*Report, error) {
 		// round's outcome, so heavy-hitter lists and alert firing ticks
 		// are worker-count independent.
 		var steps, viol int64
+		parked := 0
 		for i, t := range c.tenants {
 			steps += int64(t.steps)
 			viol += int64(t.violations)
@@ -880,6 +1108,12 @@ func (c *Controller) Run(ctx context.Context) (*Report, error) {
 				c.worstCost.Observe(t.ID, float64(dc))
 			}
 			c.lastTenantViol[i], c.lastTenantCost[i] = t.violations, t.cost
+			if t.sless != nil && t.sless.Parked() {
+				parked++
+			}
+		}
+		if cfg.Serverless {
+			fleetParkedGauge.Set(float64(parked))
 		}
 		if c.slo != nil {
 			c.slo.ObserveAt(c.tenants[0].now(),
@@ -958,12 +1192,23 @@ func (t *Tenant) writeCheckpoint(slo []byte) {
 	}
 	st.Breaker = blob(t.applier.Breaker.Save)
 	st.SLO = slo
-	var extra bytes.Buffer
-	if err := gob.NewEncoder(&extra).Encode(loopExtra{
+	ex := loopExtra{
 		AllocHash: t.allocHash, Cost: t.cost,
 		ShedNodes: t.shedTotal, ClippedRounds: t.clippedRounds,
 		Flap: t.flap, QuarantineLeft: t.quarantineLeft, Quarantines: t.quarantines,
-	}); err == nil {
+		ParkedSteps: t.parkedSteps,
+	}
+	if t.wakeGuard != nil {
+		ex.Wake = blob(t.wakeGuard.Save)
+	}
+	if t.sless != nil {
+		ex.Plant = blob(t.sless.Save)
+	}
+	if t.wakeLat != nil {
+		ex.WakeLat = blob(t.wakeLat.Save)
+	}
+	var extra bytes.Buffer
+	if err := gob.NewEncoder(&extra).Encode(ex); err == nil {
 		st.Extra = extra.Bytes()
 	}
 	if _, err := t.mgr.Write(st); err != nil {

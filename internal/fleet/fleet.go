@@ -117,6 +117,34 @@ type Config struct {
 	// Zones is the number of failure domains tenants stripe across for
 	// zone-outage chaos (default 4).
 	Zones int
+	// Serverless enables the scale-to-zero model: tenants get serverless
+	// workload archetypes (deep idle troughs, burst wakes), a joint
+	// (count x size) allocation decision, park/wake hysteresis and the
+	// wake circuit breaker. Off (the default), every field below is
+	// ignored and the fleet is bit-identical to a pre-serverless run.
+	Serverless bool
+	// IdleEps is the workload level below which a tenant counts as
+	// genuinely idle; 0 defaults to Theta/10.
+	IdleEps float64
+	// WakeSeconds is the fault-free cold-wake latency (default 30).
+	WakeSeconds float64
+	// WakeCost is the one-time node-step cost of a completed wake
+	// (default 2).
+	WakeCost float64
+	// ParkAfterRounds is how many consecutive idle rounds precede a park
+	// (default 3).
+	ParkAfterRounds int
+	// WakeDebounceRounds blocks re-parking after a wake (default 2).
+	WakeDebounceRounds int
+	// KeepWarmAfterFails opens the wake breaker — pinning a keep-warm
+	// floor — after this many consecutive failed wakes (default 3).
+	KeepWarmAfterFails int
+	// WakeBreakerCooldown is the breaker's open duration in rounds
+	// (default 6).
+	WakeBreakerCooldown int
+	// WakeSLOSeconds is the p99 wake-latency objective the report grades
+	// against (default 1800 — three steps).
+	WakeSLOSeconds float64
 }
 
 // DefaultSLOWindow is the default error-budget window in fleet rounds.
@@ -213,6 +241,19 @@ func (cfg Config) validate() error {
 	if cfg.Zones < 0 {
 		return fmt.Errorf("fleet: negative zone count %d", cfg.Zones)
 	}
+	if cfg.Serverless {
+		if cfg.IdleEps < 0 {
+			return fmt.Errorf("fleet: negative idle threshold %v", cfg.IdleEps)
+		}
+		if cfg.WakeSeconds < 0 || cfg.WakeCost < 0 || cfg.WakeSLOSeconds < 0 {
+			return fmt.Errorf("fleet: negative wake parameters (%v s, %v cost, %v SLO)",
+				cfg.WakeSeconds, cfg.WakeCost, cfg.WakeSLOSeconds)
+		}
+		if cfg.ParkAfterRounds < 0 || cfg.WakeDebounceRounds < 0 ||
+			cfg.KeepWarmAfterFails < 0 || cfg.WakeBreakerCooldown < 0 {
+			return fmt.Errorf("fleet: negative wake hysteresis parameters")
+		}
+	}
 	if cfg.Chaos != "" && cfg.Chaos != "none" {
 		if _, err := chaos.Preset(cfg.Chaos); err != nil {
 			return err
@@ -238,12 +279,19 @@ func deriveSeed(seed int64, index int) int64 {
 
 // tenantTrace derives the workload archetype of one tenant: even indices
 // get the diurnal Alibaba-style trace, odd indices the bursty
-// Google-style one, so every fleet mixes easy and hard workloads.
+// Google-style one, so every fleet mixes easy and hard workloads. A
+// serverless fleet swaps the pair for the scale-to-zero archetypes:
+// burst-wake serverless tenants and sunsetting decaying ones.
 func tenantTrace(cfg Config, index int, seed int64) trace.Config {
 	var tc trace.Config
-	if index%2 == 0 {
+	switch {
+	case cfg.Serverless && index%2 == 0:
+		tc = trace.ServerlessStyle(seed)
+	case cfg.Serverless:
+		tc = trace.DecayingStyle(seed)
+	case index%2 == 0:
 		tc = trace.AlibabaStyle(seed)
-	} else {
+	default:
 		tc = trace.GoogleStyle(seed)
 	}
 	archetype := tc.Name
@@ -254,9 +302,17 @@ func tenantTrace(cfg Config, index int, seed int64) trace.Config {
 	return tc
 }
 
-// archetypeOf names the workload archetype of a tenant index.
-func archetypeOf(index int) string {
-	if index%2 == 0 {
+// archetypeOf names the workload archetype of a tenant index. The
+// serverless names also land in the checkpoint fingerprint's Dataset
+// field, so flipping Config.Serverless cold-starts stale checkpoints
+// instead of resuming against the wrong trace.
+func archetypeOf(cfg Config, index int) string {
+	switch {
+	case cfg.Serverless && index%2 == 0:
+		return "serverless"
+	case cfg.Serverless:
+		return "decaying"
+	case index%2 == 0:
 		return "alibaba"
 	}
 	return "google"

@@ -1,6 +1,10 @@
 package fleet
 
-import "testing"
+import (
+	"testing"
+
+	"robustscale/internal/scaler"
+)
 
 // FuzzAdmission hammers the admission-control arithmetic with arbitrary
 // demand vectors and capacities. Three invariants must never break:
@@ -86,6 +90,109 @@ func FuzzAdmission(f *testing.F) {
 					t.Fatalf("class %v clipped while class %v still holds nodes: demands=%v capacity=%d admitted=%v",
 						c, lower, demands, capacity, got)
 				}
+			}
+		}
+	})
+}
+
+// FuzzWakeSchedule drives a small fleet of park/wake state machines with
+// arbitrary round scripts — demand on/off, wake success/failure,
+// forced storm wakes — and checks the wake-robustness invariants:
+//
+//  1. the shaped plan never contains a negative allocation, no matter
+//     what sequence of parks, wakes, breaker trips and storms preceded it;
+//  2. shaped plans pushed through shared-pool admission never admit past
+//     the pool budget, even when a storm force-wakes every guard at once;
+//  3. the machine always converges out of parked under sustained demand
+//     with healthy wakes — no script can wedge a tenant at zero forever.
+func FuzzWakeSchedule(f *testing.F) {
+	f.Add([]byte{0x00, 0xff, 0x03, 0x81})
+	f.Add([]byte{0x07, 0x07, 0x07, 0x40, 0x40, 0x40})
+	f.Add([]byte{0xc1, 0xc1, 0xc1, 0xc1, 0x00})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) == 0 || len(script) > 128 {
+			return
+		}
+		const tenants = 3
+		const pool = 4
+		guards := make([]*scaler.WakeGuard, tenants)
+		for i := range guards {
+			guards[i] = &scaler.WakeGuard{Config: scaler.WakeGuardConfig{
+				MinIdleRounds:         2,
+				WakeDebounceRounds:    2,
+				KeepWarmAfterFails:    2,
+				BreakerCooldownRounds: 3,
+				KeepWarmNodes:         1,
+			}}
+		}
+		classes := classesFor(tenants)
+		for _, b := range script {
+			// Bit layout per round byte: low 3 bits pick which guards see
+			// demand, bit 6 reports the round's wake result, bit 7 fires a
+			// correlated storm that force-wakes every guard.
+			storm := b&0x80 != 0
+			wakeOK := b&0x40 != 0
+			demands := make([]int, tenants)
+			for i, g := range guards {
+				idle := b&(1<<uint(i)) == 0
+				plan := []int{int(b >> 3 & 0x07)}
+				g.Shape(plan, idle)
+				if plan[0] < 0 {
+					t.Fatalf("guard %d shaped a negative allocation %d (byte %#x)", i, plan[0], b)
+				}
+				if storm {
+					g.ForceWake()
+					if plan[0] < 1 {
+						plan[0] = 1
+					}
+				}
+				demands[i] = plan[0]
+			}
+			admitted := admitStep(demands, classes, pool, nil)
+			var total int
+			for i, a := range admitted {
+				if a < 0 {
+					t.Fatalf("admission emitted negative allocation %d for guard %d", a, i)
+				}
+				total += a
+			}
+			if total > pool {
+				t.Fatalf("storm wake admitted %d nodes past pool budget %d (demands=%v)", total, pool, demands)
+			}
+			for _, g := range guards {
+				if !g.Parked() {
+					g.OnWakeResult(wakeOK)
+				}
+			}
+		}
+
+		// Convergence: sustained demand with healthy wakes must bring every
+		// guard out of parked (and close any open breaker) within the sum
+		// of the configured hysteresis windows, regardless of prior state.
+		const bound = 16 // cooldown + debounce + fail threshold, with slack
+		for round := 0; round < bound; round++ {
+			done := true
+			for _, g := range guards {
+				plan := []int{3}
+				g.Shape(plan, false)
+				if plan[0] < 0 {
+					t.Fatalf("convergence round %d shaped negative allocation", round)
+				}
+				if !g.Parked() {
+					g.OnWakeResult(true)
+				}
+				if g.Parked() || g.BreakerOpen() {
+					done = false
+				}
+			}
+			if done {
+				return
+			}
+		}
+		for i, g := range guards {
+			if g.Parked() || g.BreakerOpen() {
+				t.Fatalf("guard %d wedged after %d rounds of sustained demand: parked=%v breaker=%v script=%x",
+					i, bound, g.Parked(), g.BreakerOpen(), script)
 			}
 		}
 	})

@@ -57,4 +57,27 @@ var (
 	fleetQuarantinedGauge = obs.Default.Gauge(
 		"robustscale_fleet_quarantined_tenants",
 		"Tenants currently quarantined to reactive planning.")
+
+	// Serverless wake instruments. The latency buckets cover the wake
+	// spectrum from a fault-free cold start (tens of seconds) through
+	// stalled and failed-retry wakes spanning multiple 10-minute steps.
+	fleetWakeStarts = obs.Default.CounterVec(
+		"robustscale_wake_starts_total",
+		"Cold wakes started from zero capacity, by tenant.",
+		"tenant")
+	fleetWakeFailures = obs.Default.CounterVec(
+		"robustscale_wake_failures_total",
+		"Wake attempts aborted by injected or real provisioning failures, by tenant.",
+		"tenant")
+	fleetWakeLatency = obs.Default.HistogramVec(
+		"robustscale_wake_latency_seconds",
+		"Latency from first demanded step to serving capacity for completed wakes, by tenant.",
+		"tenant",
+		[]float64{5, 15, 30, 60, 120, 300, 600, 1200, 1800, 3600})
+	fleetParkedGauge = obs.Default.Gauge(
+		"robustscale_parked_tenants",
+		"Tenants currently scaled to zero (parked, no wake in flight).")
+	fleetWakeStorms = obs.Default.Counter(
+		"robustscale_fleet_wake_storms_total",
+		"Wake-storm rounds that forced the parked population awake simultaneously.")
 )

@@ -37,6 +37,13 @@ type TenantReport struct {
 	// Faulted reports whether the chaos schedule targets this tenant;
 	// blast-radius accounting splits the fleet on it.
 	Faulted bool `json:"faulted,omitempty"`
+	// Serverless outcome (zero unless the scale-to-zero model is on).
+	Parks        int64 `json:"parks,omitempty"`
+	Wakes        int64 `json:"wakes,omitempty"`
+	WakeFailures int64 `json:"wake_failures,omitempty"`
+	ParkedSteps  int64 `json:"parked_steps,omitempty"`
+	ParkedNow    bool  `json:"parked_now,omitempty"`
+	KeepWarmNow  bool  `json:"keep_warm_now,omitempty"`
 }
 
 // Timing aggregates wall-clock planning latency. It is observational
@@ -110,6 +117,9 @@ type Report struct {
 	// Chaos summarizes the fault schedule of the run (nil with chaos
 	// disabled).
 	Chaos *ChaosReport `json:"chaos,omitempty"`
+	// Serverless is the fleet-wide scale-to-zero outcome (nil unless the
+	// serverless model is on).
+	Serverless *ServerlessReport `json:"serverless,omitempty"`
 	// BlastRadius is attached after the run when a fault-free baseline
 	// was supplied for comparison (MeasureBlastRadius); it never feeds
 	// the fleet hash.
@@ -138,6 +148,33 @@ type PoolReport struct {
 	// PeakUtilization is the highest first-step pool utilization seen
 	// this process (1.0 = the pool was fully admitted).
 	PeakUtilization float64 `json:"peak_utilization"`
+}
+
+// ServerlessReport aggregates the scale-to-zero outcome of a serverless
+// fleet run. The lifetime counters fold per-tenant plant and wake-guard
+// state persisted in checkpoints; the latency percentiles come from the
+// merged per-tenant wake sketches, folded in index order, so every field
+// is bit-identical across worker counts and kill-restarts.
+type ServerlessReport struct {
+	// Parks, Wakes and WakeFailures are lifetime fleet totals.
+	Parks        int64 `json:"parks"`
+	Wakes        int64 `json:"wakes"`
+	WakeFailures int64 `json:"wake_failures"`
+	// BreakerTrips counts wake-breaker openings (keep-warm degradations).
+	BreakerTrips int64 `json:"breaker_trips"`
+	// ParkedNow / KeepWarmNow count tenants in each state at run end.
+	ParkedNow   int `json:"parked_now"`
+	KeepWarmNow int `json:"keep_warm_now"`
+	// ParkedSteps is the lifetime total of zero-capacity steps — the
+	// node-steps scale-to-zero did not pay for.
+	ParkedSteps int64 `json:"parked_steps"`
+	// Wake latency distribution over completed wakes, and the SLO it is
+	// graded against.
+	WakeP50Seconds float64 `json:"wake_p50_seconds"`
+	WakeP99Seconds float64 `json:"wake_p99_seconds"`
+	WakeSLOSeconds float64 `json:"wake_slo_seconds"`
+	WakeSLOMet     bool    `json:"wake_slo_met"`
+	WakeSamples    int     `json:"wake_samples"`
 }
 
 // ChaosReport summarizes the deterministic fault schedule of a run.
@@ -188,6 +225,12 @@ func (c *Controller) report() *Report {
 			FleetEvents: len(c.chaosSched.FleetEvents()),
 		}
 	}
+	var sless *ServerlessReport
+	var wakeSketch *obs.Sketch
+	if c.cfg.Serverless {
+		sless = &ServerlessReport{WakeSLOSeconds: c.cfg.WakeSLOSeconds}
+		wakeSketch = obs.NewSketch(obs.DefaultSketchAlpha)
+	}
 	hash := uint64(fnvOffset)
 	for _, t := range c.tenants {
 		tr := TenantReport{
@@ -219,6 +262,26 @@ func (c *Controller) report() *Report {
 		}
 		if chaosRep != nil && t.faulted {
 			chaosRep.FaultedTenants++
+		}
+		if sless != nil && t.sless != nil {
+			tr.Parks = t.sless.Parks()
+			tr.Wakes = t.sless.Wakes()
+			tr.WakeFailures = t.sless.WakeFails()
+			tr.ParkedSteps = t.parkedSteps
+			tr.ParkedNow = t.sless.Parked()
+			tr.KeepWarmNow = t.wakeGuard.BreakerOpen()
+			sless.Parks += tr.Parks
+			sless.Wakes += tr.Wakes
+			sless.WakeFailures += tr.WakeFailures
+			sless.BreakerTrips += t.wakeGuard.BreakerTrips()
+			sless.ParkedSteps += tr.ParkedSteps
+			if tr.ParkedNow {
+				sless.ParkedNow++
+			}
+			if tr.KeepWarmNow {
+				sless.KeepWarmNow++
+			}
+			_ = wakeSketch.Merge(t.wakeLat)
 		}
 		r.Steps += int64(t.steps)
 		r.Violations += int64(t.violations)
@@ -262,6 +325,16 @@ func (c *Controller) report() *Report {
 	}
 	r.Pool = pool
 	r.Chaos = chaosRep
+	if sless != nil {
+		sless.WakeSamples = int(wakeSketch.Count())
+		if sless.WakeSamples > 0 {
+			sless.WakeP50Seconds = wakeSketch.Percentile(50)
+			sless.WakeP99Seconds = wakeSketch.Percentile(99)
+		}
+		// No completed wakes means no latency to breach the objective.
+		sless.WakeSLOMet = sless.WakeSamples == 0 || sless.WakeP99Seconds <= sless.WakeSLOSeconds
+		r.Serverless = sless
+	}
 	return r
 }
 

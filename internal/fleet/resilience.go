@@ -115,6 +115,11 @@ type MatrixCell struct {
 	Quarantines   int         `json:"quarantines,omitempty"`
 	FleetHash     string      `json:"fleet_hash"`
 	BlastRadius   BlastRadius `json:"blast_radius"`
+	// Wake-fault accounting (serverless fleets only): failed wakes, the
+	// observed p99 wake latency and whether the wake-latency SLO held.
+	WakeFailures   int64   `json:"wake_failures,omitempty"`
+	WakeP99Seconds float64 `json:"wake_p99_seconds,omitempty"`
+	WakeSLOMet     bool    `json:"wake_slo_met,omitempty"`
 }
 
 // ResilienceMatrix runs the fleet once fault-free and once per chaos
@@ -154,6 +159,11 @@ func ResilienceMatrix(cfg Config, presets []string, violTol int, costTol float64
 		if rep.Pool != nil {
 			cell.ShedNodes = rep.Pool.ShedNodes
 			cell.Quarantines = rep.Pool.Quarantines
+		}
+		if rep.Serverless != nil {
+			cell.WakeFailures = rep.Serverless.WakeFailures
+			cell.WakeP99Seconds = rep.Serverless.WakeP99Seconds
+			cell.WakeSLOMet = rep.Serverless.WakeSLOMet
 		}
 		cells = append(cells, cell)
 	}

@@ -90,6 +90,19 @@ type Status struct {
 	// CheckpointWrites counts snapshots this process has written to its
 	// state directory (0 when durability is disabled).
 	CheckpointWrites int `json:"checkpoint_writes,omitempty"`
+	// Parked reports the serverless park verdict: the wake guard has
+	// scaled this tenant's plan to zero. A daemon over a physical cluster
+	// still holds the one-node floor while parked; the flag (not the node
+	// count) is the authoritative zero-state signal.
+	Parked bool `json:"parked,omitempty"`
+	// KeepWarm reports that the wake breaker is open and the tenant is
+	// pinned at the keep-warm floor instead of parking.
+	KeepWarm bool `json:"keep_warm,omitempty"`
+	// Parks and Wakes count zero-boundary crossings; ParkedSteps counts
+	// replay steps spent parked. All zero outside serverless mode.
+	Parks       int `json:"parks,omitempty"`
+	Wakes       int `json:"wakes,omitempty"`
+	ParkedSteps int `json:"parked_steps,omitempty"`
 }
 
 // Registry holds the latest status for concurrent readers.
@@ -138,6 +151,13 @@ func (r *Registry) Handler() http.Handler {
 	})
 }
 
+func b2f(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
 // MetricsHandler returns an http.Handler exposing the status as
 // Prometheus text-format gauges under the `robustscale_` prefix, followed
 // by every instrument registered on obs.Default (stage latencies,
@@ -171,6 +191,12 @@ func (r *Registry) MetricsHandlerFor(reg *obs.Registry) http.Handler {
 		gauge("scale_outs_total", "Scale-out operations performed.", float64(snap.ScaleOuts))
 		gauge("scale_ins_total", "Scale-in operations performed.", float64(snap.ScaleIns))
 		gauge("theta", "Per-node workload threshold in effect.", snap.Theta)
+		if snap.Parks > 0 || snap.Wakes > 0 || snap.Parked {
+			gauge("parked", "1 while the wake guard holds this tenant at zero.", b2f(snap.Parked))
+			gauge("parks_total", "Park transitions to zero capacity.", float64(snap.Parks))
+			gauge("wakes_total", "Wake transitions from zero capacity.", float64(snap.Wakes))
+			gauge("parked_steps_total", "Replay steps spent parked at zero.", float64(snap.ParkedSteps))
+		}
 		if reg != nil {
 			if err := reg.WritePrometheus(&b); err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)

@@ -1,0 +1,307 @@
+// WakeGuard extends the degradation ladder to the zero boundary. The
+// plain Guard assumes at least one node always runs; scale-to-zero adds
+// two failure modes it cannot see: zero<->nonzero flapping (a tenant
+// hovering at the idle threshold parks and cold-wakes every few rounds,
+// paying the wake latency each time) and wake failure loops (a tenant
+// that cannot come back from zero at all). WakeGuard shapes each round's
+// plan with park/wake hysteresis and runs a wake circuit breaker whose
+// open state degrades gracefully to a keep-warm floor: after enough
+// consecutive failed wakes the tenant is pinned at >= KeepWarmNodes and
+// never parked until the breaker's cooldown elapses.
+package scaler
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"time"
+
+	"robustscale/internal/obs"
+)
+
+// WakeTransition classifies what Shape decided for the round.
+type WakeTransition int
+
+const (
+	// WakeNone: the tenant is active with demand; plan passes through
+	// (floored at one node).
+	WakeNone WakeTransition = iota
+	// WakeWake: the tenant leaves parked state this round.
+	WakeWake
+	// WakePark: the tenant parks (plan zeroed).
+	WakePark
+	// WakeHold: the tenant is idle but hysteresis blocks the park; it
+	// holds a one-node floor.
+	WakeHold
+	// WakeKeepWarm: the wake breaker is open; the plan is floored at the
+	// keep-warm node count regardless of demand.
+	WakeKeepWarm
+)
+
+// String names the transition for journals and explanations.
+func (t WakeTransition) String() string {
+	switch t {
+	case WakeWake:
+		return "wake"
+	case WakePark:
+		return "park"
+	case WakeHold:
+		return "hold"
+	case WakeKeepWarm:
+		return "keep-warm"
+	default:
+		return "none"
+	}
+}
+
+// WakeGuardConfig tunes the park/wake hysteresis and the wake breaker.
+type WakeGuardConfig struct {
+	// MinIdleRounds is how many consecutive idle rounds must pass before
+	// an active tenant may park (default 3).
+	MinIdleRounds int
+	// WakeDebounceRounds blocks re-parking for this many rounds after a
+	// wake, breaking zero<->nonzero flap cycles (default 2).
+	WakeDebounceRounds int
+	// KeepWarmAfterFails opens the wake breaker after this many
+	// consecutive failed wakes (default 3).
+	KeepWarmAfterFails int
+	// BreakerCooldownRounds is how long the breaker stays open before a
+	// half-open probe wake is allowed (default 6).
+	BreakerCooldownRounds int
+	// KeepWarmNodes is the graceful-degradation floor held while the
+	// breaker is open (default 1).
+	KeepWarmNodes int
+}
+
+func (c WakeGuardConfig) withDefaults() WakeGuardConfig {
+	if c.MinIdleRounds <= 0 {
+		c.MinIdleRounds = 3
+	}
+	if c.WakeDebounceRounds <= 0 {
+		c.WakeDebounceRounds = 2
+	}
+	if c.KeepWarmAfterFails <= 0 {
+		c.KeepWarmAfterFails = 3
+	}
+	if c.BreakerCooldownRounds <= 0 {
+		c.BreakerCooldownRounds = 6
+	}
+	if c.KeepWarmNodes <= 0 {
+		c.KeepWarmNodes = 1
+	}
+	return c
+}
+
+// WakeGuard is the per-tenant park/wake state machine. Like Guard it is
+// driven by one control loop and is not safe for concurrent use.
+type WakeGuard struct {
+	// Config tunes hysteresis and the breaker; zero values take defaults.
+	Config WakeGuardConfig
+	// Tenant labels journal events (empty for single-tenant loops).
+	Tenant string
+	// Clock stamps journal events; defaults to time.Now.
+	Clock func() time.Time
+
+	parked       bool
+	idleRounds   int
+	sinceWake    int
+	consecFails  int
+	breakerOpen  bool
+	cooldownLeft int
+
+	// Lifetime counters.
+	parks, wakes, blockedParks, breakerTrips int64
+
+	lastTransition WakeTransition
+}
+
+// Parked reports whether the guard currently holds the tenant at zero.
+func (g *WakeGuard) Parked() bool { return g.parked }
+
+// BreakerOpen reports whether the wake breaker is holding the keep-warm
+// floor.
+func (g *WakeGuard) BreakerOpen() bool { return g.breakerOpen }
+
+// LastTransition returns what the most recent Shape round decided.
+func (g *WakeGuard) LastTransition() WakeTransition { return g.lastTransition }
+
+// Parks, Wakes, BlockedParks and BreakerTrips are lifetime counters.
+func (g *WakeGuard) Parks() int64        { return g.parks }
+func (g *WakeGuard) Wakes() int64        { return g.wakes }
+func (g *WakeGuard) BlockedParks() int64 { return g.blockedParks }
+func (g *WakeGuard) BreakerTrips() int64 { return g.breakerTrips }
+
+// Shape applies park/wake hysteresis to the round's plan in place and
+// returns the transition taken. idle is the caller's verdict that the
+// tenant has no genuine demand this round (forecast floor and realized
+// tail both below the idle threshold). Shape never emits a negative
+// allocation, and with the breaker open it never emits below the
+// keep-warm floor.
+func (g *WakeGuard) Shape(plan []int, idle bool) WakeTransition {
+	cfg := g.Config.withDefaults()
+	g.sinceWake++
+
+	// Open breaker: graceful degradation. Hold the keep-warm floor no
+	// matter what demand says, counting down to a half-open probe.
+	if g.breakerOpen {
+		for i := range plan {
+			if plan[i] < cfg.KeepWarmNodes {
+				plan[i] = cfg.KeepWarmNodes
+			}
+		}
+		g.parked = false
+		g.idleRounds = 0
+		g.cooldownLeft--
+		if g.cooldownLeft <= 0 {
+			// Half-open: the next wake attempt is the probe. One more
+			// failure re-trips immediately; a success closes for good.
+			g.breakerOpen = false
+			g.consecFails = cfg.KeepWarmAfterFails - 1
+			g.journal("wake breaker half-open: next wake is the probe", nil)
+		}
+		g.lastTransition = WakeKeepWarm
+		return WakeKeepWarm
+	}
+
+	if g.parked {
+		if idle {
+			for i := range plan {
+				plan[i] = 0
+			}
+			g.idleRounds++
+			g.lastTransition = WakePark
+			return WakePark
+		}
+		// Demand returned: unpark.
+		g.parked = false
+		g.idleRounds = 0
+		g.sinceWake = 0
+		g.wakes++
+		for i := range plan {
+			if plan[i] < 1 {
+				plan[i] = 1
+			}
+		}
+		g.journal("waking from zero on returned demand", nil)
+		g.lastTransition = WakeWake
+		return WakeWake
+	}
+
+	// Active tenant.
+	if idle {
+		g.idleRounds++
+		if g.idleRounds >= cfg.MinIdleRounds && g.sinceWake >= cfg.WakeDebounceRounds {
+			g.parked = true
+			g.parks++
+			for i := range plan {
+				plan[i] = 0
+			}
+			g.journal(fmt.Sprintf("parking after %d idle rounds", g.idleRounds),
+				map[string]float64{"idle_rounds": float64(g.idleRounds)})
+			g.lastTransition = WakePark
+			return WakePark
+		}
+		// Hysteresis holds the tenant at a one-node floor.
+		g.blockedParks++
+		for i := range plan {
+			if plan[i] < 1 {
+				plan[i] = 1
+			}
+		}
+		g.lastTransition = WakeHold
+		return WakeHold
+	}
+
+	g.idleRounds = 0
+	for i := range plan {
+		if plan[i] < 1 {
+			plan[i] = 1
+		}
+	}
+	g.lastTransition = WakeNone
+	return WakeNone
+}
+
+// OnWakeResult feeds the outcome of a wake attempt into the breaker: a
+// success closes it and clears the failure streak; enough consecutive
+// failures trip it open, pinning the keep-warm floor for the cooldown.
+func (g *WakeGuard) OnWakeResult(ok bool) {
+	cfg := g.Config.withDefaults()
+	if ok {
+		g.consecFails = 0
+		return
+	}
+	g.consecFails++
+	if !g.breakerOpen && g.consecFails >= cfg.KeepWarmAfterFails {
+		g.breakerOpen = true
+		g.cooldownLeft = cfg.BreakerCooldownRounds
+		g.breakerTrips++
+		g.parked = false
+		g.journal(fmt.Sprintf("wake breaker open after %d consecutive failed wakes: holding %d keep-warm node(s)",
+			g.consecFails, cfg.KeepWarmNodes),
+			map[string]float64{
+				"consecutive_fails": float64(g.consecFails),
+				"keep_warm_nodes":   float64(cfg.KeepWarmNodes),
+			})
+	}
+}
+
+// ForceWake unparks the tenant immediately (a wake-storm drill or an
+// operator override), bypassing idleness. It is a no-op for an active
+// tenant or an open breaker.
+func (g *WakeGuard) ForceWake() bool {
+	if !g.parked || g.breakerOpen {
+		return false
+	}
+	g.parked = false
+	g.idleRounds = 0
+	g.sinceWake = 0
+	g.wakes++
+	g.journal("forced wake (storm drill)", nil)
+	g.lastTransition = WakeWake
+	return true
+}
+
+func (g *WakeGuard) journal(msg string, fields map[string]float64) {
+	now := time.Now()
+	if g.Clock != nil {
+		now = g.Clock()
+	}
+	obs.DefaultJournal.RecordTenantAt(now, g.Tenant, "wake", msg, fields)
+}
+
+// wakeGuardState is the gob wire form.
+type wakeGuardState struct {
+	Parked                                   bool
+	IdleRounds                               int
+	SinceWake                                int
+	ConsecFails                              int
+	BreakerOpen                              bool
+	CooldownLeft                             int
+	Parks, Wakes, BlockedParks, BreakerTrips int64
+}
+
+// Save snapshots the guard's mutable state; configuration is the owner's
+// to rebuild, matching every other component's persistence contract.
+func (g *WakeGuard) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(wakeGuardState{
+		Parked: g.parked, IdleRounds: g.idleRounds, SinceWake: g.sinceWake,
+		ConsecFails: g.consecFails, BreakerOpen: g.breakerOpen, CooldownLeft: g.cooldownLeft,
+		Parks: g.parks, Wakes: g.wakes, BlockedParks: g.blockedParks, BreakerTrips: g.breakerTrips,
+	})
+}
+
+// Load restores a snapshot written by Save.
+func (g *WakeGuard) Load(r io.Reader) error {
+	var st wakeGuardState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("scaler: loading wake-guard state: %w", err)
+	}
+	if st.IdleRounds < 0 || st.SinceWake < 0 || st.ConsecFails < 0 || st.CooldownLeft < 0 {
+		return fmt.Errorf("scaler: wake-guard snapshot has negative counters")
+	}
+	g.parked, g.idleRounds, g.sinceWake = st.Parked, st.IdleRounds, st.SinceWake
+	g.consecFails, g.breakerOpen, g.cooldownLeft = st.ConsecFails, st.BreakerOpen, st.CooldownLeft
+	g.parks, g.wakes, g.blockedParks, g.breakerTrips = st.Parks, st.Wakes, st.BlockedParks, st.BreakerTrips
+	return nil
+}

@@ -1,0 +1,92 @@
+package trace
+
+import "testing"
+
+// TestServerlessStyleHasIdleTroughs pins the property scale-to-zero
+// feeds on: the aggregate drops to near-zero overnight, and burst
+// spikes rise far above the base level.
+func TestServerlessStyleHasIdleTroughs(t *testing.T) {
+	tr, err := Generate(ServerlessStyle(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := tr.Series(CPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idleEps := 2.0 // aggregate units across 8 tenant shards
+	idle, peakMax, sum := 0, 0.0, 0.0
+	for i := 0; i < s.Len(); i++ {
+		v := s.At(i)
+		if v < 0 {
+			t.Fatalf("negative workload %v at step %d", v, i)
+		}
+		if v <= idleEps {
+			idle++
+		}
+		if v > peakMax {
+			peakMax = v
+		}
+		sum += v
+	}
+	idleFrac := float64(idle) / float64(s.Len())
+	if idleFrac < 0.10 {
+		t.Errorf("idle fraction %.3f, want >= 0.10 (no troughs to park in)", idleFrac)
+	}
+	if idleFrac > 0.90 {
+		t.Errorf("idle fraction %.3f, want <= 0.90 (never any demand)", idleFrac)
+	}
+	mean := sum / float64(s.Len())
+	if peakMax < 4*mean {
+		t.Errorf("peak %.1f vs mean %.1f: spike trains too tame for burst-wake drills", peakMax, mean)
+	}
+}
+
+// TestDecayingStyleSunsets pins the permanent-park property: the final
+// days sit near zero while the first days carry real load.
+func TestDecayingStyleSunsets(t *testing.T) {
+	tr, err := Generate(DecayingStyle(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := tr.Series(CPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepsPerDay := s.Len() / 28
+	head, tail := 0.0, 0.0
+	for i := 0; i < 2*stepsPerDay; i++ {
+		head += s.At(i)
+		tail += s.At(s.Len() - 1 - i)
+	}
+	head /= float64(2 * stepsPerDay)
+	tail /= float64(2 * stepsPerDay)
+	if head <= 0 {
+		t.Fatalf("decaying trace starts at %v, want positive load", head)
+	}
+	if tail > head*0.05 {
+		t.Errorf("tail mean %.2f vs head mean %.2f: trace does not decay to ~0", tail, head)
+	}
+}
+
+// TestServerlessArchetypesDeterministic pins seed determinism, which the
+// fleet hash depends on.
+func TestServerlessArchetypesDeterministic(t *testing.T) {
+	for _, mk := range []func(int64) Config{ServerlessStyle, DecayingStyle} {
+		a, err := Generate(mk(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(mk(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa, _ := a.Series(CPU)
+		sb, _ := b.Series(CPU)
+		for i := 0; i < sa.Len(); i++ {
+			if sa.At(i) != sb.At(i) {
+				t.Fatalf("%s diverged at step %d", a.Name, i)
+			}
+		}
+	}
+}

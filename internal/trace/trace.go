@@ -177,6 +177,61 @@ func GoogleStyle(seed int64) Config {
 	}
 }
 
+// ServerlessStyle returns the configuration of a serverless-tenant trace:
+// a small base load with a deep diurnal cycle whose troughs clamp to zero
+// (overnight the tenant is genuinely idle), punctuated by sharp
+// burst-wake spikes — the flash crowd that hits a parked tenant cold.
+// This is the archetype that exercises scale-to-zero: long idle stretches
+// reward parking, and the spike trains punish slow or failed wakes.
+func ServerlessStyle(seed int64) Config {
+	return Config{
+		Name:            "serverless",
+		Seed:            seed,
+		Units:           8,
+		Days:            28,
+		Step:            timeseries.DefaultStep,
+		Start:           time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC),
+		Resources:       []Resource{CPU},
+		BaseLoad:        1.2,
+		DailyAmp:        1.7,
+		WeeklyAmp:       0.1,
+		NoiseStd:        0.1,
+		NoisePhi:        0.6,
+		SharedNoiseFrac: 0.6,
+		SpikeProb:       0.0015,
+		SpikeScale:      8,
+		SpikeDecay:      0.7,
+		RampSharpness:   0.3,
+	}
+}
+
+// DecayingStyle returns the configuration of a sunsetting tenant: a
+// moderate load with a steady negative drift that clamps to zero in the
+// final week. It exercises the permanent-park path — a tenant that goes
+// idle and, absent a wake storm, never comes back.
+func DecayingStyle(seed int64) Config {
+	return Config{
+		Name:            "decaying",
+		Seed:            seed,
+		Units:           16,
+		Days:            28,
+		Step:            timeseries.DefaultStep,
+		Start:           time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC),
+		Resources:       []Resource{CPU},
+		BaseLoad:        20,
+		DailyAmp:        0.3,
+		WeeklyAmp:       0.05,
+		NoiseStd:        0.08,
+		NoisePhi:        0.7,
+		SharedNoiseFrac: 0.5,
+		SpikeProb:       0.001,
+		SpikeScale:      0.4,
+		SpikeDecay:      0.6,
+		TrendPerDay:     -0.05,
+		RampSharpness:   0.5,
+	}
+}
+
 // Generate produces a trace from the configuration.
 func Generate(cfg Config) (*Trace, error) {
 	if cfg.Units <= 0 {

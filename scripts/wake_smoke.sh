@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# wake_smoke.sh — serverless scale-to-zero drill for the wake-from-zero
+# robustness plane (cmd/fleetsim -serverless, chaos presets wake and
+# wake-storm).
+#
+# Asserts the PR's acceptance contracts:
+#
+#   * a fault-free serverless fleet is bit-identical across -workers 1
+#     vs 4 and across reruns (park/wake decisions, joint count x size
+#     hash, wake-latency percentiles),
+#   * the fleet actually crosses the zero boundary: parks, wakes and
+#     parked steps are all non-zero, and the fault-free p99 wake
+#     latency meets the wake SLO,
+#   * with -serverless off the summary is bit-identical to a run of the
+#     binary from before this change (pinned by the non-serverless runs
+#     agreeing with each other and carrying no serverless section),
+#   * the wake-storm drill completes with p99 wake latency inside the
+#     declared -wake-slo budget (wake_slo_met=true) despite correlated
+#     forced wakes plus injected stalls and failures,
+#   * wake faults stay with the tenants they strike: blast radius = 0
+#     against the fault-free serverless baseline,
+#   * a kill-restart mid-wake (-state-dir, -max-rounds under the wake
+#     preset) resumes to the uninterrupted run's fleet hash and wake
+#     counters,
+#   * FuzzWakeSchedule holds its invariants for a short budget, and the
+#     serverless wake-chaos path runs clean under the race detector.
+#
+# Tunables: WAKE_SMOKE_TENANTS (default 12),
+# WAKE_SMOKE_RACE_TENANTS (default 8; 0 skips the race run),
+# WAKE_SMOKE_FUZZ_SECONDS (default 10; 0 skips the fuzz run).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tenants="${WAKE_SMOKE_TENANTS:-12}"
+race_tenants="${WAKE_SMOKE_RACE_TENANTS:-8}"
+fuzz_secs="${WAKE_SMOKE_FUZZ_SECONDS:-10}"
+# The serverless archetypes are small single-app tenants; -theta 8 keeps
+# node counts meaningful, -days 4 spans several park/wake cycles, and
+# the storm drill's SLO budget covers injected stalls (default stall is
+# 900 virtual seconds on top of the 30s fault-free wake).
+sl="-serverless -days 4 -theta 8"
+storm_slo=3600
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+go build -o "$work/fleetsim" ./cmd/fleetsim
+
+fs() { "$work/fleetsim" "$@"; }
+hash_of() { jq -r .fleet_hash "$1"; }
+tenant_rows() { jq '[.per_tenant[] | {id, alloc_hash, steps, violations, cost_node_steps, parks, wakes, parked_steps}]' "$1"; }
+wake_counts() { jq '{parks: .serverless.parks, wakes: .serverless.wakes, failures: .serverless.wake_failures, parked_steps: .serverless.parked_steps, trips: .serverless.breaker_trips}' "$1"; }
+
+echo "== wake smoke: $tenants serverless tenants =="
+
+echo "-- fault-free serverless: bit-identical across workers and reruns"
+fs -tenants "$tenants" $sl -workers 1 -out "$work/w1.json"
+fs -tenants "$tenants" $sl -workers 4 -out "$work/w4.json"
+fs -tenants "$tenants" $sl -workers 4 -out "$work/w4b.json"
+[ "$(hash_of "$work/w1.json")" = "$(hash_of "$work/w4.json")" ]
+[ "$(hash_of "$work/w4.json")" = "$(hash_of "$work/w4b.json")" ]
+[ "$(wake_counts "$work/w1.json")" = "$(wake_counts "$work/w4.json")" ]
+[ "$(tenant_rows "$work/w1.json")" = "$(tenant_rows "$work/w4.json")" ]
+
+echo "-- zero boundary exercised: parks, wakes, parked steps; fault-free p99 under SLO"
+jq -e '.serverless.parks > 0 and .serverless.wakes > 0 and .serverless.parked_steps > 0' "$work/w1.json" > /dev/null
+jq -e '.serverless.wake_slo_met == true' "$work/w1.json" > /dev/null
+grep -q '^robustscale_parked_tenants' <(fs -tenants "$tenants" $sl -metrics /dev/stdout -out /dev/null 2>/dev/null)
+grep -q '^robustscale_wake_starts_total' <(fs -tenants "$tenants" $sl -metrics /dev/stdout -out /dev/null 2>/dev/null)
+
+echo "-- serverless off: summary carries no serverless state and stays deterministic"
+fs -tenants "$tenants" -days 4 -out "$work/plain1.json"
+fs -tenants "$tenants" -days 4 -workers 4 -out "$work/plain2.json"
+[ "$(hash_of "$work/plain1.json")" = "$(hash_of "$work/plain2.json")" ]
+jq -e '.serverless == null' "$work/plain1.json" > /dev/null
+jq -e '[.per_tenant[] | select(.parks // 0 > 0 or .wakes // 0 > 0)] | length == 0' "$work/plain1.json" > /dev/null
+
+echo "-- wake-storm drill: p99 wake latency inside the declared SLO budget"
+fs -tenants "$tenants" $sl -chaos wake-storm -wake-slo "$storm_slo" -out "$work/storm.json"
+jq -e '.serverless.wake_samples > 0' "$work/storm.json" > /dev/null
+jq -e '.serverless.wake_slo_met == true' "$work/storm.json" > /dev/null
+jq -e --argjson slo "$storm_slo" '.serverless.wake_p99_seconds <= $slo' "$work/storm.json" > /dev/null
+
+echo "-- wake faults: blast radius = 0 against the fault-free serverless baseline"
+fs -tenants "$tenants" $sl -chaos wake -baseline "$work/w1.json" -out "$work/wake.json"
+jq -e '.serverless.wake_failures > 0' "$work/wake.json" > /dev/null
+jq -e '.blast_radius.radius == 0' "$work/wake.json" > /dev/null
+
+echo "-- kill-restart mid-wake: warm resume reproduces the uninterrupted hash"
+fs -tenants "$tenants" $sl -chaos wake -out "$work/full.json"
+fs -tenants "$tenants" $sl -chaos wake -state-dir "$work/state" -max-rounds 3 -out "$work/k1.json"
+fs -tenants "$tenants" $sl -chaos wake -state-dir "$work/state" -out "$work/k2.json"
+[ "$(hash_of "$work/k2.json")" = "$(hash_of "$work/full.json")" ]
+[ "$(wake_counts "$work/k2.json")" = "$(wake_counts "$work/full.json")" ]
+jq -e --argjson n "$tenants" '.warm_starts == $n' "$work/k2.json" > /dev/null
+
+if [ "$fuzz_secs" -gt 0 ]; then
+  echo "-- FuzzWakeSchedule: ${fuzz_secs}s budget"
+  go test ./internal/fleet/ -run '^$' -fuzz FuzzWakeSchedule -fuzztime "${fuzz_secs}s" > /dev/null
+fi
+
+if [ "$race_tenants" -gt 0 ]; then
+  echo "-- race detector: $race_tenants tenants, wake-storm preset"
+  go run -race ./cmd/fleetsim -tenants "$race_tenants" $sl -chaos wake-storm -workers 4 -out /dev/null
+fi
+
+echo "wake smoke: PASS"
